@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches.
+ *
+ * Every bench binary prints the rows/series of one paper table or
+ * figure. Set NEUROCUBE_QUICK=1 in the environment to shrink the
+ * workloads (smaller images) for fast iteration; the shipped
+ * EXPERIMENTS.md numbers come from full-size runs.
+ */
+
+#ifndef NEUROCUBE_BENCH_BENCH_COMMON_HH
+#define NEUROCUBE_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/stats.hh"
+#include "core/neurocube.hh"
+#include "core/results.hh"
+#include "nn/network.hh"
+
+namespace neurocube::bench
+{
+
+/** True when NEUROCUBE_QUICK=1 requests reduced workloads. */
+inline bool
+quickMode()
+{
+    const char *env = std::getenv("NEUROCUBE_QUICK");
+    return env != nullptr && env[0] == '1';
+}
+
+/** Scene-labeling input size for inference benches. */
+inline void
+inferenceInputSize(unsigned &w, unsigned &h)
+{
+    if (quickMode()) {
+        w = 160;
+        h = 120;
+    } else {
+        w = 320;
+        h = 240;
+    }
+}
+
+/** Run a full forward pass of a network on a machine config. */
+inline RunResult
+runForward(const NeurocubeConfig &config, const NetworkDesc &net,
+           uint64_t seed = 1)
+{
+    NetworkData data = NetworkData::randomized(net, seed);
+    Tensor input(net.inputMaps(), net.inputHeight(),
+                 net.inputWidth());
+    Rng rng(seed + 1);
+    input.randomize(rng);
+    Neurocube cube(config);
+    cube.loadNetwork(net, data);
+    cube.setInput(input);
+    return cube.runForward();
+}
+
+/** Print one standard per-layer result block (Fig. 12/13 panels). */
+inline void
+printLayerPanels(const RunResult &run, const char *title)
+{
+    std::printf("\n--- %s ---\n", title);
+    TextTable table({"layer", "ops (M)", "cycles (K)", "GOPs/s@5GHz",
+                     "memory (MB)", "dup overhead (MB)",
+                     "lateral %"});
+    for (const LayerResult &l : run.layers) {
+        table.addRow({l.name, formatDouble(double(l.ops) / 1e6, 2),
+                      formatDouble(double(l.cycles) / 1e3, 1),
+                      formatDouble(l.gopsPerSecond(), 1),
+                      formatDouble(double(l.memoryBytes) / (1 << 20),
+                                   2),
+                      formatDouble(double(l.duplicationBytes)
+                                       / (1 << 20),
+                                   3),
+                      formatDouble(100.0 * l.lateralFraction(), 1)});
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("total: %.1f MOp, %.1f Kcycles, %.1f GOPs/s @5GHz "
+                "(28nm @300MHz: %.1f GOPs/s)\n",
+                double(run.totalOps()) / 1e6,
+                double(run.totalCycles()) / 1e3,
+                run.gopsPerSecond(), run.gopsPerSecond(0.3));
+}
+
+/**
+ * Standard bench entry: with any --benchmark_* flag the registered
+ * google-benchmark timings run; the bare invocation prints the
+ * paper-table reproduction instead (what `ctest`-style batch runs
+ * and EXPERIMENTS.md use).
+ */
+inline bool
+wantsGoogleBenchmark(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--benchmark", 0) == 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace neurocube::bench
+
+#endif // NEUROCUBE_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reproduces Fig. 12: Neurocube inference of the scene-labeling
+ * ConvNN — per-layer (a) operation counts, (b) clock cycles,
+ * (c) throughput and (d) memory requirement with duplication
+ * overhead, both with and without data duplication. Also reports the
+ * Section VI-3 image-processing frame rates at the 28 nm and 15 nm
+ * design points.
+ *
+ * Paper anchors: 132.4 GOPs/s with duplication, 111.4 without;
+ * inference at 17.52 frames/s (28 nm) and 292.14 frames/s (15 nm).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "power/power_model.hh"
+
+namespace
+{
+
+using namespace neurocube;
+using namespace neurocube::bench;
+
+NetworkDesc
+workload()
+{
+    unsigned w, h;
+    inferenceInputSize(w, h);
+    return sceneLabelingNetwork(w, h);
+}
+
+void
+BM_InferenceDuplicated(benchmark::State &state)
+{
+    NetworkDesc net = workload();
+    for (auto _ : state) {
+        NeurocubeConfig config;
+        RunResult run = runForward(config, net);
+        state.counters["GOPs/s@5GHz"] = run.gopsPerSecond();
+        state.counters["cycles"] = double(run.totalCycles());
+    }
+}
+BENCHMARK(BM_InferenceDuplicated)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void
+BM_InferenceNoDuplication(benchmark::State &state)
+{
+    NetworkDesc net = workload();
+    for (auto _ : state) {
+        NeurocubeConfig config;
+        config.mapping.duplicateConvHalo = false;
+        config.mapping.duplicateFcInput = false;
+        RunResult run = runForward(config, net);
+        state.counters["GOPs/s@5GHz"] = run.gopsPerSecond();
+        state.counters["cycles"] = double(run.totalCycles());
+    }
+}
+BENCHMARK(BM_InferenceNoDuplication)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void
+printFigure()
+{
+    NetworkDesc net = workload();
+    std::printf("\n=== Fig. 12: scene-labeling inference (%s input) "
+                "===\n",
+                quickMode() ? "reduced 160x120" : "320x240");
+
+    NeurocubeConfig dup;
+    RunResult with_dup = runForward(dup, net);
+    printLayerPanels(with_dup, "with data duplication (black bars)");
+
+    NeurocubeConfig nodup;
+    nodup.mapping.duplicateConvHalo = false;
+    nodup.mapping.duplicateFcInput = false;
+    RunResult without = runForward(nodup, net);
+    printLayerPanels(without, "without data duplication (gray bars)");
+
+    PowerModel m28(TechNode::Nm28), m15(TechNode::Nm15);
+    std::printf("\nimage throughput (frames/s): 28nm %.2f, 15nm "
+                "%.2f  (paper: 17.52 / 292.14)\n",
+                with_dup.framesPerSecond(m28.throughputClockGhz()),
+                with_dup.framesPerSecond(m15.throughputClockGhz()));
+    std::printf("paper anchors: 132.4 GOPs/s (dup), 111.4 GOPs/s "
+                "(no dup) at the 5 GHz / 15nm point\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (neurocube::bench::wantsGoogleBenchmark(argc, argv)) {
+        ::benchmark::Initialize(&argc, argv);
+        ::benchmark::RunSpecifiedBenchmarks();
+        return 0;
+    }
+    printFigure();
+    return 0;
+}

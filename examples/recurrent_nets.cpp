@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The paper's Section-VI extension claims, executed: an RNN unfolded
+ * in time and an LSTM realized through per-pass LUT reprogramming,
+ * both running on the Neurocube and checked bit-for-bit against the
+ * sequential reference.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/recurrent.hh"
+#include "nn/reference.hh"
+
+using namespace neurocube;
+
+namespace
+{
+
+std::vector<Tensor>
+sineSequence(unsigned size, unsigned steps)
+{
+    std::vector<Tensor> seq;
+    for (unsigned t = 0; t < steps; ++t) {
+        Tensor x(1, 1, size);
+        for (unsigned i = 0; i < size; ++i) {
+            x.at(0, 0, i) = Fixed::fromDouble(
+                0.8 * std::sin(0.3 * double(t) + 0.5 * double(i)));
+        }
+        seq.push_back(x);
+    }
+    return seq;
+}
+
+size_t
+compareStates(const std::vector<Tensor> &a,
+              const std::vector<Tensor> &b)
+{
+    size_t mismatches = 0;
+    for (size_t t = 0; t < a.size(); ++t)
+        for (unsigned j = 0; j < a[t].width(); ++j)
+            if (!(a[t].at(0, 0, j) == b[t].at(0, 0, j)))
+                ++mismatches;
+    return mismatches;
+}
+
+} // namespace
+
+int
+main()
+{
+    const unsigned steps = 8;
+
+    // --- Vanilla RNN: one FC pass per unfolded time step.
+    RnnDesc rnn;
+    rnn.inputSize = 16;
+    rnn.hiddenSize = 32;
+    rnn.timeSteps = steps;
+
+    Rng rng(90);
+    std::vector<Fixed> w(rnn.weightCount());
+    for (Fixed &v : w)
+        v = Fixed::fromDouble(rng.uniform(-0.15, 0.15));
+    auto inputs = sineSequence(16, steps);
+
+    NeurocubeConfig config;
+    Neurocube cube(config);
+    std::vector<Tensor> rnn_states;
+    RunResult rnn_run = runRnn(cube, rnn, w, inputs, &rnn_states);
+    size_t rnn_bad =
+        compareStates(rnn_states, referenceRnn(rnn, w, inputs));
+    std::printf("RNN  %u-%u over %u steps: %zu passes, %.1f KOp, "
+                "%.1f GOPs/s @5GHz, verification %s\n",
+                rnn.inputSize, rnn.hiddenSize, steps,
+                rnn_run.layers.size(),
+                double(rnn_run.totalOps()) / 1e3,
+                rnn_run.gopsPerSecond(),
+                rnn_bad == 0 ? "PASS" : "FAIL");
+
+    // --- LSTM: seven passes per step, LUT swapped per pass.
+    LstmDesc lstm;
+    lstm.inputSize = 16;
+    lstm.hiddenSize = 32;
+    lstm.timeSteps = steps;
+    LstmWeights weights = LstmWeights::randomized(lstm, 91);
+
+    std::vector<Tensor> lstm_states;
+    RunResult lstm_run =
+        runLstm(cube, lstm, weights, inputs, &lstm_states);
+    size_t lstm_bad = compareStates(
+        lstm_states, referenceLstm(lstm, weights, inputs));
+    std::printf("LSTM %u-%u over %u steps: %zu passes, %.1f KOp, "
+                "%.1f GOPs/s @5GHz, verification %s\n",
+                lstm.inputSize, lstm.hiddenSize, steps,
+                lstm_run.layers.size(),
+                double(lstm_run.totalOps()) / 1e3,
+                lstm_run.gopsPerSecond(),
+                lstm_bad == 0 ? "PASS" : "FAIL");
+
+    std::printf("\nFinal hidden state h[%u] (first 8 lanes): ",
+                steps - 1);
+    for (unsigned j = 0; j < 8; ++j)
+        std::printf("%+.3f ",
+                    lstm_states.back().at(0, 0, j).toDouble());
+    std::printf("\n");
+    std::printf("No architectural changes were needed: connectivity "
+                "(unfolding), activation (LUT reprogramming) and the "
+                "gate products (per-neuron weights) are all host "
+                "programming choices, as the paper argues.\n");
+
+    return (rnn_bad == 0 && lstm_bad == 0) ? 0 : 1;
+}

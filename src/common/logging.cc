@@ -1,0 +1,86 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+namespace neurocube
+{
+
+namespace
+{
+
+std::mutex log_mutex;
+bool capture_enabled = false;
+std::string captured;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogCapture(bool capture)
+{
+    std::lock_guard<std::mutex> guard(log_mutex);
+    capture_enabled = capture;
+    captured.clear();
+}
+
+std::string
+takeCapturedLog()
+{
+    std::lock_guard<std::mutex> guard(log_mutex);
+    std::string out;
+    out.swap(captured);
+    return out;
+}
+
+namespace detail
+{
+
+void
+logMessage(LogLevel level, const char *file, int line,
+           const char *fmt, ...)
+{
+    char body[2048];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(body, sizeof(body), fmt, args);
+    va_end(args);
+
+    std::ostringstream record;
+    record << levelName(level) << ": " << body;
+    if (level == LogLevel::Fatal || level == LogLevel::Panic)
+        record << " @ " << file << ":" << line;
+    record << "\n";
+
+    {
+        std::lock_guard<std::mutex> guard(log_mutex);
+        if (capture_enabled && level != LogLevel::Fatal &&
+            level != LogLevel::Panic) {
+            captured += record.str();
+        } else {
+            std::fputs(record.str().c_str(), stderr);
+        }
+    }
+
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+    if (level == LogLevel::Panic)
+        std::abort();
+}
+
+} // namespace detail
+
+} // namespace neurocube

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Status/error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * Two terminating reporters are provided:
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid argument). Exits with code 1.
+ *  - panic():  something happened that should never happen regardless
+ *              of user input (a simulator bug). Calls std::abort().
+ *
+ * Two non-terminating reporters:
+ *  - warn():   functionality that may not behave exactly as intended.
+ *  - inform(): normal operating status messages.
+ */
+
+#ifndef NEUROCUBE_COMMON_LOGGING_HH
+#define NEUROCUBE_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace neurocube
+{
+
+/** Severity levels used by the message sink. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail
+{
+
+/**
+ * Format and emit one log record; terminates the process for
+ * LogLevel::Fatal (exit(1)) and LogLevel::Panic (abort()).
+ *
+ * @param level severity of the record
+ * @param file source file emitting the record
+ * @param line source line emitting the record
+ * @param fmt printf-style format string
+ */
+[[gnu::format(printf, 4, 5)]]
+void logMessage(LogLevel level, const char *file, int line,
+                const char *fmt, ...);
+
+} // namespace detail
+
+/**
+ * Redirect warn()/inform() records into an in-memory buffer (used by
+ * unit tests to assert on emitted diagnostics).
+ *
+ * @param capture true to buffer records, false to write to stderr
+ */
+void setLogCapture(bool capture);
+
+/** Drain and return the records buffered while capture was enabled. */
+std::string takeCapturedLog();
+
+} // namespace neurocube
+
+/** Report an unrecoverable user error and exit(1). */
+#define nc_fatal(...) \
+    ::neurocube::detail::logMessage(::neurocube::LogLevel::Fatal, \
+                                    __FILE__, __LINE__, __VA_ARGS__)
+
+/** Report a simulator bug and abort(). */
+#define nc_panic(...) \
+    ::neurocube::detail::logMessage(::neurocube::LogLevel::Panic, \
+                                    __FILE__, __LINE__, __VA_ARGS__)
+
+/** Report a suspicious-but-survivable condition. */
+#define nc_warn(...) \
+    ::neurocube::detail::logMessage(::neurocube::LogLevel::Warn, \
+                                    __FILE__, __LINE__, __VA_ARGS__)
+
+/** Report normal operating status. */
+#define nc_inform(...) \
+    ::neurocube::detail::logMessage(::neurocube::LogLevel::Inform, \
+                                    __FILE__, __LINE__, __VA_ARGS__)
+
+/** panic() unless the given invariant holds. */
+#define nc_assert(cond, fmt, ...) \
+    do { \
+        if (!(cond)) { \
+            nc_panic("assertion '%s' failed: " fmt, \
+                     #cond __VA_OPT__(,) __VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // NEUROCUBE_COMMON_LOGGING_HH

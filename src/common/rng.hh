@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for synthetic workloads.
+ *
+ * A fixed, seedable generator (xoshiro256**) keeps every test, example
+ * and benchmark bit-reproducible across platforms, unlike
+ * std::default_random_engine whose behaviour is implementation-defined.
+ */
+
+#ifndef NEUROCUBE_COMMON_RNG_HH
+#define NEUROCUBE_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace neurocube
+{
+
+/** Seedable xoshiro256** generator with convenience distributions. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        auto rotl = [](uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_COMMON_RNG_HH

@@ -1,0 +1,147 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace neurocube
+{
+
+Stat::Stat(StatGroup *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    nc_assert(parent != nullptr, "stat '%s' needs a group", name_.c_str());
+    parent->addStat(this);
+}
+
+StatGroup::StatGroup(StatGroup *parent, std::string name)
+    : name_(std::move(name))
+{
+    if (parent)
+        parent->addChild(this);
+}
+
+void
+StatGroup::addStat(Stat *stat)
+{
+    nc_assert(findStat(stat->name()) == nullptr,
+              "duplicate stat '%s' in group '%s'",
+              stat->name().c_str(), name_.c_str());
+    stats_.push_back(stat);
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+const Stat *
+StatGroup::findStat(const std::string &name) const
+{
+    for (const Stat *stat : stats_) {
+        if (stat->name() == name)
+            return stat;
+    }
+    return nullptr;
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string path = prefix;
+    if (!name_.empty())
+        path += (path.empty() ? "" : ".") + name_;
+
+    for (const Stat *stat : stats_) {
+        std::string full = path.empty() ? stat->name()
+                                        : path + "." + stat->name();
+        os << std::left << std::setw(44) << full << " "
+           << std::right << std::setw(16) << stat->value()
+           << "  # " << stat->desc() << "\n";
+    }
+    for (const StatGroup *child : children_)
+        child->dump(os, path);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Stat *stat : stats_)
+        stat->reset();
+    for (StatGroup *child : children_)
+        child->resetAll();
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    nc_assert(cells.size() == headers_.size(),
+              "row has %zu cells, table has %zu columns",
+              cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "| " : " ");
+            os << std::left << std::setw(int(widths[c])) << cells[c];
+            os << " |";
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        os << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-')
+           << "|";
+    }
+    os << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+formatCount(uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    int run = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (run != 0 && run % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++run;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+} // namespace neurocube

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Lightweight statistics framework for the cycle-level simulator.
+ *
+ * Components own named Counter/Scalar statistics registered with a
+ * StatGroup; groups form a tree so the top-level Neurocube object can
+ * dump the complete hierarchy after a run. A TextTable helper renders
+ * the paper-style result tables emitted by the benchmark harnesses.
+ */
+
+#ifndef NEUROCUBE_COMMON_STATS_HH
+#define NEUROCUBE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace neurocube
+{
+
+class StatGroup;
+
+/**
+ * A single named statistic: a 64-bit count or a double-valued scalar.
+ */
+class Stat
+{
+  public:
+    /**
+     * Create a statistic and register it with its owning group.
+     *
+     * @param parent group the statistic belongs to
+     * @param name short identifier, unique within the group
+     * @param desc human-readable description for dumps
+     */
+    Stat(StatGroup *parent, std::string name, std::string desc);
+
+    /** Increment by an integer amount. */
+    void operator+=(uint64_t amount) { value_ += double(amount); }
+    /** Increment by a floating-point amount. */
+    void add(double amount) { value_ += amount; }
+    /** Overwrite the value (for derived/sampled statistics). */
+    void set(double value) { value_ = value; }
+
+    /** Current value as a double. */
+    double value() const { return value_; }
+    /** Current value rounded to a count. */
+    uint64_t count() const { return static_cast<uint64_t>(value_); }
+
+    /** The short identifier. */
+    const std::string &name() const { return name_; }
+    /** The description string. */
+    const std::string &desc() const { return desc_; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0.0; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double value_ = 0.0;
+};
+
+/**
+ * A node in the statistics hierarchy.
+ *
+ * Non-owning: the registered Stat and child-group objects must outlive
+ * the group, which is naturally satisfied when they are members of the
+ * same component object.
+ */
+class StatGroup
+{
+  public:
+    /**
+     * Create a group.
+     *
+     * @param parent enclosing group, or nullptr for a root
+     * @param name path component used when dumping
+     */
+    explicit StatGroup(StatGroup *parent = nullptr,
+                       std::string name = "");
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register a statistic (called from the Stat constructor). */
+    void addStat(Stat *stat);
+    /** Register a child group. */
+    void addChild(StatGroup *child);
+
+    /** Look up a direct statistic by name; nullptr when absent. */
+    const Stat *findStat(const std::string &name) const;
+
+    /**
+     * Recursively write "path.name value # desc" lines.
+     *
+     * @param os destination stream
+     * @param prefix path accumulated from ancestor groups
+     */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Recursively reset every statistic in the subtree. */
+    void resetAll();
+
+    /** The group's path component. */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<Stat *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+/**
+ * Fixed-width text table used by the bench harnesses to print
+ * paper-style result tables.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; the cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment and a header separator. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision (benchmark table cells). */
+std::string formatDouble(double value, int precision = 2);
+
+/** Format a count with thousands separators (e.g. 73,476). */
+std::string formatCount(uint64_t value);
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_COMMON_STATS_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Closed-form throughput estimator.
+ *
+ * Estimates a layer's execution cycles from first principles — DRAM
+ * streaming bound with burst gaps, NoC lateral-traffic bound, and
+ * pipeline fill/drain — without running the cycle engine. Used to
+ * cross-check the simulator (they must agree within a modest band)
+ * and to extend parameter sweeps beyond what cycle simulation can
+ * cover in reasonable wall-clock time.
+ */
+
+#ifndef NEUROCUBE_CORE_ANALYTIC_MODEL_HH
+#define NEUROCUBE_CORE_ANALYTIC_MODEL_HH
+
+#include "core/config.hh"
+#include "nn/layer.hh"
+
+namespace neurocube
+{
+
+/** Analytic cycle estimate for one layer. */
+struct AnalyticEstimate
+{
+    /** Estimated reference-clock cycles. */
+    Tick cycles = 0;
+    /** Arithmetic operations (2 per MAC op). */
+    uint64_t ops = 0;
+    /** Estimated fraction of operand traffic that is lateral. */
+    double lateralFraction = 0.0;
+
+    /** Estimated throughput at the reference clock. */
+    double
+    gopsPerSecond(double clock_ghz = referenceClockHz / 1e9) const
+    {
+        if (cycles == 0)
+            return 0.0;
+        return double(ops) / (double(cycles) / (clock_ghz * 1e9))
+             / 1e9;
+    }
+};
+
+/**
+ * Estimate one layer's execution.
+ *
+ * @param layer descriptor
+ * @param config machine configuration (memory, NoC, mapping)
+ */
+AnalyticEstimate analyticLayerEstimate(const LayerDesc &layer,
+                                       const NeurocubeConfig &config);
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_CORE_ANALYTIC_MODEL_HH

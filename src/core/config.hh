@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Top-level machine configuration.
+ *
+ * Gathers the structural parameters of every substrate: the DRAM
+ * technology (vault count, timing), the NoC topology, the PE and PNG
+ * micro-parameters, the data-mapping policy, and the attachment of
+ * memory channels to mesh nodes. The defaults instantiate the paper's
+ * machine: 16 HMC vaults, one 16-MAC PE per vault, 4x4 mesh.
+ */
+
+#ifndef NEUROCUBE_CORE_CONFIG_HH
+#define NEUROCUBE_CORE_CONFIG_HH
+
+#include <vector>
+
+#include "dram/dram_params.hh"
+#include "nn/mapping.hh"
+#include "noc/fabric.hh"
+#include "pe/pe.hh"
+#include "png/png.hh"
+
+namespace neurocube
+{
+
+/** Structural + policy configuration of one Neurocube instance. */
+struct NeurocubeConfig
+{
+    /** Memory technology (channel count lives here). */
+    DramParams dram = DramParams::hmcInternal();
+
+    /** Processing elements on the logic die. */
+    unsigned numPes = 16;
+
+    /** NoC structure (numNodes is forced to numPes). */
+    NocFabric::Config noc;
+
+    /** PE micro-parameters. */
+    PeParams pe;
+
+    /** PNG micro-parameters. */
+    PngParams png;
+
+    /** Data placement policy (duplication knobs). */
+    MappingPolicy mapping;
+
+    /**
+     * Program full (cross-map) convolutions as one pass per
+     * (outMap, inMap) pair with partial sums accumulated through
+     * memory, instead of the default single pass per output map with
+     * k*k*inMaps connections. Exercises the partial-sum dataflow;
+     * costs extra passes and intermediate Q1.7.8 truncation.
+     */
+    bool splitFullConvPasses = false;
+
+    /**
+     * Mesh node each memory channel attaches to. Empty = identity
+     * (channel i at node i), which requires numChannels == numPes.
+     * For scarcer channels (DDR3) the compiler places them evenly.
+     */
+    std::vector<unsigned> memoryNodes;
+
+    /**
+     * Host programming cost charged per pass, in reference ticks
+     * (writing the PNG configuration registers, Fig. 8c).
+     */
+    Tick configTicksPerPass = 64;
+
+    /** Resolve memoryNodes (filling the default placement). */
+    std::vector<unsigned>
+    resolvedMemoryNodes() const
+    {
+        if (!memoryNodes.empty())
+            return memoryNodes;
+        std::vector<unsigned> nodes(dram.numChannels);
+        for (unsigned c = 0; c < dram.numChannels; ++c) {
+            // Spread channels evenly across the node space.
+            nodes[c] = unsigned((uint64_t(2 * c + 1) * numPes)
+                                / (2 * dram.numChannels));
+        }
+        return nodes;
+    }
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_CORE_CONFIG_HH

@@ -1,0 +1,531 @@
+#include "core/layer_compiler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace neurocube
+{
+
+namespace
+{
+
+/** Output rectangle of a layer (1 x N for fully connected). */
+Rect
+layerOutRect(const LayerDesc &layer)
+{
+    if (layer.type == LayerType::FullyConnected)
+        return {0, 0, int32_t(layer.outMaps), 1};
+    return {0, 0, int32_t(layer.outWidth()),
+            int32_t(layer.outHeight())};
+}
+
+/** Output plane count (FC outputs are a single vector plane). */
+unsigned
+layerOutPlanes(const LayerDesc &layer)
+{
+    return layer.type == LayerType::FullyConnected ? 1
+                                                   : layer.outMaps;
+}
+
+/** Out pixels whose receptive fields touch the given input tile. */
+Rect
+reachableOutputs(const LayerDesc &layer, const Rect &in_tile,
+                 const Rect &out_rect)
+{
+    int32_t s = int32_t(layer.stride);
+    int32_t k = int32_t(layer.kernel);
+    // x*s + dx in [ix0, ix0+iw) for some dx in [0, k)
+    int32_t lo_x = (in_tile.x0 - k + s) / s; // ceil((ix0-k+1)/s)
+    int32_t hi_x = (in_tile.x0 + in_tile.w - 1) / s;
+    int32_t lo_y = (in_tile.y0 - k + s) / s;
+    int32_t hi_y = (in_tile.y0 + in_tile.h - 1) / s;
+    Rect r{lo_x, lo_y, hi_x - lo_x + 1, hi_y - lo_y + 1};
+    return r.expandedWithin(0, out_rect);
+}
+
+/** Smallest rectangle containing both arguments. */
+Rect
+boundingUnion(const Rect &a, const Rect &b)
+{
+    if (a.count() == 0)
+        return b;
+    if (b.count() == 0)
+        return a;
+    int32_t x0 = std::min(a.x0, b.x0);
+    int32_t y0 = std::min(a.y0, b.y0);
+    int32_t x1 = std::max(a.x0 + a.w, b.x0 + b.w);
+    int32_t y1 = std::max(a.y0 + a.h, b.y0 + b.h);
+    return {x0, y0, x1 - x0, y1 - y0};
+}
+
+} // namespace
+
+LayerCompiler::LayerCompiler(const NeurocubeConfig &config)
+    : config_(config)
+{
+}
+
+std::vector<Conn>
+LayerCompiler::buildConns(const LayerDesc &layer, unsigned pass) const
+{
+    const bool split = config_.splitFullConvPasses;
+    std::vector<Conn> conns;
+    auto spatial = [&](uint16_t im) {
+        for (unsigned dy = 0; dy < layer.kernel; ++dy) {
+            for (unsigned dx = 0; dx < layer.kernel; ++dx) {
+                conns.push_back({Conn::Source::Input, im,
+                                 int16_t(dx), int16_t(dy)});
+            }
+        }
+    };
+    switch (layer.type) {
+      case LayerType::Conv2D:
+        if (layer.channelwise) {
+            spatial(uint16_t(pass % layer.inMaps));
+        } else if (!split) {
+            // One pass per output map, connections spanning every
+            // input map (fc1's 256-connection programming).
+            for (unsigned im = 0; im < layer.inMaps; ++im)
+                spatial(uint16_t(im));
+        } else {
+            unsigned im = pass % layer.inMaps;
+            spatial(uint16_t(im));
+            if (im > 0) {
+                // Accumulate the previous passes' partial sum.
+                conns.push_back({Conn::Source::Partial, 0, 0, 0});
+            }
+        }
+        break;
+      case LayerType::Pool:
+        for (unsigned dy = 0; dy < layer.kernel; ++dy) {
+            for (unsigned dx = 0; dx < layer.kernel; ++dx) {
+                conns.push_back({Conn::Source::Input, uint16_t(pass),
+                                 int16_t(dx), int16_t(dy)});
+            }
+        }
+        break;
+      case LayerType::FullyConnected:
+        // Plane-major flattening (map, y, x) — the weight layout
+        // contract shared with the reference model.
+        for (unsigned m = 0; m < layer.inMaps; ++m) {
+            for (unsigned y = 0; y < layer.inHeight; ++y) {
+                for (unsigned x = 0; x < layer.inWidth; ++x) {
+                    conns.push_back({Conn::Source::Input, uint16_t(m),
+                                     int16_t(x), int16_t(y)});
+                }
+            }
+        }
+        break;
+    }
+    return conns;
+}
+
+LayerCompiler::ChannelLayout
+LayerCompiler::layoutChannel(const LayerDesc &layer,
+                             const LayerMapping &mapping,
+                             const std::vector<Fixed> &weights,
+                             const Tensor &input, unsigned channel,
+                             const Rect &out_rect, unsigned out_planes,
+                             BackingStore &store) const
+{
+    ChannelLayout layout;
+    store.clear();
+
+    // Constant 1.0 for partial-sum connections.
+    Region ones = store.allocate(1);
+    layout.onesAddr = ones.base;
+    store.write(ones.base, Fixed::fromDouble(1.0));
+
+    // Input planes: the stored rectangle for every input map. Layers
+    // whose connections span every map at one pixel (1x1 full
+    // convolutions — the per-pixel classifiers and the LSTM gate
+    // products) use the pixel-major layout so their operand stream
+    // walks DRAM rows sequentially.
+    const Rect &stored = mapping.storedInput[channel];
+    layout.input.region =
+        store.allocate(stored.count() * layer.inMaps);
+    layout.input.stored = stored;
+    layout.input.planes = layer.inMaps;
+    layout.input.pixelMajor = layer.type == LayerType::Conv2D
+        && !layer.channelwise && layer.kernel == 1;
+    for (unsigned m = 0; m < layer.inMaps; ++m) {
+        for (int32_t y = stored.y0; y < stored.y0 + stored.h; ++y) {
+            for (int32_t x = stored.x0; x < stored.x0 + stored.w;
+                 ++x) {
+                store.write(layout.input.addrOf(m, x, y),
+                            input.at(m, unsigned(y), unsigned(x)));
+            }
+        }
+    }
+
+    // Weights. Fully connected matrices are stored group-blocked and
+    // MAC-minor (see PngProgram::weightInterleaved) so the FSM's
+    // MAC-innermost address stream walks DRAM rows sequentially.
+    const unsigned group = 16; // MACs per PE group
+    if (layer.type == LayerType::Conv2D && layer.perNeuronWeights) {
+        // Per-neuron weights, partitioned with the output tile and
+        // stored group-blocked/MAC-minor per pass (output map).
+        Rect tile = mapping.outTiles.tile(channel);
+        uint64_t conns = layer.connectionsPerNeuron();
+        uint64_t neurons = layer.neuronsPerMap();
+        uint64_t blocks = (tile.count() + group - 1) / group;
+        uint64_t pass_elems = blocks * group * conns;
+        layout.weights =
+            store.allocate(std::max<uint64_t>(1,
+                                              pass_elems
+                                                  * layer.outMaps));
+        for (unsigned om = 0; om < layer.outMaps; ++om) {
+            uint64_t walk = 0;
+            for (int32_t y = tile.y0; y < tile.y0 + tile.h; ++y) {
+                for (int32_t x = tile.x0; x < tile.x0 + tile.w;
+                     ++x, ++walk) {
+                    uint64_t n = uint64_t(y) * layer.outWidth() + x;
+                    for (uint64_t c = 0; c < conns; ++c) {
+                        Addr addr = layout.weights.base
+                            + uint64_t(om) * pass_elems
+                            + (walk / group) * conns * group
+                            + c * group + walk % group;
+                        store.write(
+                            addr,
+                            weights[(uint64_t(om) * neurons + n)
+                                        * conns + c]);
+                    }
+                }
+            }
+        }
+    } else if (layer.type != LayerType::FullyConnected) {
+        uint64_t welems = mapping.weightElements[channel];
+        layout.weights = store.allocate(welems);
+        // Shared kernels: the full layer block, duplicated per vault.
+        nc_assert(welems == weights.size(),
+                  "shared weight block size mismatch");
+        for (uint64_t i = 0; i < welems; ++i)
+            store.write(layout.weights.base + i, weights[i]);
+    } else {
+        uint64_t n = layer.connectionsPerNeuron();
+        auto interleaved = [&](uint64_t walk, uint64_t col,
+                               uint64_t slice) {
+            return layout.weights.base
+                + (walk / group) * slice * group + col * group
+                + walk % group;
+        };
+        if (mapping.duplicated) {
+            // Rows of this channel's own output neurons (Fig. 10d).
+            Rect tile = mapping.outTiles.tile(channel);
+            uint64_t blocks = (uint64_t(tile.w) + group - 1) / group;
+            layout.weights = store.allocate(blocks * group * n);
+            uint64_t walk = 0;
+            for (int32_t o = tile.x0; o < tile.x0 + tile.w;
+                 ++o, ++walk) {
+                for (uint64_t c = 0; c < n; ++c) {
+                    store.write(interleaved(walk, c, n),
+                                weights[uint64_t(o) * n + c]);
+                }
+            }
+        } else {
+            // Columns of this channel's input slice, all rows
+            // (Fig. 10e). Column order follows the plane-major
+            // connection enumeration restricted to owned pixels.
+            Rect owned = mapping.inTiles.tile(channel);
+            std::vector<uint64_t> owned_cols;
+            for (unsigned m = 0; m < layer.inMaps; ++m) {
+                for (unsigned y = 0; y < layer.inHeight; ++y) {
+                    for (unsigned x = 0; x < layer.inWidth; ++x) {
+                        if (owned.contains(int32_t(x), int32_t(y))) {
+                            owned_cols.push_back(
+                                (uint64_t(m) * layer.inHeight + y)
+                                    * layer.inWidth + x);
+                        }
+                    }
+                }
+            }
+            uint64_t slice = owned_cols.size();
+            uint64_t blocks =
+                (uint64_t(layer.outMaps) + group - 1) / group;
+            layout.weights =
+                store.allocate(std::max<uint64_t>(1, blocks * group
+                                                         * slice));
+            for (unsigned o = 0; o < layer.outMaps; ++o) {
+                for (uint64_t j = 0; j < slice; ++j) {
+                    store.write(interleaved(o, j, slice),
+                                weights[uint64_t(o) * n
+                                        + owned_cols[j]]);
+                }
+            }
+        }
+    }
+
+    // Output planes for this channel's own output tile, zeroed.
+    Rect out_tile = mapping.outTiles.tile(channel);
+    layout.output.region =
+        store.allocate(out_tile.count() * out_planes);
+    layout.output.stored = out_tile;
+    layout.output.planes = out_planes;
+    for (uint64_t i = 0; i < out_tile.count() * out_planes; ++i)
+        store.write(layout.output.region.base + i, Fixed());
+    (void)out_rect;
+    return layout;
+}
+
+CompiledLayer
+LayerCompiler::compile(const LayerDesc &layer,
+                       const std::vector<Fixed> &weights,
+                       const Tensor &input,
+                       std::vector<BackingStore *> &stores) const
+{
+    layer.validate();
+    const unsigned num_channels = config_.dram.numChannels;
+    const unsigned num_pes = config_.numPes;
+    nc_assert(stores.size() == num_channels,
+              "store count %zu != channel count %u", stores.size(),
+              num_channels);
+
+    CompiledLayer compiled;
+    compiled.desc = layer;
+    compiled.mapping =
+        buildLayerMapping(layer, config_.mapping, num_channels);
+    compiled.outRect = layerOutRect(layer);
+    compiled.outPlanes = layerOutPlanes(layer);
+
+    // Destination partition across PEs (may be finer than channels).
+    unsigned pe_gw, pe_gh;
+    tileGridShape(num_pes, compiled.outRect, pe_gw, pe_gh);
+    TileMap pe_tiles = TileMap::grid(compiled.outRect, pe_gw, pe_gh);
+
+    std::vector<unsigned> mem_nodes = config_.resolvedMemoryNodes();
+    std::vector<uint16_t> home_nodes(mem_nodes.begin(),
+                                     mem_nodes.end());
+
+    // Host mapping step: lay out and write every channel's data.
+    std::vector<ChannelLayout> layouts;
+    layouts.reserve(num_channels);
+    for (unsigned ch = 0; ch < num_channels; ++ch) {
+        layouts.push_back(layoutChannel(layer, compiled.mapping,
+                                        weights, input, ch,
+                                        compiled.outRect,
+                                        compiled.outPlanes,
+                                        *stores[ch]));
+        compiled.outputStorage.push_back(layouts.back().output);
+    }
+
+    const bool fc = layer.type == LayerType::FullyConnected;
+    const bool per_neuron = layer.type == LayerType::Conv2D
+        && layer.perNeuronWeights;
+    const bool shared_kernels = !fc && !per_neuron;
+    const bool duplicate = compiled.mapping.duplicated
+        || (fc ? config_.mapping.duplicateFcInput
+               : config_.mapping.duplicateConvHalo);
+    const bool stream_weights =
+        !(config_.mapping.weightsInPeMemory && shared_kernels);
+    const uint64_t kk = uint64_t(layer.kernel) * layer.kernel;
+
+    // Per-channel FC column remaps (built once, shared by the pass).
+    std::vector<std::vector<uint32_t>> fc_conn_maps(num_channels);
+    std::vector<uint64_t> fc_slice(num_channels, 0);
+    if (fc && !duplicate) {
+        for (unsigned ch = 0; ch < num_channels; ++ch) {
+            Rect owned = compiled.mapping.inTiles.tile(ch);
+            auto &map = fc_conn_maps[ch];
+            map.assign(layer.connectionsPerNeuron(), ~0u);
+            uint32_t dense = 0;
+            uint64_t c = 0;
+            for (unsigned m = 0; m < layer.inMaps; ++m) {
+                for (unsigned y = 0; y < layer.inHeight; ++y) {
+                    for (unsigned x = 0; x < layer.inWidth;
+                         ++x, ++c) {
+                        if (owned.contains(int32_t(x), int32_t(y)))
+                            map[c] = dense++;
+                    }
+                }
+            }
+            fc_slice[ch] = dense;
+        }
+    }
+
+    const bool split_full = config_.splitFullConvPasses
+        && layer.type == LayerType::Conv2D && !layer.channelwise
+        && !per_neuron;
+    // The FSM's plane loop executes every output map of a conv/pool
+    // layer in one program (the paper programs each LAYER once);
+    // split-full mode keeps one program per (outMap, inMap) pass.
+    const bool collapse = !fc && !split_full;
+    unsigned num_passes = split_full
+        ? layer.outMaps * layer.inMaps
+        : (fc ? 1u : 1u);
+    const unsigned program_planes =
+        collapse ? layer.outMaps : 1u;
+
+    // Weights consumed per plane (for the plane-local window).
+    uint64_t pass_weights = kk;
+    if (layer.type == LayerType::Conv2D && !layer.channelwise
+        && !split_full) {
+        pass_weights = kk * layer.inMaps;
+    } else if (layer.type == LayerType::Pool) {
+        pass_weights = 0; // all planes share the one kernel
+    }
+
+    for (unsigned pass = 0; pass < num_passes; ++pass) {
+        CompiledPass cp;
+        std::vector<Conn> conns = buildConns(layer, pass);
+
+        uint64_t pass_weight_offset = uint64_t(pass) * pass_weights;
+        uint64_t pass_weight_count =
+            layer.type == LayerType::Pool ? kk : pass_weights;
+
+        unsigned out_plane =
+            fc ? 0 : (split_full ? pass / layer.inMaps : 0);
+        bool final_pass = !split_full
+            || (pass % layer.inMaps) == layer.inMaps - 1;
+
+        cp.programs.resize(num_channels);
+        for (unsigned ch = 0; ch < num_channels; ++ch) {
+            PngProgram &prog = cp.programs[ch];
+            const ChannelLayout &layout = layouts[ch];
+
+            prog.conns = conns;
+            prog.strideX = fc ? 0 : layer.stride;
+            prog.strideY = fc ? 0 : layer.stride;
+            prog.input = layout.input;
+            prog.output = layout.output;
+            prog.outPlane = out_plane;
+            prog.onesAddr = layout.onesAddr;
+            prog.outTiles = pe_tiles;
+            prog.homeTiles = compiled.mapping.outTiles;
+            prog.homeNode = home_nodes;
+            prog.activation = final_pass ? layer.activation
+                                         : ActivationKind::Identity;
+            prog.outMapWidth = uint32_t(compiled.outRect.w);
+            prog.outPlaneSize = uint32_t(compiled.outRect.count());
+            prog.outPlanes = program_planes;
+            prog.streamWeights = stream_weights;
+            prog.expectedWriteBacks =
+                compiled.mapping.outTiles.tile(ch).count()
+                * program_planes;
+            if (collapse
+                && (layer.channelwise
+                    || layer.type == LayerType::Pool)) {
+                prog.planeInMapModulo = layer.inMaps;
+            }
+
+            if (fc) {
+                prog.weights = layout.weights;
+                prog.weightInterleaved = true;
+                if (duplicate) {
+                    prog.outWalk =
+                        compiled.mapping.outTiles.tile(ch);
+                    prog.filterByInput = false;
+                    prog.weightNeuronStride =
+                        layer.connectionsPerNeuron();
+                    prog.weightConnOffset = 0;
+                } else {
+                    prog.outWalk = compiled.outRect;
+                    prog.filterByInput = true;
+                    prog.ownedInput =
+                        compiled.mapping.inTiles.tile(ch);
+                    prog.weightNeuronStride = fc_slice[ch];
+                    prog.weightConnMap = fc_conn_maps[ch];
+                }
+            } else if (per_neuron) {
+                // 1x1 per-neuron weights: outputs, inputs and
+                // weights all partition identically, so the walk is
+                // the vault's own tile and everything is local.
+                Rect tile = compiled.mapping.outTiles.tile(ch);
+                uint64_t conns_n = layer.connectionsPerNeuron();
+                uint64_t blocks = (tile.count() + 15) / 16;
+                uint64_t pass_elems = blocks * 16 * conns_n;
+                prog.weights = {layout.weights.base, pass_elems};
+                prog.weightPlaneStride = pass_elems;
+                prog.weightNeuronStride = conns_n;
+                prog.weightInterleaved = true;
+                prog.weightConnOffset = 0;
+                prog.outWalk = tile;
+                prog.filterByInput = false;
+            } else {
+                prog.weights = {layout.weights.base
+                                    + pass_weight_offset,
+                                pass_weight_count};
+                prog.weightPlaneStride =
+                    collapse ? pass_weights : 0;
+                prog.weightNeuronStride = 0;
+                prog.weightConnOffset = 0;
+                if (duplicate) {
+                    prog.outWalk =
+                        compiled.mapping.outTiles.tile(ch);
+                    prog.filterByInput = false;
+                } else {
+                    Rect owned = compiled.mapping.inTiles.tile(ch);
+                    prog.ownedInput = owned;
+                    prog.filterByInput = true;
+                    Rect reach = reachableOutputs(layer, owned,
+                                                  compiled.outRect);
+                    // Also walk the own output tile so Partial-sum
+                    // connections are always generated locally.
+                    prog.outWalk = boundingUnion(
+                        reach, compiled.mapping.outTiles.tile(ch));
+                }
+            }
+            prog.enabled = prog.outWalk.count() > 0
+                        && !prog.conns.empty();
+        }
+
+        // PE configurations.
+        cp.peConfigs.resize(num_pes);
+        for (unsigned p = 0; p < num_pes; ++p) {
+            PePassConfig &pc = cp.peConfigs[p];
+            pc.planes = program_planes;
+            pc.numNeurons = uint32_t(pe_tiles.tile(p).count())
+                          * program_planes;
+            pc.connections = uint32_t(conns.size());
+            pc.enabled = pc.numNeurons > 0;
+            if (!stream_weights) {
+                // The PE weight memory holds the whole layer's
+                // kernels, indexed per plane by the PE (pooling
+                // shares one kernel across planes).
+                if (layer.type == LayerType::Pool) {
+                    pc.localWeights.assign(weights.begin(),
+                                           weights.end());
+                } else {
+                    pc.localWeights.assign(
+                        weights.begin() + long(pass_weight_offset),
+                        weights.begin()
+                            + long(pass_weight_offset
+                                   + pass_weights
+                                         * program_planes));
+                }
+                if (conns.size() > pass_weight_count) {
+                    // Partial-sum connection carries weight 1.0.
+                    pc.localWeights.push_back(Fixed::fromDouble(1.0));
+                }
+            }
+        }
+
+        compiled.passes.push_back(std::move(cp));
+    }
+    return compiled;
+}
+
+Tensor
+LayerCompiler::gather(const CompiledLayer &layer,
+                      const std::vector<BackingStore *> &stores) const
+{
+    Tensor out(layer.outPlanes, unsigned(layer.outRect.h),
+               unsigned(layer.outRect.w));
+    for (unsigned ch = 0; ch < stores.size(); ++ch) {
+        const PlaneStorage &storage = layer.outputStorage[ch];
+        const Rect &tile = storage.stored;
+        for (unsigned plane = 0; plane < layer.outPlanes; ++plane) {
+            for (int32_t y = tile.y0; y < tile.y0 + tile.h; ++y) {
+                for (int32_t x = tile.x0; x < tile.x0 + tile.w;
+                     ++x) {
+                    out.at(plane, unsigned(y), unsigned(x)) =
+                        stores[ch]->read(
+                            storage.addrOf(plane, x, y));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace neurocube

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The layer program compiler: the host-side software that maps one
+ * layer onto the cube (paper Section IV-C).
+ *
+ * Given a layer descriptor, its weights, the current activations and
+ * the mapping policy, the compiler:
+ *  1. lays the data structures out in each channel's physical address
+ *     space (input planes with any duplicated halo, the weight
+ *     partition, zeroed output planes, and the constant 1.0 used by
+ *     accumulating passes);
+ *  2. emits one PngProgram per channel per pass and one PePassConfig
+ *     per PE per pass.
+ *
+ * Pass structure:
+ *  - channelwise Conv2D / Pool: one pass per output map;
+ *  - full Conv2D: one pass per (output map, input map) pair, passes
+ *    after the first carrying an extra partial-sum connection;
+ *  - FullyConnected: a single pass.
+ */
+
+#ifndef NEUROCUBE_CORE_LAYER_COMPILER_HH
+#define NEUROCUBE_CORE_LAYER_COMPILER_HH
+
+#include <vector>
+
+#include "core/config.hh"
+#include "dram/backing_store.hh"
+#include "nn/layer.hh"
+#include "nn/mapping.hh"
+#include "nn/tensor.hh"
+#include "pe/pe.hh"
+#include "png/program.hh"
+
+namespace neurocube
+{
+
+/** All programs for one pass. */
+struct CompiledPass
+{
+    /** One program per memory channel. */
+    std::vector<PngProgram> programs;
+    /** One configuration per PE. */
+    std::vector<PePassConfig> peConfigs;
+};
+
+/** A fully compiled layer, ready to execute pass by pass. */
+struct CompiledLayer
+{
+    LayerDesc desc;
+    LayerMapping mapping;
+    std::vector<CompiledPass> passes;
+    /** Per channel: where the layer's outputs live (for gathering). */
+    std::vector<PlaneStorage> outputStorage;
+    /** Output plane count (1 for FC, outMaps otherwise). */
+    unsigned outPlanes = 1;
+    /** Output map rectangle (1 x N for FC). */
+    Rect outRect;
+};
+
+/** Compiles layers onto a machine configuration. */
+class LayerCompiler
+{
+  public:
+    explicit LayerCompiler(const NeurocubeConfig &config);
+
+    /**
+     * Map a layer onto the cube: clears the channel stores, writes
+     * inputs and weights, and builds the per-pass programs.
+     *
+     * @param layer descriptor
+     * @param weights the layer's flat weight block (reference layout)
+     * @param input current activations
+     * @param stores one backing store per memory channel
+     */
+    CompiledLayer compile(const LayerDesc &layer,
+                          const std::vector<Fixed> &weights,
+                          const Tensor &input,
+                          std::vector<BackingStore *> &stores) const;
+
+    /**
+     * Read the layer's output activations back out of the stores
+     * (the host-side gather between layers).
+     */
+    Tensor gather(const CompiledLayer &layer,
+                  const std::vector<BackingStore *> &stores) const;
+
+  private:
+    struct ChannelLayout
+    {
+        Addr onesAddr = 0;
+        PlaneStorage input;
+        Region weights;
+        PlaneStorage output;
+    };
+
+    /** Lay out and write one channel's data. */
+    ChannelLayout layoutChannel(const LayerDesc &layer,
+                                const LayerMapping &mapping,
+                                const std::vector<Fixed> &weights,
+                                const Tensor &input, unsigned channel,
+                                const Rect &out_rect,
+                                unsigned out_planes,
+                                BackingStore &store) const;
+
+    /** Build the connection list shared by one pass. */
+    std::vector<Conn> buildConns(const LayerDesc &layer,
+                                 unsigned pass) const;
+
+    NeurocubeConfig config_;
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_CORE_LAYER_COMPILER_HH

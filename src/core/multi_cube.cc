@@ -1,0 +1,114 @@
+#include "core/multi_cube.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace neurocube
+{
+
+namespace
+{
+
+/** Split the cubes into the squarest grid. */
+void
+cubeGrid(unsigned cubes, unsigned &gw, unsigned &gh)
+{
+    unsigned best = 1;
+    for (unsigned f = 1; f * f <= cubes; ++f) {
+        if (cubes % f == 0)
+            best = f;
+    }
+    gh = best;
+    gw = cubes / best;
+}
+
+} // namespace
+
+MultiCubeEstimate
+multiCubeLayerEstimate(const LayerDesc &layer,
+                       const MultiCubeConfig &config)
+{
+    nc_assert(config.numCubes >= 1, "need at least one cube");
+    MultiCubeEstimate est;
+    est.ops = layer.totalOps();
+
+    if (config.numCubes == 1 || layer.type == LayerType::FullyConnected) {
+        // FC layers replicate the (flattened) input on every cube
+        // and partition outputs; compute scales, but the activation
+        // all-gather costs one full copy of the input per cube.
+        AnalyticEstimate single =
+            analyticLayerEstimate(layer, config.cube);
+        est.computeCycles = single.cycles / config.numCubes
+                          + (single.cycles % config.numCubes != 0);
+        if (config.numCubes > 1) {
+            double bytes =
+                double(layer.inputElements()) * bytesPerElement;
+            double seconds =
+                bytes / (config.linkBandwidthGBps * 1e9);
+            est.exchangeCycles =
+                Tick(seconds * referenceClockHz);
+        }
+        return est;
+    }
+
+    // Spatial tiling: each cube runs the layer on a sub-image whose
+    // output is 1/numCubes of the full map (plus receptive-field
+    // halo on the input side).
+    unsigned gw, gh;
+    cubeGrid(config.numCubes, gw, gh);
+    LayerDesc tile = layer;
+    unsigned halo = layer.kernel - 1;
+    tile.inWidth =
+        std::max(layer.kernel,
+                 (layer.inWidth + gw - 1) / gw + halo);
+    tile.inHeight =
+        std::max(layer.kernel,
+                 (layer.inHeight + gh - 1) / gh + halo);
+    tile.name = layer.name;
+
+    AnalyticEstimate per_cube =
+        analyticLayerEstimate(tile, config.cube);
+    est.computeCycles = per_cube.cycles;
+
+    // Halo exchange between layers: each cube imports a halo ring of
+    // every input map from its neighbours.
+    double halo_elems =
+        2.0 * double(halo)
+        * (double(tile.inWidth) + double(tile.inHeight))
+        * layer.inMaps;
+    double bytes = halo_elems * bytesPerElement;
+    double seconds = bytes / (config.linkBandwidthGBps * 1e9);
+    est.exchangeCycles = Tick(seconds * referenceClockHz);
+    return est;
+}
+
+MultiCubeEstimate
+multiCubeNetworkEstimate(const NetworkDesc &net,
+                         const MultiCubeConfig &config)
+{
+    MultiCubeEstimate total;
+    for (const LayerDesc &layer : net.layers) {
+        MultiCubeEstimate e = multiCubeLayerEstimate(layer, config);
+        total.computeCycles += e.computeCycles;
+        total.exchangeCycles += e.exchangeCycles;
+        total.ops += e.ops;
+    }
+    return total;
+}
+
+double
+multiCubeEfficiency(const NetworkDesc &net,
+                    const MultiCubeConfig &config)
+{
+    MultiCubeConfig one = config;
+    one.numCubes = 1;
+    MultiCubeEstimate base = multiCubeNetworkEstimate(net, one);
+    MultiCubeEstimate scaled = multiCubeNetworkEstimate(net, config);
+    double speedup = double(base.totalCycles())
+                   / double(std::max<Tick>(1, scaled.totalCycles()));
+    return speedup / double(config.numCubes);
+}
+
+} // namespace neurocube

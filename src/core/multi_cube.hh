@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Multi-cube scaling model (paper Section IX: "Next steps involve
+ * scaling this implementation across multiple cubes to support much
+ * larger networks than can be feasibly supported today").
+ *
+ * Cubes are connected through their external HMC links (HMC-Ext in
+ * Table I: 40 GB/s per link) and run data-parallel over spatial
+ * tiles of each layer, exchanging halo regions between layers; fully
+ * connected layers all-gather their activations. The per-cube
+ * execution time comes from the single-cube analytic model on the
+ * sub-image; the exchange time from the link bandwidth. The model
+ * answers the paper's scaling question: how far does tile
+ * parallelism carry before inter-cube traffic dominates?
+ */
+
+#ifndef NEUROCUBE_CORE_MULTI_CUBE_HH
+#define NEUROCUBE_CORE_MULTI_CUBE_HH
+
+#include <vector>
+
+#include "core/analytic_model.hh"
+#include "nn/network.hh"
+
+namespace neurocube
+{
+
+/** A ring/grid of Neurocubes linked by their external HMC links. */
+struct MultiCubeConfig
+{
+    /** Number of cubes (spatial tiles). */
+    unsigned numCubes = 2;
+    /** Per-cube machine configuration. */
+    NeurocubeConfig cube;
+    /**
+     * External-link bandwidth available for halo exchange per cube,
+     * GB/s (HMC-Ext: 40 GB/s per link, Table I).
+     */
+    double linkBandwidthGBps = 40.0;
+};
+
+/** Scaling estimate for one layer across the cubes. */
+struct MultiCubeEstimate
+{
+    /** Compute cycles of the busiest cube. */
+    Tick computeCycles = 0;
+    /** Reference-clock cycles spent exchanging halos/activations. */
+    Tick exchangeCycles = 0;
+    /** Total arithmetic operations across all cubes. */
+    uint64_t ops = 0;
+
+    Tick totalCycles() const { return computeCycles + exchangeCycles; }
+
+    double
+    gopsPerSecond(double clock_ghz = referenceClockHz / 1e9) const
+    {
+        Tick cycles = totalCycles();
+        if (cycles == 0)
+            return 0.0;
+        return double(ops) / (double(cycles) / (clock_ghz * 1e9))
+             / 1e9;
+    }
+};
+
+/** Estimate one layer's multi-cube execution. */
+MultiCubeEstimate multiCubeLayerEstimate(const LayerDesc &layer,
+                                         const MultiCubeConfig &config);
+
+/** Whole-network estimate (sums layers). */
+MultiCubeEstimate multiCubeNetworkEstimate(
+    const NetworkDesc &net, const MultiCubeConfig &config);
+
+/**
+ * Parallel efficiency of N cubes vs one cube on the same network:
+ * speedup / N (1.0 = perfect scaling).
+ */
+double multiCubeEfficiency(const NetworkDesc &net,
+                           const MultiCubeConfig &config);
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_CORE_MULTI_CUBE_HH

@@ -1,0 +1,213 @@
+#include "core/neurocube.hh"
+
+#include "common/logging.hh"
+
+namespace neurocube
+{
+
+Neurocube::Neurocube(const NeurocubeConfig &config)
+    : config_(config), statGroup_(nullptr, "neurocube"),
+      compiler_(config),
+      statPasses_(&statGroup_, "passes", "PNG passes executed"),
+      statLayerCycles_(&statGroup_, "cycles",
+                       "total reference-clock cycles simulated")
+{
+    config_.noc.numNodes = config_.numPes;
+
+    std::vector<unsigned> mem_nodes = config_.resolvedMemoryNodes();
+    nc_assert(mem_nodes.size() == config_.dram.numChannels,
+              "memoryNodes size %zu != channel count %u",
+              mem_nodes.size(), config_.dram.numChannels);
+    for (unsigned node : mem_nodes) {
+        nc_assert(node < config_.numPes,
+                  "memory node %u outside the mesh", node);
+    }
+
+    fabric_ = std::make_unique<NocFabric>(config_.noc, &statGroup_);
+
+    for (unsigned ch = 0; ch < config_.dram.numChannels; ++ch) {
+        channels_.push_back(std::make_unique<MemoryChannel>(
+            config_.dram, &statGroup_,
+            "vault" + std::to_string(ch)));
+        pngs_.push_back(std::make_unique<Png>(
+            VaultId(mem_nodes[ch]), config_.png, *channels_[ch],
+            *fabric_, &statGroup_));
+    }
+    for (unsigned p = 0; p < config_.numPes; ++p) {
+        pes_.push_back(std::make_unique<Pe>(PeId(p), config_.pe,
+                                            &statGroup_));
+    }
+}
+
+void
+Neurocube::loadNetwork(const NetworkDesc &net, const NetworkData &data)
+{
+    net.validate();
+    nc_assert(data.weights.size() == net.layers.size(),
+              "parameter blocks (%zu) != layers (%zu)",
+              data.weights.size(), net.layers.size());
+    net_ = net;
+    data_ = data;
+    activations_.assign(net.layers.size(), Tensor());
+}
+
+void
+Neurocube::setInput(const Tensor &input)
+{
+    nc_assert(!net_.layers.empty(), "setInput before loadNetwork");
+    const LayerDesc &first = net_.layers.front();
+    nc_assert(input.maps() == first.inMaps
+                  && input.height() == first.inHeight
+                  && input.width() == first.inWidth,
+              "input tensor %ux%ux%u does not match network input "
+              "%ux%ux%u", input.maps(), input.height(), input.width(),
+              first.inMaps, first.inHeight, first.inWidth);
+    input_ = input;
+}
+
+bool
+Neurocube::passDone() const
+{
+    for (const auto &png : pngs_) {
+        if (!png->done())
+            return false;
+    }
+    for (const auto &pe : pes_) {
+        if (!pe->done())
+            return false;
+    }
+    for (const auto &channel : channels_) {
+        if (!channel->idle())
+            return false;
+    }
+    return fabric_->idle();
+}
+
+Tick
+Neurocube::runPass(const CompiledPass &pass)
+{
+    for (unsigned ch = 0; ch < channels_.size(); ++ch)
+        pngs_[ch]->configure(pass.programs[ch]);
+    for (unsigned p = 0; p < pes_.size(); ++p)
+        pes_[p]->configurePass(pass.peConfigs[p]);
+
+    // Safety net: a pass can never legitimately exceed this budget
+    // (every operand pair needs at least one DRAM word somewhere).
+    uint64_t pairs = 0;
+    for (const auto &png : pngs_)
+        pairs += png->pairBudget();
+    Tick deadline = now_ + 10000 + 400 * pairs;
+
+    Tick start = now_;
+    while (!passDone()) {
+        for (auto &png : pngs_)
+            png->tick(now_);
+        for (auto &channel : channels_)
+            channel->tick(now_);
+        fabric_->tick(now_);
+        for (auto &pe : pes_)
+            pe->tick(now_, *fabric_);
+        ++now_;
+        if (now_ >= deadline) {
+            nc_panic("pass deadlock: %llu of expected work pending "
+                     "after %llu ticks",
+                     (unsigned long long)pairs,
+                     (unsigned long long)(now_ - start));
+        }
+    }
+    statPasses_ += 1;
+    return now_ - start;
+}
+
+LayerResult
+Neurocube::runSingleLayer(const LayerDesc &layer,
+                          const std::vector<Fixed> &weights,
+                          const Tensor &input, Tensor *output)
+{
+    std::vector<BackingStore *> stores;
+    stores.reserve(channels_.size());
+    for (auto &channel : channels_)
+        stores.push_back(&channel->store());
+
+    CompiledLayer compiled =
+        compiler_.compile(layer, weights, input, stores);
+
+    LayerResult result;
+    result.name = layer.name.empty() ? layerTypeName(layer.type)
+                                     : layer.name;
+    result.passes = unsigned(compiled.passes.size());
+
+    uint64_t mac_ops_before = 0;
+    for (const auto &pe : pes_)
+        mac_ops_before += pe->macOps();
+    uint64_t lateral_before = fabric_->lateralPackets();
+    uint64_t local_before = fabric_->localPackets();
+    uint64_t bits_before = 0;
+    for (const auto &channel : channels_)
+        bits_before += channel->bitsTransferred();
+
+    Tick cycles = 0;
+    for (const CompiledPass &pass : compiled.passes) {
+        cycles += config_.configTicksPerPass;
+        now_ += config_.configTicksPerPass;
+        cycles += runPass(pass);
+    }
+
+    uint64_t mac_ops_after = 0;
+    for (const auto &pe : pes_)
+        mac_ops_after += pe->macOps();
+    uint64_t bits_after = 0;
+    for (const auto &channel : channels_)
+        bits_after += channel->bitsTransferred();
+
+    result.cycles = cycles;
+    result.ops = 2 * (mac_ops_after - mac_ops_before);
+    result.lateralPackets = fabric_->lateralPackets() - lateral_before;
+    result.localPackets = fabric_->localPackets() - local_before;
+    result.dramBits = bits_after - bits_before;
+
+    LayerFootprint fp = layerFootprint(layer, config_.mapping,
+                                       config_.dram.numChannels);
+    result.memoryBytes = fp.totalBytes();
+    result.duplicationBytes = fp.duplicationBytes;
+
+    statLayerCycles_ += cycles;
+
+    if (output)
+        *output = compiler_.gather(compiled, stores);
+    return result;
+}
+
+LayerResult
+Neurocube::runLayer(size_t index)
+{
+    nc_assert(index < net_.layers.size(), "layer index %zu out of %zu",
+              index, net_.layers.size());
+    const Tensor &input = index == 0 ? input_ : activations_[index - 1];
+    nc_assert(input.size() > 0,
+              "layer %zu input missing (run earlier layers first)",
+              index);
+    Tensor output;
+    LayerResult result = runSingleLayer(
+        net_.layers[index], data_.weights[index], input, &output);
+    activations_[index] = std::move(output);
+    return result;
+}
+
+RunResult
+Neurocube::runForward()
+{
+    RunResult run;
+    for (size_t i = 0; i < net_.layers.size(); ++i)
+        run.layers.push_back(runLayer(i));
+    return run;
+}
+
+const Tensor &
+Neurocube::layerOutput(size_t index) const
+{
+    nc_assert(index < activations_.size(), "no such layer %zu", index);
+    return activations_[index];
+}
+
+} // namespace neurocube

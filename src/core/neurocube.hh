@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The Neurocube machine: 16 vaults + PNGs, a NoC, and 16 PEs on the
+ * logic die of an HMC (paper Fig. 5), with the host-side global
+ * controller that programs it layer by layer.
+ *
+ * Execution model (Section II-C): the host lays a layer's data out in
+ * the cube, writes every PNG's configuration registers, and releases
+ * the configuration-enable signal; execution is then fully data
+ * driven until the PNGs report layer-done. The simulator advances all
+ * components on the shared 5 GHz reference clock and gathers the
+ * functional outputs so they can be compared bit-for-bit with the
+ * sequential reference model.
+ */
+
+#ifndef NEUROCUBE_CORE_NEUROCUBE_HH
+#define NEUROCUBE_CORE_NEUROCUBE_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/layer_compiler.hh"
+#include "core/results.hh"
+#include "dram/memory_channel.hh"
+#include "nn/network.hh"
+#include "nn/reference.hh"
+#include "noc/fabric.hh"
+#include "pe/pe.hh"
+#include "png/png.hh"
+
+namespace neurocube
+{
+
+/** One simulated Neurocube instance. */
+class Neurocube
+{
+  public:
+    explicit Neurocube(const NeurocubeConfig &config);
+
+    /** Load a network and its parameters. */
+    void loadNetwork(const NetworkDesc &net, const NetworkData &data);
+
+    /** Set the input activations for the next forward run. */
+    void setInput(const Tensor &input);
+
+    /**
+     * Execute one layer on the machine (all of its passes).
+     *
+     * @param index layer index within the loaded network
+     * @return cycle and traffic statistics for the layer
+     */
+    LayerResult runLayer(size_t index);
+
+    /** Execute every layer in order. */
+    RunResult runForward();
+
+    /**
+     * Execute an ad-hoc layer outside the loaded network (used by
+     * the training sequencer and the parameter sweeps).
+     *
+     * @param layer descriptor
+     * @param weights flat weight block
+     * @param input input activations
+     * @param output receives the gathered output (may be nullptr)
+     */
+    LayerResult runSingleLayer(const LayerDesc &layer,
+                               const std::vector<Fixed> &weights,
+                               const Tensor &input,
+                               Tensor *output = nullptr);
+
+    /** Gathered output activations of an executed layer. */
+    const Tensor &layerOutput(size_t index) const;
+
+    /** The machine configuration. */
+    const NeurocubeConfig &config() const { return config_; }
+
+    /** Root of the statistics hierarchy. */
+    StatGroup &stats() { return statGroup_; }
+
+    /** The NoC (tests and experiments). */
+    NocFabric &fabric() { return *fabric_; }
+
+    /** One memory channel (tests and experiments). */
+    MemoryChannel &channel(unsigned ch) { return *channels_[ch]; }
+
+    /** Current simulation time in reference ticks. */
+    Tick now() const { return now_; }
+
+    /** Total operand-cache spills beyond sub-bank capacity. */
+    uint64_t
+    totalCacheOverflows() const
+    {
+        uint64_t total = 0;
+        for (const auto &pe : pes_)
+            total += pe->cacheOverflows();
+        return total;
+    }
+
+  private:
+    /** Run one compiled pass to completion; returns its cycles. */
+    Tick runPass(const CompiledPass &pass);
+    /** True when every component has finished the current pass. */
+    bool passDone() const;
+
+    NeurocubeConfig config_;
+    StatGroup statGroup_;
+
+    std::vector<std::unique_ptr<MemoryChannel>> channels_;
+    std::unique_ptr<NocFabric> fabric_;
+    std::vector<std::unique_ptr<Png>> pngs_;
+    std::vector<std::unique_ptr<Pe>> pes_;
+    LayerCompiler compiler_;
+
+    NetworkDesc net_;
+    NetworkData data_;
+    Tensor input_;
+    std::vector<Tensor> activations_;
+
+    Tick now_ = 0;
+
+    Stat statPasses_;
+    Stat statLayerCycles_;
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_CORE_NEUROCUBE_HH

@@ -1,0 +1,75 @@
+#include "core/recurrent.hh"
+
+#include "common/logging.hh"
+
+namespace neurocube
+{
+
+RunResult
+runRnn(Neurocube &cube, const RnnDesc &desc,
+       const std::vector<Fixed> &weights,
+       const std::vector<Tensor> &inputs, std::vector<Tensor> *states)
+{
+    nc_assert(weights.size() == desc.weightCount(),
+              "RNN weight block size mismatch");
+    LayerDesc step = desc.stepLayer();
+    step.validate();
+
+    RunResult run;
+    Tensor h(1, 1, desc.hiddenSize);
+    for (size_t t = 0; t < inputs.size(); ++t) {
+        Tensor z = concatWithBias(inputs[t], h);
+        LayerResult r = cube.runSingleLayer(step, weights, z, &h);
+        r.name = "step" + std::to_string(t);
+        run.layers.push_back(r);
+        if (states)
+            states->push_back(h);
+    }
+    return run;
+}
+
+RunResult
+runLstm(Neurocube &cube, const LstmDesc &desc,
+        const LstmWeights &weights, const std::vector<Tensor> &inputs,
+        std::vector<Tensor> *states)
+{
+    LayerDesc sig = desc.gateLayer(ActivationKind::Sigmoid);
+    LayerDesc tanh_gate = desc.gateLayer(ActivationKind::Tanh);
+    LayerDesc cell = lstmCellUpdateLayer(desc.hiddenSize);
+    LayerDesc tanh_c = lstmScaleLayer(desc.hiddenSize,
+                                      ActivationKind::Tanh, "tanh-c");
+    LayerDesc out_scale = lstmScaleLayer(
+        desc.hiddenSize, ActivationKind::Identity, "h");
+    for (const LayerDesc *l :
+         {&sig, &tanh_gate, &cell, &tanh_c, &out_scale})
+        l->validate();
+
+    RunResult run;
+    Tensor h(1, 1, desc.hiddenSize);
+    Tensor c(1, 1, desc.hiddenSize);
+    for (size_t t = 0; t < inputs.size(); ++t) {
+        Tensor z = concatWithBias(inputs[t], h);
+        Tensor i, f, o, g, tc;
+        auto pass = [&](const LayerDesc &layer,
+                        const std::vector<Fixed> &w,
+                        const Tensor &in, Tensor *out,
+                        const char *tag) {
+            LayerResult r = cube.runSingleLayer(layer, w, in, out);
+            r.name = "t" + std::to_string(t) + "." + tag;
+            run.layers.push_back(r);
+        };
+        pass(sig, weights.wi, z, &i, "i");
+        pass(sig, weights.wf, z, &f, "f");
+        pass(sig, weights.wo, z, &o, "o");
+        pass(tanh_gate, weights.wg, z, &g, "g");
+        pass(cell, interleaveGates(f, i), stackPlanes(c, g), &c,
+             "cell");
+        pass(tanh_c, unitWeights(desc.hiddenSize), c, &tc, "tanh");
+        pass(out_scale, gateWeights(o), tc, &h, "h");
+        if (states)
+            states->push_back(h);
+    }
+    return run;
+}
+
+} // namespace neurocube

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Machine execution of recurrent networks (paper Section VI).
+ *
+ * Runs the RNN/LSTM pass sequences of nn/recurrent.hh on a Neurocube
+ * instance: the host reprograms the PNGs between passes (including
+ * the per-pass LUT swap the paper describes for LSTM) and moves the
+ * small per-step vectors, exactly mirroring the host/cube division
+ * of labour of the layer-by-layer execution model.
+ */
+
+#ifndef NEUROCUBE_CORE_RECURRENT_HH
+#define NEUROCUBE_CORE_RECURRENT_HH
+
+#include <vector>
+
+#include "core/neurocube.hh"
+#include "core/results.hh"
+#include "nn/recurrent.hh"
+
+namespace neurocube
+{
+
+/**
+ * Run an unfolded RNN on the machine (one FC pass per step).
+ *
+ * @param cube the machine
+ * @param desc the RNN
+ * @param weights one step's weight block (shared across steps)
+ * @param inputs one 1x1xinputSize tensor per time step
+ * @param states receives h_t for every step (optional)
+ * @return per-pass machine results
+ */
+RunResult runRnn(Neurocube &cube, const RnnDesc &desc,
+                 const std::vector<Fixed> &weights,
+                 const std::vector<Tensor> &inputs,
+                 std::vector<Tensor> *states = nullptr);
+
+/**
+ * Run an LSTM sequence on the machine (seven passes per step: four
+ * gate FCs with per-pass LUTs, the cell update, tanh(c), and the
+ * output scaling).
+ */
+RunResult runLstm(Neurocube &cube, const LstmDesc &desc,
+                  const LstmWeights &weights,
+                  const std::vector<Tensor> &inputs,
+                  std::vector<Tensor> *states = nullptr);
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_CORE_RECURRENT_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Result records produced by simulation runs.
+ *
+ * Throughput follows the paper's accounting: one MAC operation counts
+ * as two arithmetic operations (multiply + add), and GOPs/s divides
+ * by wall-clock time at the reference clock (5 GHz) unless a slower
+ * logic-node clock is applied (the 28 nm design runs at 300 MHz, so
+ * every rate scales by 0.06 — Section VII).
+ */
+
+#ifndef NEUROCUBE_CORE_RESULTS_HH
+#define NEUROCUBE_CORE_RESULTS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/dram_params.hh"
+
+namespace neurocube
+{
+
+/** Statistics for one executed layer. */
+struct LayerResult
+{
+    std::string name;
+    /** PNG programming passes executed. */
+    unsigned passes = 0;
+    /** Arithmetic operations (2 per MAC op). */
+    uint64_t ops = 0;
+    /** Reference-clock cycles including per-pass configuration. */
+    Tick cycles = 0;
+    /** Operand/write-back packets that crossed between nodes. */
+    uint64_t lateralPackets = 0;
+    /** Packets that stayed within their node. */
+    uint64_t localPackets = 0;
+    /** Bits moved over the DRAM interfaces. */
+    uint64_t dramBits = 0;
+    /** Resident memory for this layer (with duplication), bytes. */
+    uint64_t memoryBytes = 0;
+    /** Duplication overhead within memoryBytes. */
+    uint64_t duplicationBytes = 0;
+
+    /** Throughput at a given logic clock (GHz). */
+    double
+    gopsPerSecond(double clock_ghz = referenceClockHz / 1e9) const
+    {
+        if (cycles == 0)
+            return 0.0;
+        double seconds = double(cycles) / (clock_ghz * 1e9);
+        return double(ops) / seconds / 1e9;
+    }
+
+    /** Fraction of NoC traffic that crossed between nodes. */
+    double
+    lateralFraction() const
+    {
+        uint64_t total = lateralPackets + localPackets;
+        return total ? double(lateralPackets) / double(total) : 0.0;
+    }
+};
+
+/** Aggregated statistics for a multi-layer run. */
+struct RunResult
+{
+    std::vector<LayerResult> layers;
+
+    /** Sum of per-layer operation counts. */
+    uint64_t
+    totalOps() const
+    {
+        uint64_t total = 0;
+        for (const LayerResult &l : layers)
+            total += l.ops;
+        return total;
+    }
+
+    /** Sum of per-layer cycle counts. */
+    Tick
+    totalCycles() const
+    {
+        Tick total = 0;
+        for (const LayerResult &l : layers)
+            total += l.cycles;
+        return total;
+    }
+
+    /** Peak per-layer resident memory, bytes. */
+    uint64_t
+    peakMemoryBytes() const
+    {
+        uint64_t peak = 0;
+        for (const LayerResult &l : layers)
+            peak = std::max(peak, l.memoryBytes);
+        return peak;
+    }
+
+    /** End-to-end throughput at a given logic clock (GHz). */
+    double
+    gopsPerSecond(double clock_ghz = referenceClockHz / 1e9) const
+    {
+        Tick cycles = totalCycles();
+        if (cycles == 0)
+            return 0.0;
+        double seconds = double(cycles) / (clock_ghz * 1e9);
+        return double(totalOps()) / seconds / 1e9;
+    }
+
+    /** Executions per second (frames/s) at a given clock. */
+    double
+    framesPerSecond(double clock_ghz = referenceClockHz / 1e9) const
+    {
+        Tick cycles = totalCycles();
+        if (cycles == 0)
+            return 0.0;
+        return clock_ghz * 1e9 / double(cycles);
+    }
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_CORE_RESULTS_HH

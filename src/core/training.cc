@@ -1,0 +1,172 @@
+#include "core/training.hh"
+
+#include "common/logging.hh"
+
+namespace neurocube
+{
+
+LayerDesc
+deltaLayerDesc(const LayerDesc &fwd)
+{
+    LayerDesc delta;
+    delta.name = "d_" + (fwd.name.empty() ? layerTypeName(fwd.type)
+                                          : fwd.name);
+    switch (fwd.type) {
+      case LayerType::Conv2D: {
+        // Valid convolution over delta maps padded by (k-1) on every
+        // side: output dimensions equal the forward input's.
+        delta.type = LayerType::Conv2D;
+        delta.kernel = fwd.kernel;
+        delta.inWidth = fwd.outWidth() + 2 * (fwd.kernel - 1);
+        delta.inHeight = fwd.outHeight() + 2 * (fwd.kernel - 1);
+        delta.inMaps = fwd.outMaps;
+        delta.outMaps = fwd.channelwise ? fwd.outMaps : fwd.inMaps;
+        delta.channelwise = fwd.channelwise;
+        break;
+      }
+      case LayerType::Pool: {
+        // Error distribution through average pooling: one read and
+        // one scaled write per pooled pixel per map (a 1x1 map-wise
+        // pass over the delta).
+        delta.type = LayerType::Conv2D;
+        delta.kernel = 1;
+        delta.inWidth = fwd.outWidth();
+        delta.inHeight = fwd.outHeight();
+        delta.inMaps = fwd.outMaps;
+        delta.outMaps = fwd.outMaps;
+        delta.channelwise = true;
+        break;
+      }
+      case LayerType::FullyConnected: {
+        delta.type = LayerType::FullyConnected;
+        delta.inWidth = fwd.outMaps;
+        delta.inHeight = 1;
+        delta.inMaps = 1;
+        delta.outMaps =
+            fwd.inWidth * fwd.inHeight * fwd.inMaps;
+        break;
+      }
+    }
+    delta.activation = ActivationKind::Identity;
+    return delta;
+}
+
+LayerDesc
+gradientLayerDesc(const LayerDesc &fwd)
+{
+    // dW[i][j] = sum over samples/pixels of x_i * delta_j. The
+    // operand volume equals one more sweep of states and deltas per
+    // weight contribution, which a fully-connected-shaped program
+    // reproduces exactly: out neurons = weights-per-pixel-reuse
+    // group, connections = the reuse extent.
+    LayerDesc grad;
+    grad.name = "g_" + (fwd.name.empty() ? layerTypeName(fwd.type)
+                                         : fwd.name);
+    grad.type = LayerType::FullyConnected;
+    grad.inMaps = 1;
+    grad.inHeight = 1;
+    switch (fwd.type) {
+      case LayerType::Conv2D:
+        // Each of the k*k*maps kernel weights accumulates over every
+        // output pixel.
+        grad.inWidth = unsigned(fwd.neuronsPerMap());
+        grad.outMaps = unsigned(fwd.weightCount());
+        break;
+      case LayerType::Pool:
+        // Average pooling has no learned weights; a degenerate
+        // single-neuron pass keeps the sequencer uniform.
+        grad.inWidth = 1;
+        grad.outMaps = 1;
+        break;
+      case LayerType::FullyConnected:
+        grad.inWidth = fwd.inWidth * fwd.inHeight * fwd.inMaps;
+        grad.outMaps = fwd.outMaps;
+        break;
+    }
+    grad.activation = ActivationKind::Identity;
+    return grad;
+}
+
+std::vector<Fixed>
+transposeFcWeights(const LayerDesc &fc, const std::vector<Fixed> &w)
+{
+    nc_assert(fc.type == LayerType::FullyConnected,
+              "transposeFcWeights needs an FC layer");
+    uint64_t n = fc.connectionsPerNeuron();
+    uint64_t m = fc.outMaps;
+    nc_assert(w.size() == n * m, "FC weight block size mismatch");
+    std::vector<Fixed> t(n * m);
+    for (uint64_t o = 0; o < m; ++o)
+        for (uint64_t i = 0; i < n; ++i)
+            t[i * m + o] = w[o * n + i];
+    return t;
+}
+
+namespace
+{
+
+/** Synthetic weights for a throughput-only backward pass. */
+std::vector<Fixed>
+syntheticWeights(const LayerDesc &layer, Rng &rng)
+{
+    std::vector<Fixed> w(layer.weightCount());
+    for (Fixed &v : w)
+        v = Fixed::fromDouble(rng.uniform(-0.05, 0.05));
+    return w;
+}
+
+/** Synthetic input tensor of a layer's input shape. */
+Tensor
+syntheticInput(const LayerDesc &layer, Rng &rng)
+{
+    Tensor t(layer.inMaps, layer.inHeight, layer.inWidth);
+    t.randomize(rng, -0.5, 0.5);
+    return t;
+}
+
+} // namespace
+
+RunResult
+runTrainingIteration(Neurocube &cube, const NetworkDesc &net,
+                     const NetworkData &data, const Tensor &input,
+                     const TrainingOptions &options)
+{
+    Rng rng(options.seed);
+    cube.loadNetwork(net, data);
+    cube.setInput(input);
+
+    RunResult run = cube.runForward();
+
+    // Backward error propagation: layers L-1 .. 1. The input layer's
+    // delta is never needed (the paper's training ops budget matches
+    // this accounting — see EXPERIMENTS.md).
+    for (size_t i = net.layers.size(); i-- > 1;) {
+        const LayerDesc &fwd = net.layers[i];
+        LayerDesc delta = deltaLayerDesc(fwd);
+        delta.validate();
+        std::vector<Fixed> w;
+        if (fwd.type == LayerType::FullyConnected) {
+            w = transposeFcWeights(fwd, data.weights[i]);
+        } else {
+            w = syntheticWeights(delta, rng);
+        }
+        Tensor din = syntheticInput(delta, rng);
+        run.layers.push_back(cube.runSingleLayer(delta, w, din));
+    }
+
+    if (options.includeWeightGradient) {
+        for (size_t i = 0; i < net.layers.size(); ++i) {
+            const LayerDesc &fwd = net.layers[i];
+            if (fwd.type == LayerType::Pool)
+                continue; // no learned weights
+            LayerDesc grad = gradientLayerDesc(fwd);
+            grad.validate();
+            std::vector<Fixed> w = syntheticWeights(grad, rng);
+            Tensor gin = syntheticInput(grad, rng);
+            run.layers.push_back(cube.runSingleLayer(grad, w, gin));
+        }
+    }
+    return run;
+}
+
+} // namespace neurocube

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Training workload sequencer (paper Section VI, Fig. 13).
+ *
+ * The paper evaluates training throughput on a 64x64 scene-labeling
+ * input. A training iteration is modelled as machine-executed passes:
+ *
+ *  - the forward pass of every layer;
+ *  - a backward error-propagation (delta) pass for every layer except
+ *    the first (the input image needs no delta), each expressed as a
+ *    real PNG program: a transposed fully connected layer for FC
+ *    layers, a valid convolution over zero-padded delta maps for conv
+ *    layers, and a 1x1 map-wise pass for pooling;
+ *  - optionally (off by default, matching the paper's training ops
+ *    budget — see EXPERIMENTS.md) a weight-gradient pass per
+ *    parameterized layer, expressed as a fully-connected-shaped
+ *    program whose operand volume equals the true gradient
+ *    computation.
+ *
+ * Functional note: FC delta passes are numerically exact backprop
+ * (transposed weights); conv delta passes run the correct transposed
+ * data movement but carry synthetic delta values — the paper's
+ * training evaluation is throughput-only, and gradient numerics for
+ * MLPs are verified separately in the test suite.
+ */
+
+#ifndef NEUROCUBE_CORE_TRAINING_HH
+#define NEUROCUBE_CORE_TRAINING_HH
+
+#include <vector>
+
+#include "core/neurocube.hh"
+#include "core/results.hh"
+#include "nn/network.hh"
+
+namespace neurocube
+{
+
+/** Knobs of the training workload model. */
+struct TrainingOptions
+{
+    /** Execute weight-gradient passes as well (full backprop). */
+    bool includeWeightGradient = false;
+    /** Seed for synthetic delta values. */
+    uint64_t seed = 1;
+};
+
+/**
+ * Descriptor of the backward-delta pass for a forward layer.
+ *
+ * For Conv2D the delta pass is a valid convolution with the same
+ * kernel over delta maps zero-padded by (kernel-1), which restores
+ * the forward layer's input dimensions; for Pool a 1x1 map-wise
+ * pass; for FullyConnected the transposed layer.
+ */
+LayerDesc deltaLayerDesc(const LayerDesc &fwd);
+
+/**
+ * Descriptor of the weight-gradient pass for a parameterized layer
+ * (an operand-volume-equivalent fully-connected shape).
+ */
+LayerDesc gradientLayerDesc(const LayerDesc &fwd);
+
+/** Transpose an FC layer's weights for its exact delta pass. */
+std::vector<Fixed> transposeFcWeights(const LayerDesc &fc,
+                                      const std::vector<Fixed> &w);
+
+/**
+ * Run one training iteration on the machine.
+ *
+ * @param cube the machine (network need not be pre-loaded)
+ * @param net forward network
+ * @param data forward parameters
+ * @param input training sample
+ * @param options workload knobs
+ * @return per-pass results: forward layers first, then delta (and
+ *         gradient) passes in backward order
+ */
+RunResult runTrainingIteration(Neurocube &cube,
+                               const NetworkDesc &net,
+                               const NetworkData &data,
+                               const Tensor &input,
+                               const TrainingOptions &options = {});
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_CORE_TRAINING_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Functional contents of one DRAM vault plus a bump region allocator.
+ *
+ * Addresses are in units of 16-bit elements (the granularity of
+ * neuron states and synaptic weights, paper Section III-B). The layer
+ * program compiler allocates one region per data structure (input
+ * states, weights, output states) exactly as the host would lay out
+ * the network in the cube before programming the PNGs (Section IV-C).
+ */
+
+#ifndef NEUROCUBE_DRAM_BACKING_STORE_HH
+#define NEUROCUBE_DRAM_BACKING_STORE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/fixed_point.hh"
+#include "common/types.hh"
+#include "dram/dram_params.hh"
+
+namespace neurocube
+{
+
+/** A contiguous allocation inside one vault. */
+struct Region
+{
+    /** First element address of the region. */
+    Addr base = 0;
+    /** Length in 16-bit elements. */
+    uint64_t elements = 0;
+
+    /** One past the last element address. */
+    Addr end() const { return base + elements; }
+    /** True when addr falls inside this region. */
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= base && addr < end();
+    }
+};
+
+/**
+ * Element-addressable storage for one vault.
+ *
+ * Grows on demand; the timing model is unaffected by capacity since
+ * the paper's networks always fit in the cube (Fig. 1 motivates the
+ * HMC precisely because they do not fit on-chip).
+ */
+class BackingStore
+{
+  public:
+    /** Read one element; unwritten elements read as zero. */
+    Fixed
+    read(Addr addr) const
+    {
+        if (addr >= data_.size())
+            return Fixed();
+        return data_[addr];
+    }
+
+    /** Write one element, growing the store as needed. */
+    void
+    write(Addr addr, Fixed value)
+    {
+        if (addr >= data_.size())
+            data_.resize(addr + 1);
+        data_[addr] = value;
+    }
+
+    /**
+     * Allocate a fresh region of the given element count.
+     *
+     * @param elements region length in 16-bit elements
+     * @return the allocated region
+     */
+    Region
+    allocate(uint64_t elements)
+    {
+        Region region{allocTop_, elements};
+        allocTop_ += elements;
+        return region;
+    }
+
+    /** Total elements allocated so far (footprint in elements). */
+    uint64_t allocatedElements() const { return allocTop_; }
+
+    /** Footprint in bytes. */
+    uint64_t
+    allocatedBytes() const
+    {
+        return allocTop_ * bytesPerElement;
+    }
+
+    /** Drop all contents and allocations. */
+    void
+    clear()
+    {
+        data_.clear();
+        allocTop_ = 0;
+    }
+
+  private:
+    std::vector<Fixed> data_;
+    Addr allocTop_ = 0;
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_DRAM_BACKING_STORE_HH

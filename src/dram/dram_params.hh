@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Timing and energy parameters for the 3D-stacked and planar DRAM
+ * technologies compared in Table I of the paper.
+ *
+ * The simulator's reference clock is the HMC vault I/O clock
+ * (2.5 GHz DDR = 5 GHz words/s, paper Section VI). All latencies are
+ * expressed in reference-clock ticks; channels slower than the
+ * reference clock (e.g. DDR3) deliver words at a fractional rate.
+ */
+
+#ifndef NEUROCUBE_DRAM_DRAM_PARAMS_HH
+#define NEUROCUBE_DRAM_DRAM_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace neurocube
+{
+
+/** Reference clock frequency in Hz (HMC vault I/O clock). */
+constexpr double referenceClockHz = 5.0e9;
+
+/** Bytes per stored element (16-bit Q1.7.8 state or weight). */
+constexpr unsigned bytesPerElement = 2;
+
+/**
+ * Parameters of one memory interface technology (one column of
+ * Table I) plus the micro-timing the cycle model needs.
+ */
+struct DramParams
+{
+    /** Human-readable technology name. */
+    std::string name = "HMC-Int";
+
+    /** Number of independent channels (vaults for HMC). */
+    unsigned numChannels = 16;
+
+    /** Word size moved per channel I/O transfer, in bits. */
+    unsigned wordBits = 32;
+
+    /** Peak per-channel bandwidth in GB/s (Table I). */
+    double peakBandwidthGBps = 10.0;
+
+    /** Activation latency tRCD + tCL in nanoseconds. */
+    double activateNs = 27.5;
+
+    /** Words transferred back-to-back in one burst. */
+    unsigned burstLength = 8;
+
+    /** Gap between consecutive bursts (tCCD) in reference ticks. */
+    Tick burstGapTicks = 1;
+
+    /** DRAM row (page) size in bytes. */
+    unsigned rowBytes = 2048;
+
+    /** Banks per channel (enables activate/transfer overlap). */
+    unsigned banksPerChannel = 16;
+
+    /** Access energy in pJ per bit (Table I). */
+    double energyPjPerBit = 3.7;
+
+    /**
+     * Ablation: let the vault controller read an element once and
+     * broadcast it into consecutive same-address requests (shared
+     * kernel weights, shared FC states) instead of re-reading it.
+     * Off by default — the paper charges two element reads per MAC
+     * operation (the 160 GOPs/s ceiling), i.e. no broadcast.
+     */
+    bool broadcastDuplicateReads = false;
+
+    /** Operating voltage in volts (Table I). */
+    double voltage = 1.2;
+
+    /** 16-bit elements per I/O word. */
+    unsigned
+    elementsPerWord() const
+    {
+        return wordBits / (8 * bytesPerElement);
+    }
+
+    /** 16-bit elements per DRAM row. */
+    unsigned
+    elementsPerRow() const
+    {
+        return rowBytes / bytesPerElement;
+    }
+
+    /** Words the channel can emit per reference tick (may be < 1). */
+    double
+    wordsPerTick() const
+    {
+        double bytes_per_sec = peakBandwidthGBps * 1.0e9;
+        double words_per_sec = bytes_per_sec / (wordBits / 8.0);
+        return words_per_sec / referenceClockHz;
+    }
+
+    /** Activation latency in reference ticks (rounded up). */
+    Tick
+    activateTicks() const
+    {
+        return static_cast<Tick>(activateNs * 1.0e-9 * referenceClockHz
+                                 + 0.999999);
+    }
+
+    /** The HMC internal (vault-to-logic-die) interface, Table I. */
+    static DramParams hmcInternal();
+    /** The HMC external-link interface, Table I. */
+    static DramParams hmcExternal();
+    /** Dual-channel DDR3, Table I. */
+    static DramParams ddr3();
+    /** Wide I/O 2 mobile interface, Table I. */
+    static DramParams wideIo2();
+    /** High Bandwidth Memory, Table I. */
+    static DramParams hbm();
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_DRAM_DRAM_PARAMS_HH

@@ -1,0 +1,267 @@
+#include "dram/memory_channel.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace neurocube
+{
+
+namespace
+{
+constexpr uint64_t noRow = std::numeric_limits<uint64_t>::max();
+/** Queue entries scanned when looking for rows to pre-activate. */
+constexpr size_t lookaheadWindow = 48;
+} // namespace
+
+MemoryChannel::MemoryChannel(const DramParams &params, StatGroup *parent,
+                             const std::string &name)
+    : params_(params),
+      openRow_(params.banksPerChannel, noRow),
+      bankReady_(params.banksPerChannel, 0),
+      pendingRow_(params.banksPerChannel, noRow),
+      rowElements_(params.elementsPerRow()),
+      statGroup_(parent, name),
+      statReads_(&statGroup_, "reads", "element reads serviced"),
+      statWrites_(&statGroup_, "writes", "element writes serviced"),
+      statBits_(&statGroup_, "bits", "bits transferred"),
+      statBursts_(&statGroup_, "bursts", "bursts issued"),
+      statRowHits_(&statGroup_, "rowHits", "word services hitting an open row"),
+      statRowMisses_(&statGroup_, "rowMisses", "row activations performed"),
+      statBusyTicks_(&statGroup_, "busyTicks", "ticks transferring data"),
+      statStallTicks_(&statGroup_, "stallTicks",
+                      "ticks stalled on activation/gap with work queued"),
+      statIdleTicks_(&statGroup_, "idleTicks", "ticks with empty queue")
+{
+    nc_assert(params_.banksPerChannel > 0, "channel needs >= 1 bank");
+    nc_assert(params_.burstLength > 0, "burst length must be positive");
+}
+
+void
+MemoryChannel::enqueue(const MemRequest &req)
+{
+    nc_assert(canAccept(), "enqueue on a full channel queue");
+    if (req.write) {
+        writeQueue_.push_back(req);
+        ++bufferedWrites_[req.addr];
+    } else {
+        if (bufferedWrites_.count(req.addr)) {
+            // The read depends on a buffered write: drain the write
+            // buffer before any further reads are serviced.
+            hazardDrain_ = true;
+        }
+        queue_.push_back(req);
+    }
+}
+
+void
+MemoryChannel::resetTiming()
+{
+    credit_ = 0.0;
+    burstWords_ = 0;
+    gapRemaining_ = 0;
+    for (auto &row : openRow_)
+        row = noRow;
+    for (auto &ready : bankReady_)
+        ready = 0;
+    for (auto &row : pendingRow_)
+        row = noRow;
+    drainWrites_ = false;
+    lookaheadArmed_ = true;
+}
+
+void
+MemoryChannel::lookaheadActivate(Tick now,
+                                 const std::deque<MemRequest> &queue)
+{
+    size_t window = std::min(queue.size(), lookaheadWindow);
+    uint64_t prev_row = noRow;
+    unsigned distinct_rows = 0;
+    uint32_t banks_needed = 0; // banks earlier queue entries rely on
+    for (size_t i = 0; i < window && distinct_rows < 6; ++i) {
+        uint64_t row = rowOf(queue[i].addr);
+        if (row == prev_row)
+            continue; // streaming within one row
+        prev_row = row;
+        ++distinct_rows;
+        unsigned bank = bankOf(queue[i].addr);
+        uint32_t bank_bit = 1u << (bank % 32);
+        bool activating = now < bankReady_[bank];
+        bool open = !activating && openRow_[bank] == row;
+        if (!activating && !open && !(banks_needed & bank_bit)) {
+            // Safe to pre-activate: no earlier entry still needs the
+            // row currently open in this bank.
+            pendingRow_[bank] = row;
+            bankReady_[bank] = now + params_.activateTicks();
+            statRowMisses_ += 1;
+            // One activation start per tick (command-bus limit).
+            break;
+        }
+        banks_needed |= bank_bit;
+    }
+}
+
+size_t
+MemoryChannel::pickServeIndex(Tick now) const
+{
+    size_t window = std::min(queue_.size(), reorderWindow);
+    for (size_t i = 0; i < window; ++i) {
+        const MemRequest &req = queue_[i];
+        uint64_t row = rowOf(req.addr);
+        unsigned bank = bankOf(req.addr);
+        bool open = now >= bankReady_[bank] && openRow_[bank] == row;
+        if (open)
+            return i;
+    }
+    return SIZE_MAX;
+}
+
+void
+MemoryChannel::serveWord(Tick /* now */, std::deque<MemRequest> &queue,
+                         size_t idx)
+{
+    const uint64_t row = rowOf(queue[idx].addr);
+    const bool is_write = queue[idx].write;
+
+    // Pack up to a word's worth of same-row, same-direction
+    // contiguous requests. With the broadcast ablation enabled,
+    // requests repeating the previous address ride for free: the
+    // vault controller reads the element once and the PNG broadcasts
+    // it into multiple packets.
+    unsigned packed = 0;
+    size_t taken = 0;
+    Addr prev_addr = ~Addr(0);
+    while (idx + taken < queue.size()) {
+        const MemRequest &req = queue[idx + taken];
+        if (req.write != is_write || rowOf(req.addr) != row)
+            break;
+        bool duplicate = params_.broadcastDuplicateReads && !is_write
+                      && req.addr == prev_addr;
+        if (!duplicate && packed >= params_.elementsPerWord())
+            break;
+        if (is_write) {
+            store_.write(req.addr, req.data);
+            auto it = bufferedWrites_.find(req.addr);
+            if (it != bufferedWrites_.end() && --it->second == 0)
+                bufferedWrites_.erase(it);
+            statWrites_ += 1;
+        } else {
+            responses_.push_back({req.addr, store_.read(req.addr),
+                                  req.tag});
+            statReads_ += 1;
+        }
+        if (!duplicate) {
+            statBits_ += 8 * bytesPerElement;
+            ++packed;
+        }
+        prev_addr = req.addr;
+        ++taken;
+    }
+
+    queue.erase(queue.begin() + long(idx),
+                queue.begin() + long(idx + taken));
+
+    credit_ -= 1.0;
+    statBusyTicks_ += 1;
+    statRowHits_ += 1;
+    ++burstWords_;
+    if (burstWords_ >= params_.burstLength) {
+        burstWords_ = 0;
+        gapRemaining_ = params_.burstGapTicks;
+        statBursts_ += 1;
+    }
+}
+
+void
+MemoryChannel::tick(Tick now)
+{
+    // Promote completed activations to open rows.
+    for (unsigned b = 0; b < params_.banksPerChannel; ++b) {
+        if (pendingRow_[b] != noRow && now >= bankReady_[b]) {
+            openRow_[b] = pendingRow_[b];
+            pendingRow_[b] = noRow;
+        }
+    }
+
+    credit_ += params_.wordsPerTick();
+    if (credit_ > 4.0)
+        credit_ = 4.0;
+
+    if (queue_.empty() && writeQueue_.empty()) {
+        statIdleTicks_ += 1;
+        burstWords_ = 0;
+        lookaheadArmed_ = true;
+        if (gapRemaining_ > 0)
+            --gapRemaining_;
+        return;
+    }
+
+    // Write-drain policy: drain on a RAW hazard, when the buffer
+    // passes the high watermark, or when there are no reads to
+    // serve; stop at the low watermark (or empty on a hazard).
+    if (drainWrites_) {
+        if (writeQueue_.empty()
+            || (!hazardDrain_ && queue_.size() > 0
+                && writeQueue_.size() <= writeDrainLow)) {
+            drainWrites_ = false;
+            hazardDrain_ = writeQueue_.empty() ? false : hazardDrain_;
+            lookaheadArmed_ = true;
+        }
+    } else if (hazardDrain_ || writeQueue_.size() >= writeDrainHigh
+               || queue_.empty()) {
+        drainWrites_ = !writeQueue_.empty();
+        lookaheadArmed_ = true;
+    }
+    if (writeQueue_.empty())
+        hazardDrain_ = false;
+
+    // Lookahead only needs to re-scan at burst boundaries or while
+    // stalled; in the middle of a burst nothing it could start has
+    // changed (one activation start per boundary keeps the command
+    // bus honest anyway).
+    if (burstWords_ == 0 || lookaheadArmed_) {
+        lookaheadActivate(now, drainWrites_ ? writeQueue_ : queue_);
+        lookaheadArmed_ = false;
+    }
+
+    if (gapRemaining_ > 0) {
+        --gapRemaining_;
+        statStallTicks_ += 1;
+        return;
+    }
+
+    if (credit_ < 1.0) {
+        statStallTicks_ += 1;
+        return;
+    }
+
+    if (drainWrites_) {
+        // Writes drain strictly in order.
+        uint64_t row = rowOf(writeQueue_.front().addr);
+        unsigned bank = bankOf(writeQueue_.front().addr);
+        if (now >= bankReady_[bank] && openRow_[bank] == row) {
+            serveWord(now, writeQueue_, 0);
+        } else {
+            statStallTicks_ += 1;
+            lookaheadArmed_ = true;
+        }
+        return;
+    }
+
+    if (responses_.size() >= responseBacklogLimit) {
+        // Downstream (PNG / NoC) is not draining reads: stall so
+        // the backpressure reaches the DRAM timing.
+        statStallTicks_ += 1;
+        lookaheadArmed_ = true;
+        return;
+    }
+    size_t idx = pickServeIndex(now);
+    if (idx == SIZE_MAX) {
+        statStallTicks_ += 1;
+        lookaheadArmed_ = true; // stalled: re-scan next tick
+    } else {
+        serveWord(now, queue_, idx);
+    }
+}
+
+} // namespace neurocube

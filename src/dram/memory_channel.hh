@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Cycle-level timing model of one DRAM channel (an HMC vault or a
+ * DDR3 channel).
+ *
+ * The model follows the paper's simulator description (Section VI):
+ * each vault pushes one I/O word per reference tick while in burst
+ * mode; after burstLength words it waits tCCD before the next burst.
+ * Channels slower than the reference clock (DDR3) accumulate
+ * fractional word credit per tick. Row activations cost tRCD + tCL
+ * and are overlapped with ongoing bursts through a small lookahead
+ * window across banks, which models hit-under-activate in a
+ * multi-bank vault.
+ */
+
+#ifndef NEUROCUBE_DRAM_MEMORY_CHANNEL_HH
+#define NEUROCUBE_DRAM_MEMORY_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fixed_point.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/backing_store.hh"
+#include "dram/dram_params.hh"
+
+namespace neurocube
+{
+
+/** One element-granularity access issued by a PNG. */
+struct MemRequest
+{
+    /** True for a write-back, false for a read. */
+    bool write = false;
+    /** Element address within this channel's store. */
+    Addr addr = 0;
+    /** Data to store (writes only). */
+    Fixed data{};
+    /** Opaque tag the issuer uses to match responses. */
+    uint64_t tag = 0;
+};
+
+/** Completion record for one serviced read. */
+struct MemResponse
+{
+    /** Element address that was read. */
+    Addr addr = 0;
+    /** The element value. */
+    Fixed data{};
+    /** Tag copied from the request. */
+    uint64_t tag = 0;
+};
+
+/**
+ * Timing + functional model of one memory channel.
+ *
+ * Requests are serviced in order at word granularity: each serviced
+ * word consumes up to elementsPerWord() queued element requests that
+ * fall in the same DRAM row and share a direction (read/write).
+ */
+class MemoryChannel
+{
+  public:
+    /**
+     * @param params technology parameters
+     * @param parent stat group to hang this channel's stats under
+     * @param name stat path component, e.g. "vault3"
+     */
+    MemoryChannel(const DramParams &params, StatGroup *parent,
+                  const std::string &name);
+
+    /** True while the request queues have room. */
+    bool
+    canAccept() const
+    {
+        return queue_.size() < queueCapacity
+            && writeQueue_.size() < writeBufferCapacity;
+    }
+
+    /** Queue one element access. @pre canAccept() */
+    void enqueue(const MemRequest &req);
+
+    /** Advance one reference-clock tick. */
+    void tick(Tick now);
+
+    /** Serviced reads, in order; consumer pops from the front. */
+    std::deque<MemResponse> &responses() { return responses_; }
+
+    /** True when no requests are queued or in flight. */
+    bool
+    idle() const
+    {
+        return queue_.empty() && writeQueue_.empty()
+            && responses_.empty();
+    }
+
+    /** Functional storage behind this channel. */
+    BackingStore &store() { return store_; }
+    const BackingStore &store() const { return store_; }
+
+    /** Technology parameters. */
+    const DramParams &params() const { return params_; }
+
+    /** Total data moved, in bits (for the energy model). */
+    uint64_t bitsTransferred() const { return statBits_.count(); }
+
+    /** Access energy consumed so far, in joules. */
+    double
+    energyJoules() const
+    {
+        return statBits_.value() * params_.energyPjPerBit * 1.0e-12;
+    }
+
+    /** Reset timing state (between layers); keeps store contents. */
+    void resetTiming();
+
+    /** Maximum queued element read requests. */
+    static constexpr size_t queueCapacity = 64;
+
+    /**
+     * Write-buffer capacity and drain watermarks. Write-backs are
+     * buffered and drained in batches (when the buffer passes the
+     * high watermark, the read queue empties, or a read hits a
+     * buffered address), amortizing the row activations of the
+     * output stream over many writes instead of ping-ponging rows
+     * against the operand streams — standard write-drain policy of
+     * DRAM controllers.
+     */
+    static constexpr size_t writeBufferCapacity = 64;
+    static constexpr size_t writeDrainHigh = 32;
+    static constexpr size_t writeDrainLow = 4;
+
+    /**
+     * Maximum unconsumed read responses before the channel stalls.
+     * Models the finite vault-controller read buffer so NoC
+     * backpressure propagates all the way into the DRAM timing.
+     */
+    static constexpr size_t responseBacklogLimit = 16;
+
+  private:
+    /** Row index of an element address. */
+    uint64_t rowOf(Addr addr) const { return addr / rowElements_; }
+    /**
+     * Bank an element address maps to. The row index is hashed so
+     * that independent sequential streams (states vs weights) rarely
+     * fall into lock-step same-bank conflicts.
+     */
+    unsigned
+    bankOf(Addr addr) const
+    {
+        uint64_t row = rowOf(addr);
+        return unsigned((row ^ (row >> 4)) % params_.banksPerChannel);
+    }
+
+    /** Start pre-activations for upcoming rows in idle banks. */
+    void lookaheadActivate(Tick now,
+                           const std::deque<MemRequest> &queue);
+
+    /**
+     * Pick the queue index to serve this tick: the head when its row
+     * is open, otherwise the first open-row request within the
+     * reorder window (FR-FCFS row-hit-first, never reordering past a
+     * write so read-after-write ordering is preserved).
+     *
+     * @return index into the queue, or SIZE_MAX when nothing can be
+     *         served this tick
+     */
+    size_t pickServeIndex(Tick now) const;
+
+    /** Serve up to one word's worth of requests starting at idx. */
+    void serveWord(Tick now, std::deque<MemRequest> &queue,
+                   size_t idx);
+
+    /** Requests inspected for out-of-order row hits. */
+    static constexpr size_t reorderWindow = 48;
+
+    DramParams params_;
+    BackingStore store_;
+
+    std::deque<MemRequest> queue_;
+    std::deque<MemRequest> writeQueue_;
+    /** Reference counts of buffered write addresses (RAW guard). */
+    std::unordered_map<Addr, unsigned> bufferedWrites_;
+    /** Currently draining the write buffer. */
+    bool drainWrites_ = false;
+    /** A queued read depends on a buffered write: drain fully. */
+    bool hazardDrain_ = false;
+    std::deque<MemResponse> responses_;
+
+    /** Fractional word credit accumulated from the channel rate. */
+    double credit_ = 0.0;
+    /** Words already emitted in the current burst. */
+    unsigned burstWords_ = 0;
+    /** Remaining tCCD gap ticks before the next burst may start. */
+    Tick gapRemaining_ = 0;
+    /** Force a lookahead re-scan on the next tick. */
+    bool lookaheadArmed_ = true;
+
+    /** Per-bank open row (UINT64_MAX = closed). */
+    std::vector<uint64_t> openRow_;
+    /** Per-bank tick at which a pending activation completes. */
+    std::vector<Tick> bankReady_;
+    /** Per-bank row being activated (valid while now < bankReady_). */
+    std::vector<uint64_t> pendingRow_;
+
+    unsigned rowElements_;
+
+    StatGroup statGroup_;
+    Stat statReads_;
+    Stat statWrites_;
+    Stat statBits_;
+    Stat statBursts_;
+    Stat statRowHits_;
+    Stat statRowMisses_;
+    Stat statBusyTicks_;
+    Stat statStallTicks_;
+    Stat statIdleTicks_;
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_DRAM_MEMORY_CHANNEL_HH

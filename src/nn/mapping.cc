@@ -1,0 +1,169 @@
+#include "nn/mapping.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "dram/dram_params.hh"
+
+namespace neurocube
+{
+
+void
+tileGridShape(unsigned num_vaults, const Rect &area, unsigned &grid_w,
+              unsigned &grid_h)
+{
+    if (area.h == 1) {
+        // Vectors are split along their single row.
+        grid_w = num_vaults;
+        grid_h = 1;
+        return;
+    }
+    // Squarest factorization of the vault count (4x4 for 16).
+    unsigned best = 1;
+    for (unsigned f = 1; f * f <= num_vaults; ++f) {
+        if (num_vaults % f == 0)
+            best = f;
+    }
+    grid_h = best;
+    grid_w = num_vaults / best;
+}
+
+Rect
+inputNeeded(const LayerDesc &layer, const Rect &out_tile)
+{
+    if (layer.type == LayerType::FullyConnected) {
+        // Every output neuron reads the whole input.
+        return {0, 0, int32_t(layer.inWidth), int32_t(layer.inHeight)};
+    }
+    int32_t s = int32_t(layer.stride);
+    int32_t k = int32_t(layer.kernel);
+    return {out_tile.x0 * s, out_tile.y0 * s,
+            (out_tile.w - 1) * s + k, (out_tile.h - 1) * s + k};
+}
+
+LayerMapping
+buildLayerMapping(const LayerDesc &layer, const MappingPolicy &policy,
+                  unsigned num_vaults)
+{
+    LayerMapping mapping;
+
+    Rect in_rect{0, 0, int32_t(layer.inWidth), int32_t(layer.inHeight)};
+    Rect out_rect{0, 0, int32_t(layer.outWidth()),
+                  int32_t(layer.outHeight())};
+
+    unsigned gw, gh;
+    tileGridShape(num_vaults, in_rect, gw, gh);
+    mapping.inTiles = TileMap::grid(in_rect, gw, gh);
+    tileGridShape(num_vaults, out_rect, gw, gh);
+    mapping.outTiles = TileMap::grid(out_rect, gw, gh);
+
+    mapping.weightsPerNeuron =
+        layer.type == LayerType::FullyConnected;
+
+    bool fc = layer.type == LayerType::FullyConnected;
+    bool duplicate = fc ? policy.duplicateFcInput
+                        : policy.duplicateConvHalo;
+
+    mapping.storedInput.resize(num_vaults);
+    mapping.weightElements.resize(num_vaults);
+    bool any_dup = false;
+    for (unsigned v = 0; v < num_vaults; ++v) {
+        Rect owned = mapping.inTiles.tile(v);
+        if (duplicate) {
+            Rect needed = inputNeeded(layer, mapping.outTiles.tile(v));
+            // Clip to the image; keep at least the owned tile so the
+            // vault still serves its share of lateral requests when
+            // its own output tile is degenerate.
+            Rect stored{std::min(needed.x0, owned.x0),
+                        std::min(needed.y0, owned.y0), 0, 0};
+            stored.w = std::max(needed.x0 + needed.w,
+                                owned.x0 + owned.w) - stored.x0;
+            stored.h = std::max(needed.y0 + needed.h,
+                                owned.y0 + owned.h) - stored.y0;
+            stored = stored.expandedWithin(0, in_rect);
+            mapping.storedInput[v] = stored;
+            if (stored.count() > owned.count())
+                any_dup = true;
+        } else {
+            mapping.storedInput[v] = owned;
+        }
+
+        if (fc) {
+            // Partitioned weight matrix (Fig. 10d/e).
+            uint64_t out_count;
+            uint64_t conns = layer.connectionsPerNeuron();
+            if (duplicate) {
+                // Rows of the vault's own output neurons.
+                out_count = mapping.outTiles.tile(v).count();
+                mapping.weightElements[v] = out_count * conns;
+            } else {
+                // Columns of the vault's input slice, for all rows.
+                uint64_t slice = mapping.inTiles.tile(v).count()
+                               * layer.inMaps;
+                mapping.weightElements[v] =
+                    uint64_t(layer.outMaps) * slice;
+            }
+        } else if (layer.type == LayerType::Conv2D
+                   && layer.perNeuronWeights) {
+            // Per-neuron weights are partitioned with the outputs.
+            mapping.weightElements[v] =
+                mapping.outTiles.tile(v).count()
+                * layer.connectionsPerNeuron() * layer.outMaps;
+        } else {
+            // Shared kernels are duplicated in every vault.
+            mapping.weightElements[v] = layer.weightCount();
+        }
+    }
+    mapping.duplicated = duplicate && (any_dup || fc);
+    return mapping;
+}
+
+LayerFootprint
+layerFootprint(const LayerDesc &layer, const MappingPolicy &policy,
+               unsigned num_vaults)
+{
+    LayerMapping mapping = buildLayerMapping(layer, policy, num_vaults);
+
+    LayerFootprint fp;
+    fp.inputBytes = layer.inputElements() * bytesPerElement;
+    fp.weightBytes = layer.weightCount() * bytesPerElement;
+    fp.outputBytes = layer.outputElements() * bytesPerElement;
+
+    uint64_t stored_input = 0;
+    uint64_t stored_weights = 0;
+    for (unsigned v = 0; v < num_vaults; ++v) {
+        stored_input += mapping.storedInput[v].count() * layer.inMaps;
+        stored_weights += mapping.weightElements[v];
+    }
+    fp.duplicationBytes =
+        stored_input * bytesPerElement - fp.inputBytes;
+    fp.weightCopyBytes =
+        stored_weights * bytesPerElement - fp.weightBytes;
+    return fp;
+}
+
+uint64_t
+networkUniqueBytes(const std::vector<LayerDesc> &layers)
+{
+    nc_assert(!layers.empty(), "footprint of an empty network");
+    uint64_t bytes = layers.front().inputElements() * bytesPerElement;
+    for (const LayerDesc &layer : layers) {
+        bytes += (layer.weightCount() + layer.outputElements())
+               * bytesPerElement;
+    }
+    return bytes;
+}
+
+uint64_t
+networkDuplicationBytes(const std::vector<LayerDesc> &layers,
+                        const MappingPolicy &policy,
+                        unsigned num_vaults)
+{
+    uint64_t bytes = 0;
+    for (const LayerDesc &layer : layers)
+        bytes += layerFootprint(layer, policy, num_vaults)
+                     .duplicationBytes;
+    return bytes;
+}
+
+} // namespace neurocube

@@ -1,0 +1,208 @@
+#include "nn/recurrent.hh"
+
+#include "common/logging.hh"
+#include "nn/reference.hh"
+
+namespace neurocube
+{
+
+LayerDesc
+RnnDesc::stepLayer() const
+{
+    LayerDesc fc;
+    fc.type = LayerType::FullyConnected;
+    fc.name = "rnn-step";
+    fc.inWidth = inputSize + hiddenSize + 1;
+    fc.inHeight = 1;
+    fc.inMaps = 1;
+    fc.outMaps = hiddenSize;
+    fc.activation = activation;
+    return fc;
+}
+
+uint64_t
+RnnDesc::weightCount() const
+{
+    return uint64_t(hiddenSize) * (inputSize + hiddenSize + 1);
+}
+
+LayerDesc
+LstmDesc::gateLayer(ActivationKind act) const
+{
+    LayerDesc fc;
+    fc.type = LayerType::FullyConnected;
+    fc.name = "lstm-gate";
+    fc.inWidth = inputSize + hiddenSize + 1;
+    fc.inHeight = 1;
+    fc.inMaps = 1;
+    fc.outMaps = hiddenSize;
+    fc.activation = act;
+    return fc;
+}
+
+uint64_t
+LstmDesc::gateWeightCount() const
+{
+    return uint64_t(hiddenSize) * (inputSize + hiddenSize + 1);
+}
+
+LstmWeights
+LstmWeights::randomized(const LstmDesc &desc, uint64_t seed)
+{
+    Rng rng(seed);
+    uint64_t count = desc.gateWeightCount();
+    double bound = 2.0 / double(desc.inputSize + desc.hiddenSize + 1);
+    auto fill = [&](std::vector<Fixed> &w) {
+        w.resize(count);
+        for (Fixed &v : w)
+            v = Fixed::fromDouble(rng.uniform(-bound, bound));
+    };
+    LstmWeights weights;
+    fill(weights.wi);
+    fill(weights.wf);
+    fill(weights.wo);
+    fill(weights.wg);
+    return weights;
+}
+
+Tensor
+concatWithBias(const Tensor &x, const Tensor &h)
+{
+    nc_assert(x.maps() == 1 && x.height() == 1
+                  && h.maps() == 1 && h.height() == 1,
+              "concatWithBias expects 1x1xN vectors");
+    Tensor z(1, 1, x.width() + h.width() + 1);
+    for (unsigned i = 0; i < x.width(); ++i)
+        z.at(0, 0, i) = x.at(0, 0, i);
+    for (unsigned i = 0; i < h.width(); ++i)
+        z.at(0, 0, x.width() + i) = h.at(0, 0, i);
+    z.at(0, 0, x.width() + h.width()) = Fixed::fromDouble(1.0);
+    return z;
+}
+
+LayerDesc
+lstmCellUpdateLayer(unsigned hidden)
+{
+    LayerDesc cell;
+    cell.type = LayerType::Conv2D;
+    cell.name = "lstm-cell";
+    cell.inWidth = hidden;
+    cell.inHeight = 1;
+    cell.inMaps = 2;
+    cell.outMaps = 1;
+    cell.kernel = 1;
+    cell.channelwise = false;
+    cell.perNeuronWeights = true;
+    cell.activation = ActivationKind::Identity;
+    return cell;
+}
+
+/** One-plane per-neuron scaling layer: out = act(in (.) scale). */
+LayerDesc
+lstmScaleLayer(unsigned hidden, ActivationKind act, const char *name)
+{
+    LayerDesc layer;
+    layer.type = LayerType::Conv2D;
+    layer.name = name;
+    layer.inWidth = hidden;
+    layer.inHeight = 1;
+    layer.inMaps = 1;
+    layer.outMaps = 1;
+    layer.kernel = 1;
+    layer.channelwise = false;
+    layer.perNeuronWeights = true;
+    layer.activation = act;
+    return layer;
+}
+
+/** Stack two 1x1xN vectors into a 2-plane tensor. */
+Tensor
+stackPlanes(const Tensor &a, const Tensor &b)
+{
+    Tensor out(2, 1, a.width());
+    for (unsigned i = 0; i < a.width(); ++i) {
+        out.at(0, 0, i) = a.at(0, 0, i);
+        out.at(1, 0, i) = b.at(0, 0, i);
+    }
+    return out;
+}
+
+/** Interleave two gate vectors into per-neuron weights [f_j, i_j]. */
+std::vector<Fixed>
+interleaveGates(const Tensor &f, const Tensor &i)
+{
+    std::vector<Fixed> w(size_t(f.width()) * 2);
+    for (unsigned j = 0; j < f.width(); ++j) {
+        w[size_t(j) * 2] = f.at(0, 0, j);
+        w[size_t(j) * 2 + 1] = i.at(0, 0, j);
+    }
+    return w;
+}
+
+/** Per-neuron weights from one gate vector. */
+std::vector<Fixed>
+gateWeights(const Tensor &gate)
+{
+    std::vector<Fixed> w(gate.width());
+    for (unsigned j = 0; j < gate.width(); ++j)
+        w[j] = gate.at(0, 0, j);
+    return w;
+}
+
+/** Constant-1.0 per-neuron weights (a pure activation pass). */
+std::vector<Fixed>
+unitWeights(unsigned hidden)
+{
+    return std::vector<Fixed>(hidden, Fixed::fromDouble(1.0));
+}
+
+std::vector<Tensor>
+referenceRnn(const RnnDesc &desc, const std::vector<Fixed> &weights,
+             const std::vector<Tensor> &inputs)
+{
+    nc_assert(weights.size() == desc.weightCount(),
+              "RNN weight block size mismatch");
+    LayerDesc step = desc.stepLayer();
+    Tensor h(1, 1, desc.hiddenSize);
+    std::vector<Tensor> states;
+    for (const Tensor &x : inputs) {
+        Tensor z = concatWithBias(x, h);
+        h = referenceLayer(step, weights, z);
+        states.push_back(h);
+    }
+    return states;
+}
+
+std::vector<Tensor>
+referenceLstm(const LstmDesc &desc, const LstmWeights &weights,
+              const std::vector<Tensor> &inputs)
+{
+    LayerDesc sig = desc.gateLayer(ActivationKind::Sigmoid);
+    LayerDesc tanh_gate = desc.gateLayer(ActivationKind::Tanh);
+    LayerDesc cell = lstmCellUpdateLayer(desc.hiddenSize);
+    LayerDesc tanh_c = lstmScaleLayer(desc.hiddenSize,
+                                      ActivationKind::Tanh,
+                                      "tanh-c");
+    LayerDesc out_scale = lstmScaleLayer(
+        desc.hiddenSize, ActivationKind::Identity, "h");
+
+    Tensor h(1, 1, desc.hiddenSize);
+    Tensor c(1, 1, desc.hiddenSize);
+    std::vector<Tensor> states;
+    for (const Tensor &x : inputs) {
+        Tensor z = concatWithBias(x, h);
+        Tensor i = referenceLayer(sig, weights.wi, z);
+        Tensor f = referenceLayer(sig, weights.wf, z);
+        Tensor o = referenceLayer(sig, weights.wo, z);
+        Tensor g = referenceLayer(tanh_gate, weights.wg, z);
+        c = referenceLayer(cell, interleaveGates(f, i),
+                           stackPlanes(c, g));
+        Tensor tc = referenceLayer(tanh_c,
+                                   unitWeights(desc.hiddenSize), c);
+        h = referenceLayer(out_scale, gateWeights(o), tc);
+        states.push_back(h);
+    }
+    return states;
+}
+
+} // namespace neurocube

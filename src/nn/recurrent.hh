@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Recurrent networks on the Neurocube (paper Section VI, "Extending
+ * Neurocube for Other Neural Networks").
+ *
+ * The paper claims that an RNN "is equivalent to a deep MLP after
+ * unfolding in time", and that LSTM "can be realized by updating the
+ * LUT for each layer during programming". This module makes both
+ * claims executable:
+ *
+ *  - a vanilla RNN step h_t = act(W * [x_t, h_{t-1}, 1]) is one
+ *    fully connected pass over the concatenated input (the trailing
+ *    1 folds the bias into the weight matrix); a T-step sequence is
+ *    T such passes with shared weights;
+ *  - an LSTM step is seven passes: four fully connected gate passes
+ *    (i, f, o with sigmoid LUTs; g with a tanh LUT — exactly the
+ *    per-pass LUT reprogramming the paper describes), the cell
+ *    update c = f (.) c_prev + i (.) g as one per-neuron-weight
+ *    elementwise pass, a tanh pass over c, and h = o (.) tanh(c) as
+ *    a final elementwise pass.
+ *
+ * Both the machine path (executing on a Neurocube) and a sequential
+ * reference path are provided; they are bit-identical.
+ */
+
+#ifndef NEUROCUBE_NN_RECURRENT_HH
+#define NEUROCUBE_NN_RECURRENT_HH
+
+#include <vector>
+
+#include "nn/layer.hh"
+#include "nn/network.hh"
+#include "nn/tensor.hh"
+
+namespace neurocube
+{
+
+/** A vanilla recurrent layer unrolled over time. */
+struct RnnDesc
+{
+    unsigned inputSize = 0;
+    unsigned hiddenSize = 0;
+    unsigned timeSteps = 1;
+    ActivationKind activation = ActivationKind::Tanh;
+
+    /** The FC layer descriptor of one unfolded step. */
+    LayerDesc stepLayer() const;
+    /** Weights per step: hidden x (input + hidden + 1 bias). */
+    uint64_t weightCount() const;
+};
+
+/** Parameters of an LSTM layer (four gate matrices). */
+struct LstmDesc
+{
+    unsigned inputSize = 0;
+    unsigned hiddenSize = 0;
+    unsigned timeSteps = 1;
+
+    /** The FC descriptor of one gate pass. */
+    LayerDesc gateLayer(ActivationKind activation) const;
+    /** Weights per gate: hidden x (input + hidden + 1 bias). */
+    uint64_t gateWeightCount() const;
+};
+
+/** Gate weight blocks of an LSTM. */
+struct LstmWeights
+{
+    std::vector<Fixed> wi; ///< input gate
+    std::vector<Fixed> wf; ///< forget gate
+    std::vector<Fixed> wo; ///< output gate
+    std::vector<Fixed> wg; ///< candidate
+
+    /** Random initialization sized for the descriptor. */
+    static LstmWeights randomized(const LstmDesc &desc,
+                                  uint64_t seed);
+};
+
+/** Concatenate [x, h, 1] into one FC input vector. */
+Tensor concatWithBias(const Tensor &x, const Tensor &h);
+
+/**
+ * The elementwise cell-update layer c = f (.) c_prev + i (.) g as a
+ * per-neuron-weight 1x1 convolution: the input tensor stacks the
+ * planes (c_prev, g) and the weight block interleaves (f_j, i_j).
+ */
+LayerDesc lstmCellUpdateLayer(unsigned hidden);
+
+/** One-plane per-neuron scaling layer: out = act(in (.) scale). */
+LayerDesc lstmScaleLayer(unsigned hidden, ActivationKind act,
+                         const char *name);
+
+/** Stack two 1x1xN vectors into a 2-plane tensor. */
+Tensor stackPlanes(const Tensor &a, const Tensor &b);
+
+/** Interleave two gate vectors into per-neuron weights [f_j, i_j]. */
+std::vector<Fixed> interleaveGates(const Tensor &f, const Tensor &i);
+
+/** Per-neuron weights from one gate vector. */
+std::vector<Fixed> gateWeights(const Tensor &gate);
+
+/** Constant-1.0 per-neuron weights (a pure activation pass). */
+std::vector<Fixed> unitWeights(unsigned hidden);
+
+/** Sequential reference of the RNN (bit-exact with the machine). */
+std::vector<Tensor> referenceRnn(const RnnDesc &desc,
+                                 const std::vector<Fixed> &weights,
+                                 const std::vector<Tensor> &inputs);
+
+/** Sequential reference of the LSTM (bit-exact with the machine). */
+std::vector<Tensor> referenceLstm(const LstmDesc &desc,
+                                  const LstmWeights &weights,
+                                  const std::vector<Tensor> &inputs);
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_NN_RECURRENT_HH

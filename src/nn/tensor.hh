@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A minimal plane-major fixed-point tensor (maps x height x width).
+ *
+ * Used for network inputs, reference activations and weight blocks.
+ * Values are Q1.7.8 so the sequential reference model and the
+ * cycle-level simulation operate on identical bit patterns.
+ */
+
+#ifndef NEUROCUBE_NN_TENSOR_HH
+#define NEUROCUBE_NN_TENSOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace neurocube
+{
+
+/** Plane-major 3D tensor of Q1.7.8 values. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Zero-filled tensor of the given shape. */
+    Tensor(unsigned maps, unsigned height, unsigned width)
+        : maps_(maps), height_(height), width_(width),
+          data_(size_t(maps) * height * width)
+    {
+    }
+
+    unsigned maps() const { return maps_; }
+    unsigned height() const { return height_; }
+    unsigned width() const { return width_; }
+
+    /** Total elements. */
+    size_t size() const { return data_.size(); }
+
+    /** Element accessor. */
+    Fixed &
+    at(unsigned map, unsigned y, unsigned x)
+    {
+        nc_assert(map < maps_ && y < height_ && x < width_,
+                  "tensor index (%u,%u,%u) out of (%u,%u,%u)", map, y,
+                  x, maps_, height_, width_);
+        return data_[(size_t(map) * height_ + y) * width_ + x];
+    }
+
+    /** Const element accessor. */
+    Fixed
+    at(unsigned map, unsigned y, unsigned x) const
+    {
+        return const_cast<Tensor *>(this)->at(map, y, x);
+    }
+
+    /** Flat storage (plane-major). */
+    const std::vector<Fixed> &flat() const { return data_; }
+    std::vector<Fixed> &flat() { return data_; }
+
+    /** Fill with uniform values in [lo, hi] from a seeded RNG. */
+    void
+    randomize(Rng &rng, double lo = -1.0, double hi = 1.0)
+    {
+        for (Fixed &v : data_)
+            v = Fixed::fromDouble(rng.uniform(lo, hi));
+    }
+
+    bool operator==(const Tensor &other) const = default;
+
+  private:
+    unsigned maps_ = 0;
+    unsigned height_ = 0;
+    unsigned width_ = 0;
+    std::vector<Fixed> data_;
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_NN_TENSOR_HH

@@ -1,0 +1,263 @@
+#include "noc/fabric.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace neurocube
+{
+
+NocFabric::NocFabric(const Config &config, StatGroup *parent)
+    : config_(config),
+      pePort_(config.numNodes),
+      memPort_(config.numNodes),
+      peDelivery_(config.numNodes),
+      memDelivery_(config.numNodes),
+      statGroup_(parent, "noc"),
+      statLateral_(&statGroup_, "lateralPackets",
+                   "packets crossing between nodes"),
+      statLocal_(&statGroup_, "localPackets",
+                 "packets staying within their node"),
+      statEjected_(&statGroup_, "ejected", "packets ejected at endpoints"),
+      statLatencySum_(&statGroup_, "latencySum",
+                      "sum of end-to-end packet latencies (ticks)"),
+      statLinkFlits_(&statGroup_, "linkFlits",
+                     "packet transfers over router-to-router links")
+{
+    switch (config_.topology) {
+      case NocTopology::Mesh2D:
+        buildMesh();
+        break;
+      case NocTopology::FullyConnected:
+        buildFullyConnected();
+        break;
+    }
+}
+
+void
+NocFabric::buildMesh()
+{
+    const unsigned n = config_.numNodes;
+    meshWidth_ = static_cast<unsigned>(std::lround(std::sqrt(double(n))));
+    nc_assert(meshWidth_ * meshWidth_ == n,
+              "mesh needs a square node count, got %u", n);
+
+    Router::Config rc;
+    rc.numPorts = MeshPortCount;
+    rc.bufferDepth = config_.bufferDepth;
+    rc.numNodes = n;
+    rc.portWidth.assign(MeshPortCount, config_.linkWidth);
+    rc.portWidth[PortPe] = config_.localPortWidth;
+    rc.portWidth[PortMem] = config_.localPortWidth;
+
+    for (unsigned i = 0; i < n; ++i) {
+        routers_.push_back(std::make_unique<Router>(
+            rc, &statGroup_, "router" + std::to_string(i)));
+        pePort_[i] = PortPe;
+        memPort_[i] = PortMem;
+    }
+
+    // X-Y deterministic routing tables.
+    for (unsigned r = 0; r < n; ++r) {
+        unsigned rx = r % meshWidth_;
+        unsigned ry = r / meshWidth_;
+        for (unsigned d = 0; d < n; ++d) {
+            unsigned dx = d % meshWidth_;
+            unsigned dy = d / meshWidth_;
+            unsigned port;
+            if (dx > rx)
+                port = PortEast;
+            else if (dx < rx)
+                port = PortWest;
+            else if (dy > ry)
+                port = PortSouth;
+            else if (dy < ry)
+                port = PortNorth;
+            else
+                port = PortPe; // replaced below for mem destinations
+            routers_[r]->setRoute(routeIndex(d, false, n), port);
+            routers_[r]->setRoute(routeIndex(d, true, n),
+                                  (dx == rx && dy == ry) ? PortMem
+                                                         : port);
+        }
+    }
+
+    // Neighbour links (both directions).
+    auto add_link = [&](unsigned a, unsigned ap, unsigned b,
+                        unsigned bp) {
+        links_.push_back({a, ap, b, bp, config_.linkWidth});
+    };
+    for (unsigned y = 0; y < meshWidth_; ++y) {
+        for (unsigned x = 0; x < meshWidth_; ++x) {
+            unsigned r = y * meshWidth_ + x;
+            if (x + 1 < meshWidth_) {
+                unsigned e = r + 1;
+                add_link(r, PortEast, e, PortWest);
+                add_link(e, PortWest, r, PortEast);
+            }
+            if (y + 1 < meshWidth_) {
+                unsigned s = r + meshWidth_;
+                add_link(r, PortSouth, s, PortNorth);
+                add_link(s, PortNorth, r, PortSouth);
+            }
+        }
+    }
+}
+
+void
+NocFabric::buildFullyConnected()
+{
+    const unsigned n = config_.numNodes;
+    nc_assert(n >= 2, "fully connected NoC needs >= 2 nodes");
+
+    // Ports: 0..n-2 are direct channels to the other routers, then
+    // the PE port and the memory port (17 channels for 16 nodes).
+    const unsigned pe_port = n - 1;
+    const unsigned mem_port = n;
+
+    Router::Config rc;
+    rc.numPorts = n + 1;
+    rc.bufferDepth = config_.bufferDepth;
+    rc.numNodes = n;
+    rc.portWidth.assign(rc.numPorts, config_.linkWidth);
+    rc.portWidth[pe_port] = config_.localPortWidth;
+    rc.portWidth[mem_port] = config_.localPortWidth;
+
+    for (unsigned i = 0; i < n; ++i) {
+        routers_.push_back(std::make_unique<Router>(
+            rc, &statGroup_, "router" + std::to_string(i)));
+        pePort_[i] = pe_port;
+        memPort_[i] = mem_port;
+    }
+
+    auto neighbour_port = [&](unsigned self, unsigned other) {
+        return other < self ? other : other - 1;
+    };
+
+    for (unsigned r = 0; r < n; ++r) {
+        for (unsigned d = 0; d < n; ++d) {
+            unsigned port = (d == r) ? pe_port : neighbour_port(r, d);
+            routers_[r]->setRoute(routeIndex(d, false, n), port);
+            routers_[r]->setRoute(routeIndex(d, true, n),
+                                  (d == r) ? mem_port : port);
+        }
+    }
+
+    for (unsigned a = 0; a < n; ++a) {
+        for (unsigned b = 0; b < n; ++b) {
+            if (a == b)
+                continue;
+            links_.push_back({a, neighbour_port(a, b), b,
+                              neighbour_port(b, a),
+                              config_.linkWidth});
+        }
+    }
+}
+
+void
+NocFabric::accountInjection(unsigned node, const Packet &packet)
+{
+    if (packet.dst == node)
+        statLocal_ += 1;
+    else
+        statLateral_ += 1;
+}
+
+unsigned
+NocFabric::memInjectSpace(VaultId v) const
+{
+    return routers_[v]->inputSpace(memPort_[v]);
+}
+
+void
+NocFabric::injectFromMem(VaultId v, const Packet &packet, Tick now)
+{
+    Packet p = packet;
+    p.injectTick = now;
+    accountInjection(v, p);
+    routers_[v]->pushInput(memPort_[v], p);
+}
+
+unsigned
+NocFabric::peInjectSpace(PeId p) const
+{
+    return routers_[p]->inputSpace(pePort_[p]);
+}
+
+void
+NocFabric::injectFromPe(PeId p, const Packet &packet, Tick now)
+{
+    Packet pk = packet;
+    pk.injectTick = now;
+    accountInjection(p, pk);
+    routers_[p]->pushInput(pePort_[p], pk);
+}
+
+void
+NocFabric::tick(Tick now)
+{
+    // Phase 1: switch allocation in every router.
+    for (auto &router : routers_)
+        router->tick();
+
+    // Phase 2: router-to-router links (credit = downstream space).
+    for (const Link &link : links_) {
+        auto &out = routers_[link.srcRouter]->outputQueue(link.srcPort);
+        unsigned budget = link.width;
+        while (budget > 0 && !out.empty()
+               && routers_[link.dstRouter]->inputSpace(link.dstPort)
+                      > 0) {
+            routers_[link.dstRouter]->pushInput(link.dstPort,
+                                                out.front());
+            out.pop_front();
+            --budget;
+            statLinkFlits_ += 1;
+        }
+    }
+
+    // Phase 3: ejection into endpoint delivery queues.
+    for (unsigned node = 0; node < config_.numNodes; ++node) {
+        auto eject = [&](unsigned port, std::deque<Packet> &sink) {
+            auto &out = routers_[node]->outputQueue(port);
+            unsigned budget = routers_[node]->portWidth(port);
+            while (budget > 0 && !out.empty()
+                   && sink.size() < config_.deliveryDepth) {
+                statEjected_ += 1;
+                statLatencySum_ += (now - out.front().injectTick);
+                sink.push_back(out.front());
+                out.pop_front();
+                --budget;
+            }
+        };
+        eject(pePort_[node], peDelivery_[node]);
+        eject(memPort_[node], memDelivery_[node]);
+    }
+}
+
+bool
+NocFabric::routersIdle() const
+{
+    for (const auto &router : routers_) {
+        if (!router->idle())
+            return false;
+    }
+    return true;
+}
+
+bool
+NocFabric::idle() const
+{
+    if (!routersIdle())
+        return false;
+    for (const auto &q : peDelivery_) {
+        if (!q.empty())
+            return false;
+    }
+    for (const auto &q : memDelivery_) {
+        if (!q.empty())
+            return false;
+    }
+    return true;
+}
+
+} // namespace neurocube

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * NoC fabric: routers wired into a topology, plus endpoint queues.
+ *
+ * Two topologies from the paper are provided:
+ *  - 2D mesh with deterministic X-Y routing (Fig. 6a), the baseline
+ *    Neurocube NoC;
+ *  - fully connected, where every router has a direct channel to
+ *    every other router (Fig. 6b, 17 in/out channels per router for
+ *    16 nodes), used in the Section VI-C comparison.
+ *
+ * Credit-based flow control is modelled by space checks against the
+ * downstream FIFO a link feeds (zero-latency credit return). Each
+ * node hosts one PE endpoint and one memory (PNG) endpoint.
+ */
+
+#ifndef NEUROCUBE_NOC_FABRIC_HH
+#define NEUROCUBE_NOC_FABRIC_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "noc/packet.hh"
+#include "noc/router.hh"
+
+namespace neurocube
+{
+
+/** Which paper topology to instantiate. */
+enum class NocTopology
+{
+    Mesh2D,
+    FullyConnected,
+};
+
+/** Routers wired into a topology with PE/memory endpoints. */
+class NocFabric
+{
+  public:
+    /** Structural parameters of the fabric. */
+    struct Config
+    {
+        NocTopology topology = NocTopology::Mesh2D;
+        /** Number of nodes; must be a perfect square for the mesh. */
+        unsigned numNodes = 16;
+        /** Router FIFO depth (paper: 16). */
+        unsigned bufferDepth = 16;
+        /** Packets per cycle on PE/memory ports (2: one DRAM word). */
+        unsigned localPortWidth = 2;
+        /** Packets per cycle on router-to-router channels. */
+        unsigned linkWidth = 1;
+        /** Capacity of each endpoint delivery queue. */
+        unsigned deliveryDepth = 32;
+    };
+
+    /**
+     * @param config structural parameters
+     * @param parent stat group parent
+     */
+    NocFabric(const Config &config, StatGroup *parent);
+
+    /** Space available for PNG injection at node v. */
+    unsigned memInjectSpace(VaultId v) const;
+    /** Inject a packet from the PNG at node v. */
+    void injectFromMem(VaultId v, const Packet &packet, Tick now);
+
+    /** Space available for PE injection at node p. */
+    unsigned peInjectSpace(PeId p) const;
+    /** Inject a packet from the PE at node p. */
+    void injectFromPe(PeId p, const Packet &packet, Tick now);
+
+    /** Packets delivered to PE p; the PE pops from the front. */
+    std::deque<Packet> &peDelivery(PeId p) { return peDelivery_[p]; }
+    /** Packets delivered to the PNG/memory port at node v. */
+    std::deque<Packet> &memDelivery(VaultId v)
+    {
+        return memDelivery_[v];
+    }
+
+    /** Advance one cycle: switch all routers, then move all links. */
+    void tick(Tick now);
+
+    /** True when no packet is anywhere in the fabric. */
+    bool idle() const;
+
+    /**
+     * True when no packet is inside a router (packets may still be
+     * waiting in endpoint delivery queues).
+     */
+    bool routersIdle() const;
+
+    /** Structural parameters. */
+    const Config &config() const { return config_; }
+
+    /** Packets whose source and destination node differ. */
+    uint64_t lateralPackets() const { return statLateral_.count(); }
+    /** Packets delivered to a same-node destination. */
+    uint64_t localPackets() const { return statLocal_.count(); }
+    /** Total packets ejected at endpoints. */
+    uint64_t
+    ejectedPackets() const
+    {
+        return statEjected_.count();
+    }
+    /** Mean end-to-end packet latency in ticks. */
+    double
+    meanLatency() const
+    {
+        uint64_t n = statEjected_.count();
+        return n ? statLatencySum_.value() / double(n) : 0.0;
+    }
+
+    /** Fraction of traffic that crossed between nodes. */
+    double
+    lateralFraction() const
+    {
+        uint64_t total = statLateral_.count() + statLocal_.count();
+        return total ? double(statLateral_.count()) / double(total)
+                     : 0.0;
+    }
+
+    /** Direct access to a router (tests and layout tools). */
+    Router &router(unsigned node) { return *routers_[node]; }
+
+  private:
+    /** A unidirectional channel between two router ports. */
+    struct Link
+    {
+        unsigned srcRouter;
+        unsigned srcPort;
+        unsigned dstRouter;
+        unsigned dstPort;
+        unsigned width;
+    };
+
+    void buildMesh();
+    void buildFullyConnected();
+    void accountInjection(unsigned node, const Packet &packet);
+
+    Config config_;
+    unsigned meshWidth_ = 0;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<Link> links_;
+    /** Per node: output port feeding the PE endpoint. */
+    std::vector<unsigned> pePort_;
+    /** Per node: output port feeding the memory endpoint. */
+    std::vector<unsigned> memPort_;
+    std::vector<std::deque<Packet>> peDelivery_;
+    std::vector<std::deque<Packet>> memDelivery_;
+
+    StatGroup statGroup_;
+    Stat statLateral_;
+    Stat statLocal_;
+    Stat statEjected_;
+    Stat statLatencySum_;
+    Stat statLinkFlits_;
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_NOC_FABRIC_HH

@@ -1,0 +1,107 @@
+#include "noc/router.hh"
+
+#include "common/logging.hh"
+
+namespace neurocube
+{
+
+Router::Router(const Config &config, StatGroup *parent,
+               const std::string &name)
+    : config_(config),
+      inputQueue_(config.numPorts),
+      outputQueue_(config.numPorts),
+      routeTable_(2 * config.numNodes, ~0u),
+      statGroup_(parent, name),
+      statSwitched_(&statGroup_, "switched", "packets switched"),
+      statBlocked_(&statGroup_, "blocked",
+                   "input-port cycles blocked on a full output")
+{
+    nc_assert(config_.numPorts >= 2, "router needs at least 2 ports");
+}
+
+void
+Router::setRoute(unsigned route_index, unsigned out_port)
+{
+    nc_assert(route_index < routeTable_.size(),
+              "route index %u out of range", route_index);
+    nc_assert(out_port < config_.numPorts,
+              "out port %u out of range", out_port);
+    routeTable_[route_index] = out_port;
+}
+
+void
+Router::pushInput(unsigned port, const Packet &packet)
+{
+    nc_assert(port < config_.numPorts, "bad input port %u", port);
+    nc_assert(inputSpace(port) > 0,
+              "push into full input FIFO (credit violation)");
+    inputQueue_[port].push_back(packet);
+    ++bufferedInputs_;
+}
+
+bool
+Router::idle() const
+{
+    for (const auto &q : inputQueue_) {
+        if (!q.empty())
+            return false;
+    }
+    for (const auto &q : outputQueue_) {
+        if (!q.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+Router::tick()
+{
+    const unsigned nports = config_.numPorts;
+
+    if (bufferedInputs_ == 0) {
+        // Nothing to switch; just rotate the daisy chain.
+        priority_ = (priority_ + 1) % nports;
+        return;
+    }
+
+    // Remaining output enqueue slots this cycle (crossbar width).
+    outBudget_.resize(nports);
+    for (unsigned p = 0; p < nports; ++p) {
+        unsigned width = portWidth(p);
+        unsigned space = outputSpace(p);
+        outBudget_[p] = std::min(width, space);
+    }
+
+    // Visit inputs in rotating daisy-chain priority order.
+    for (unsigned i = 0; i < nports; ++i) {
+        unsigned in = (priority_ + i) % nports;
+        unsigned in_budget = portWidth(in);
+        while (in_budget > 0 && !inputQueue_[in].empty()) {
+            const Packet &head = inputQueue_[in].front();
+            unsigned idx = routeIndex(head.dst, head.dstIsMem,
+                                      config_.numNodes);
+            nc_assert(idx < routeTable_.size(),
+                      "unroutable destination %u", head.dst);
+            unsigned out = routeTable_[idx];
+            nc_assert(out != ~0u, "no route installed for dst %u%s",
+                      head.dst, head.dstIsMem ? " (mem)" : "");
+            if (outBudget_[out] == 0) {
+                // Head-of-line blocked; wormhole switching cannot
+                // reorder behind the blocked head.
+                statBlocked_ += 1;
+                break;
+            }
+            outputQueue_[out].push_back(head);
+            inputQueue_[in].pop_front();
+            --bufferedInputs_;
+            --outBudget_[out];
+            --in_budget;
+            statSwitched_ += 1;
+        }
+    }
+
+    // Rotate the daisy chain (priorities update every clock cycle).
+    priority_ = (priority_ + 1) % nports;
+}
+
+} // namespace neurocube

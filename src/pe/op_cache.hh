@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Sub-banked SRAM cache buffering out-of-order operand packets
+ * (paper Section V-B, Fig. 11).
+ *
+ * Packets whose OP-ID is ahead of the PE's OP-counter are parked in
+ * one of 16 sub-banks selected by OP-ID mod 16; each sub-bank holds up
+ * to 64 entries (2.5 KB total: 20-bit words, 16 MACs, 4-deep
+ * buffering). When the OP-counter advances, the PE performs a full
+ * search of the corresponding sub-bank, which costs between 16 clock
+ * cycles (one per MAC) and 64 (a full sub-bank scan).
+ */
+
+#ifndef NEUROCUBE_PE_OP_CACHE_HH
+#define NEUROCUBE_PE_OP_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "noc/packet.hh"
+
+namespace neurocube
+{
+
+/** The PE's operand reorder cache. */
+class OpCache
+{
+  public:
+    /** Structural parameters. */
+    struct Config
+    {
+        /** Number of sub-banks (paper: 16). */
+        unsigned numSubBanks = 16;
+        /** Entries per sub-bank (paper: 64). */
+        unsigned entriesPerSubBank = 64;
+    };
+
+    /**
+     * @param config structural parameters
+     * @param parent stat group parent
+     */
+    OpCache(const Config &config, StatGroup *parent)
+        : config_(config), banks_(config.numSubBanks),
+          statGroup_(parent, "cache"),
+          statInserts_(&statGroup_, "inserts", "packets buffered"),
+          statOverflows_(&statGroup_, "overflows",
+                         "entries spilled beyond sub-bank capacity"),
+          statPeakEntries_(&statGroup_, "peakEntries",
+                           "peak total buffered entries")
+    {
+    }
+
+    /** Sub-bank a given OP-ID maps to. */
+    unsigned
+    subBankOf(OpId op_id) const
+    {
+        return op_id % config_.numSubBanks;
+    }
+
+    /**
+     * Buffer a packet.
+     *
+     * Inserts never fail: when the target sub-bank exceeds its
+     * 64-entry capacity the entry spills, which is counted in the
+     * overflow statistic. This keeps multi-vault operand streams
+     * deadlock-free (a stalled sub-bank would otherwise block the
+     * delivery of the very operand the OP-counter is waiting for);
+     * the search-cost model already saturates at the sub-bank
+     * capacity, so timing stays faithful. Paper-mode (duplicated)
+     * configurations never overflow — the tests assert it.
+     *
+     * @param group neuron-group index of the packet
+     * @param packet the operand
+     */
+    void
+    insert(uint32_t group, const Packet &packet)
+    {
+        auto &bank = banks_[subBankOf(packet.opId)];
+        if (bank.occupancy >= config_.entriesPerSubBank)
+            statOverflows_ += 1;
+        bank.entries[key(group, packet.opId)].push_back(packet);
+        ++bank.occupancy;
+        ++totalEntries_;
+        if (totalEntries_ > statPeakEntries_.count())
+            statPeakEntries_.set(double(totalEntries_));
+        statInserts_ += 1;
+    }
+
+    /** Entries inserted beyond the hardware sub-bank capacity. */
+    uint64_t overflows() const { return statOverflows_.count(); }
+
+    /**
+     * Full search of the sub-bank for (group, opId): matching entries
+     * are removed and appended to @p out.
+     *
+     * @param group current neuron group
+     * @param op_id current OP-counter value
+     * @param out receives the extracted packets
+     * @return entries scanned (the paper's 16..64-cycle search cost
+     *         derives from this, clamped below by the MAC count)
+     */
+    unsigned
+    extract(uint32_t group, OpId op_id, std::vector<Packet> &out)
+    {
+        auto &bank = banks_[subBankOf(op_id)];
+        unsigned scanned = unsigned(bank.occupancy);
+        auto it = bank.entries.find(key(group, op_id));
+        if (it != bank.entries.end()) {
+            for (const Packet &p : it->second)
+                out.push_back(p);
+            bank.occupancy -= unsigned(it->second.size());
+            totalEntries_ -= unsigned(it->second.size());
+            bank.entries.erase(it);
+        }
+        return scanned;
+    }
+
+    /** Entries currently parked in the sub-bank serving op_id. */
+    unsigned
+    subBankOccupancy(OpId op_id) const
+    {
+        return banks_[subBankOf(op_id)].occupancy;
+    }
+
+    /** Total entries across all sub-banks. */
+    unsigned totalEntries() const { return totalEntries_; }
+
+    /** True when nothing is buffered. */
+    bool empty() const { return totalEntries_ == 0; }
+
+    /** Drop all contents (between passes). */
+    void
+    clear()
+    {
+        for (auto &bank : banks_) {
+            bank.entries.clear();
+            bank.occupancy = 0;
+        }
+        totalEntries_ = 0;
+    }
+
+    /** Structural parameters. */
+    const Config &config() const { return config_; }
+
+  private:
+    /** Sequencing key of one buffered operation. */
+    static uint64_t
+    key(uint32_t group, OpId op_id)
+    {
+        return (uint64_t(group) << 32) | op_id;
+    }
+
+    /** One sub-bank, indexed by (group, opId) for O(1) search. */
+    struct SubBank
+    {
+        std::unordered_map<uint64_t, std::vector<Packet>> entries;
+        unsigned occupancy = 0;
+    };
+
+    Config config_;
+    std::vector<SubBank> banks_;
+    unsigned totalEntries_ = 0;
+
+    StatGroup statGroup_;
+    Stat statInserts_;
+    Stat statOverflows_;
+    Stat statPeakEntries_;
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_PE_OP_CACHE_HH

@@ -1,0 +1,245 @@
+#include "pe/pe.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace neurocube
+{
+
+Pe::Pe(PeId id, const PeParams &params, StatGroup *parent)
+    : id_(id), params_(params),
+      statGroup_(parent, "pe" + std::to_string(id)),
+      temporal_(params.numMacs),
+      cache_(params.cache, &statGroup_),
+      macs_(params.numMacs),
+      statMacOps_(&statGroup_, "macOps",
+                  "multiply-accumulate operations executed"),
+      statFlushes_(&statGroup_, "flushes", "temporal-buffer flushes"),
+      statGroupsDone_(&statGroup_, "groups", "neuron groups completed"),
+      statWriteBacks_(&statGroup_, "writeBacks",
+                      "write-back packets injected"),
+      statSearchStallTicks_(&statGroup_, "searchStallTicks",
+                            "extra ticks spent on sub-bank searches")
+{
+}
+
+void
+Pe::configurePass(const PePassConfig &config)
+{
+    pass_ = config;
+    group_ = 0;
+    opCounter_ = 0;
+    nextFlushAt_ = 0;
+    temporal_.flush();
+    cache_.clear();
+    for (MacUnit &mac : macs_)
+        mac.clear();
+    groupNeurons_.assign(params_.numMacs, 0);
+    groupHomes_.assign(params_.numMacs, 0);
+    outbox_.clear();
+    passComplete_ = !config.enabled || config.numNeurons == 0;
+    if (config.enabled) {
+        nc_assert(config.connections > 0,
+                  "pass with zero connections on PE %u", unsigned(id_));
+        nc_assert(config.numNeurons % std::max(1u, config.planes)
+                      == 0,
+                  "neurons (%u) not divisible by planes (%u)",
+                  config.numNeurons, config.planes);
+        nc_assert(config.localWeights.empty()
+                      || config.localWeights.size()
+                             >= config.connections,
+                  "weight memory smaller than connection count");
+    }
+}
+
+unsigned
+Pe::activeMacs(uint32_t group) const
+{
+    uint32_t planes = std::max(1u, pass_.planes);
+    uint32_t per_plane = pass_.numNeurons / planes;
+    uint32_t groups_per_plane =
+        (per_plane + params_.numMacs - 1) / params_.numMacs;
+    uint32_t local = group % groups_per_plane;
+    uint64_t remaining =
+        uint64_t(per_plane) - uint64_t(local) * params_.numMacs;
+    return unsigned(std::min<uint64_t>(params_.numMacs, remaining));
+}
+
+uint32_t
+Pe::numGroups() const
+{
+    uint32_t planes = std::max(1u, pass_.planes);
+    uint32_t per_plane = pass_.numNeurons / planes;
+    return planes
+         * ((per_plane + params_.numMacs - 1) / params_.numMacs);
+}
+
+void
+Pe::stageOperand(const Packet &packet)
+{
+    if (packet.kind == PacketKind::State) {
+        temporal_.putState(packet.mac, packet.data, packet.neuron,
+                           packet.homeVault);
+        if (!pass_.localWeights.empty()) {
+            // Weight supplied by the PE weight memory, shared across
+            // neurons and indexed by the OP-ID (Section III-B2);
+            // multi-plane kernels are indexed per output plane.
+            uint32_t planes = std::max(1u, pass_.planes);
+            size_t idx = opCounter_;
+            if (planes > 1
+                && pass_.localWeights.size()
+                       >= size_t(pass_.connections) * planes) {
+                uint32_t per_plane = pass_.numNeurons / planes;
+                uint32_t gpp = (per_plane + params_.numMacs - 1)
+                             / params_.numMacs;
+                idx = size_t(group_ / gpp) * pass_.connections
+                    + opCounter_;
+            }
+            temporal_.putWeight(packet.mac, pass_.localWeights[idx],
+                                packet.neuron, packet.homeVault);
+        }
+    } else {
+        nc_assert(packet.kind == PacketKind::Weight,
+                  "unexpected packet kind at PE %u", unsigned(id_));
+        temporal_.putWeight(packet.mac, packet.data, packet.neuron,
+                            packet.homeVault);
+    }
+}
+
+void
+Pe::drainCache(Tick now)
+{
+    if (cache_.subBankOccupancy(opCounter_) == 0)
+        return;
+    std::vector<Packet> matches;
+    unsigned scanned = cache_.extract(group_, opCounter_, matches);
+    for (const Packet &packet : matches)
+        stageOperand(packet);
+
+    // The full sub-bank search scans up to the sub-bank's 64 slots
+    // at searchEntriesPerCycle (entries spilled beyond the hardware
+    // capacity live in the idealized overflow and are indexed for
+    // free — see OpCache::insert); the scan overlaps with the MAC
+    // busy time, so only the excess beyond numMacs can delay the
+    // next flush.
+    unsigned rate = std::max(1u, params_.searchEntriesPerCycle);
+    unsigned hw_entries =
+        std::min(scanned, cache_.config().entriesPerSubBank);
+    unsigned cost = std::max(params_.numMacs,
+                             (hw_entries + rate - 1) / rate);
+    Tick ready = now + cost;
+    if (ready > nextFlushAt_) {
+        statSearchStallTicks_ += (ready - nextFlushAt_);
+        nextFlushAt_ = ready;
+    }
+}
+
+void
+Pe::flush(Tick now)
+{
+    unsigned active = activeMacs(group_);
+    for (unsigned m = 0; m < active; ++m) {
+        const TemporalBuffer::Slot &slot = temporal_.slot(m);
+        macs_[m].multiplyAccumulate(slot.state, slot.weight);
+        groupNeurons_[m] = slot.neuron;
+        groupHomes_[m] = slot.homeVault;
+    }
+    statMacOps_ += active;
+    statFlushes_ += 1;
+    temporal_.flush();
+
+    // MACs run at f_PE / numMacs: they are busy for numMacs ticks.
+    nextFlushAt_ = now + params_.numMacs;
+
+    ++opCounter_;
+    if (opCounter_ >= pass_.connections) {
+        completeGroup();
+        opCounter_ = 0;
+        ++group_;
+        if (group_ >= numGroups()) {
+            passComplete_ = true;
+            return;
+        }
+    }
+    drainCache(now);
+}
+
+void
+Pe::completeGroup()
+{
+    unsigned active = activeMacs(group_);
+    for (unsigned m = 0; m < active; ++m) {
+        Packet wb;
+        wb.kind = PacketKind::WriteBack;
+        wb.src = VaultId(id_);
+        wb.dst = groupHomes_[m];
+        wb.dstIsMem = true;
+        wb.mac = MacId(m);
+        wb.opId = 0;
+        wb.group = group_;
+        wb.neuron = groupNeurons_[m];
+        wb.data = macs_[m].result();
+        outbox_.push_back(wb);
+        macs_[m].clear();
+    }
+    statGroupsDone_ += 1;
+}
+
+void
+Pe::tick(Tick now, NocFabric &fabric)
+{
+    if (!pass_.enabled)
+        return;
+
+    // 1. Accept operand packets from the NoC delivery queue.
+    auto &delivery = fabric.peDelivery(id_);
+    unsigned accepted = 0;
+    while (!delivery.empty() && accepted < params_.acceptPerTick
+           && !passComplete_) {
+        const Packet &packet = delivery.front();
+        nc_assert(!(packet.group < group_
+                    || (packet.group == group_
+                        && packet.opId < opCounter_)),
+                  "late packet at PE %u: group %u op %u vs %u/%u",
+                  unsigned(id_), packet.group, packet.opId, group_,
+                  opCounter_);
+        if (packet.group == group_ && packet.opId == opCounter_)
+            stageOperand(packet);
+        else
+            cache_.insert(packet.group, packet);
+        delivery.pop_front();
+        ++accepted;
+    }
+
+    // 2. Flush when the current operation's operands are staged.
+    if (!passComplete_ && now >= nextFlushAt_
+        && outbox_.size() + params_.numMacs <= params_.outboxLimit
+        && temporal_.complete(activeMacs(group_))) {
+        flush(now);
+    }
+
+    // 3. Inject pending write-backs.
+    unsigned injected = 0;
+    while (!outbox_.empty() && injected < params_.injectPerTick
+           && fabric.peInjectSpace(id_) > 0) {
+        fabric.injectFromPe(id_, outbox_.front(), now);
+        outbox_.pop_front();
+        ++injected;
+        statWriteBacks_ += 1;
+    }
+}
+
+bool
+Pe::done() const
+{
+    return passComplete_ && outbox_.empty();
+}
+
+bool
+Pe::idle() const
+{
+    return outbox_.empty() && cache_.empty();
+}
+
+} // namespace neurocube

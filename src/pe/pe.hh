@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Processing element (paper Section III-B, Fig. 5b, Fig. 11).
+ *
+ * A PE owns n_MAC MAC units, a temporal buffer, a sub-banked operand
+ * cache and a small shared-weight memory. It is fully data driven:
+ * operand packets arrive from the NoC, the OP-counter sequences the
+ * inputs of the 16 output neurons being updated in parallel, and when
+ * every active MAC's {state, weight} pair for the current operation
+ * is staged, the temporal buffer is flushed into the MACs. After the
+ * last operation of a neuron group, each MAC's accumulated state is
+ * encapsulated into a write-back packet and injected into the NoC.
+ */
+
+#ifndef NEUROCUBE_PE_PE_HH
+#define NEUROCUBE_PE_PE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/fixed_point.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "noc/fabric.hh"
+#include "noc/packet.hh"
+#include "pe/mac.hh"
+#include "pe/op_cache.hh"
+#include "pe/temporal_buffer.hh"
+
+namespace neurocube
+{
+
+/** Per-pass configuration the global controller writes into a PE. */
+struct PePassConfig
+{
+    /** PE participates in this pass. */
+    bool enabled = false;
+    /** Output neurons this PE computes in this pass (all planes). */
+    uint32_t numNeurons = 0;
+    /** Operations (connected inputs) per output neuron. */
+    uint32_t connections = 0;
+    /**
+     * Output planes computed by this pass (the layer's map loop);
+     * group numbering restarts per plane, so the last group of every
+     * plane may be partial. numNeurons must equal planes *
+     * neuronsPerPlane.
+     */
+    uint32_t planes = 1;
+    /**
+     * Weights resident in the PE weight memory, indexed by OP-ID
+     * (shared across neurons). When non-empty the PNG streams only
+     * states and the PE supplies weights locally — the optimization
+     * of Section III-B2 for small kernels. Empty = weights arrive as
+     * packets (the default the paper's throughput analysis uses).
+     */
+    std::vector<Fixed> localWeights;
+};
+
+/** Structural parameters of a PE. */
+struct PeParams
+{
+    /** MAC units per PE (paper: 16). */
+    unsigned numMacs = 16;
+    /** Operand packets accepted from the NoC per tick. */
+    unsigned acceptPerTick = 4;
+    /** Write-back packets injected per tick (PE port width). */
+    unsigned injectPerTick = 2;
+    /** Operand cache geometry. */
+    OpCache::Config cache;
+    /** Pending write-backs before neuron-group flushes stall. */
+    unsigned outboxLimit = 32;
+    /**
+     * Sub-bank entries examined per PE cycle during the OP-advance
+     * search. The paper quotes a 16..64-cycle full search for a
+     * 64-entry sub-bank; the default of 4 entries/cycle reads that
+     * as a banked parallel scan whose 16-cycle worst case is exactly
+     * hidden by the MAC execution time. Set to 1 for the literal
+     * serial-scan interpretation (unstable under operand reordering
+     * — see DESIGN.md).
+     */
+    unsigned searchEntriesPerCycle = 4;
+};
+
+/** One data-driven processing element. */
+class Pe
+{
+  public:
+    /**
+     * @param id node index (equals the home vault index)
+     * @param params structural parameters
+     * @param parent stat group parent
+     */
+    Pe(PeId id, const PeParams &params, StatGroup *parent);
+
+    /** Load a pass configuration; resets all sequencing state. */
+    void configurePass(const PePassConfig &config);
+
+    /**
+     * Advance one reference-clock tick.
+     *
+     * @param now current tick
+     * @param fabric NoC used for operand delivery and write-backs
+     */
+    void tick(Tick now, NocFabric &fabric);
+
+    /** True when the pass's write-backs have all been injected. */
+    bool done() const;
+
+    /** True when no operands or write-backs are buffered. */
+    bool idle() const;
+
+    /** Node index. */
+    PeId id() const { return id_; }
+
+    /** Current OP-counter (tests). */
+    OpId opCounter() const { return opCounter_; }
+    /** Current neuron-group index (tests). */
+    uint32_t currentGroup() const { return group_; }
+
+    /** Total MAC operations executed (multiply+accumulate pairs). */
+    uint64_t macOps() const { return statMacOps_.count(); }
+
+    /** Operand-cache entries spilled beyond sub-bank capacity. */
+    uint64_t cacheOverflows() const { return cache_.overflows(); }
+
+    /** Structural parameters. */
+    const PeParams &params() const { return params_; }
+
+  private:
+    /** MACs active in a group (the last group may be partial). */
+    unsigned activeMacs(uint32_t group) const;
+    /** Number of neuron groups in this pass. */
+    uint32_t numGroups() const;
+    /** Stage one operand packet into the temporal buffer. */
+    void stageOperand(const Packet &packet);
+    /** Pull buffered packets for the current (group, op). */
+    void drainCache(Tick now);
+    /** Flush the temporal buffer into the MACs. */
+    void flush(Tick now);
+    /** Emit write-back packets for a completed neuron group. */
+    void completeGroup();
+
+    PeId id_;
+    PeParams params_;
+    PePassConfig pass_;
+
+    StatGroup statGroup_;
+    TemporalBuffer temporal_;
+    OpCache cache_;
+    std::vector<MacUnit> macs_;
+
+    /** Per-MAC neuron ids of the group in flight (for write-backs). */
+    std::vector<uint32_t> groupNeurons_;
+    /** Per-MAC home vaults of the group in flight. */
+    std::vector<VaultId> groupHomes_;
+
+    uint32_t group_ = 0;
+    OpId opCounter_ = 0;
+    /** Earliest tick the next flush may happen (MAC/search timing). */
+    Tick nextFlushAt_ = 0;
+    bool passComplete_ = true;
+
+    std::deque<Packet> outbox_;
+
+    Stat statMacOps_;
+    Stat statFlushes_;
+    Stat statGroupsDone_;
+    Stat statWriteBacks_;
+    Stat statSearchStallTicks_;
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_PE_PE_HH

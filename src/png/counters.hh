@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The three-nested-counter FSM at the heart of the PNG
+ * (paper Fig. 8b/8d).
+ *
+ * Computation of one layer is three nested loops: across all neurons
+ * in the layer (outer, advancing by n_MAC because n_MAC neurons are
+ * computed simultaneously), across all connections of a neuron
+ * (middle), and across the MAC units (inner). This class is the
+ * cycle-faithful counter structure; AddressGenerator embeds the same
+ * iteration with the generalized address mapping the layer compiler
+ * programs.
+ */
+
+#ifndef NEUROCUBE_PNG_COUNTERS_HH
+#define NEUROCUBE_PNG_COUNTERS_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace neurocube
+{
+
+/** The PNG's neuron / connection / MAC counter stack. */
+class NestedCounters
+{
+  public:
+    /** Configuration registers loaded by the host (Fig. 8c). */
+    struct Config
+    {
+        /** Total neurons in the layer (register "# neurons"). */
+        uint64_t numNeurons = 0;
+        /** Connections per neuron (register "# connections"). */
+        uint32_t numConnections = 0;
+        /** MAC units, the outer counter's increment (design: 16). */
+        uint32_t numMacs = 16;
+    };
+
+    NestedCounters() = default;
+
+    /** Load the configuration registers and reset the counters. */
+    void
+    configure(const Config &config)
+    {
+        nc_assert(config.numMacs > 0, "PNG FSM needs >= 1 MAC");
+        config_ = config;
+        neuron_ = 0;
+        connection_ = 0;
+        mac_ = 0;
+        done_ = config.numNeurons == 0 || config.numConnections == 0;
+    }
+
+    /** Current neuron-counter value (base of the active group). */
+    uint64_t neuron() const { return neuron_; }
+    /** Current connection-counter value. */
+    uint32_t connection() const { return connection_; }
+    /** Current MAC-counter value. */
+    uint32_t mac() const { return mac_; }
+
+    /** Index of the neuron the current state addresses belong to. */
+    uint64_t currentNeuronIndex() const { return neuron_ + mac_; }
+
+    /** True once every (neuron, connection, MAC) has been visited. */
+    bool done() const { return done_; }
+
+    /**
+     * Advance one step: MAC counter innermost, then connection, then
+     * the neuron counter by numMacs (the paper's example increments
+     * the neuron counter by 16 per step for 16 MACs).
+     *
+     * MAC steps beyond the layer's last neuron (a partial final
+     * group) are skipped so currentNeuronIndex() is always valid.
+     */
+    void
+    advance()
+    {
+        nc_assert(!done_, "advance on a finished FSM");
+        do {
+            if (++mac_ >= config_.numMacs) {
+                mac_ = 0;
+                if (++connection_ >= config_.numConnections) {
+                    connection_ = 0;
+                    neuron_ += config_.numMacs;
+                    if (neuron_ >= config_.numNeurons) {
+                        done_ = true;
+                        return;
+                    }
+                }
+            }
+        } while (currentNeuronIndex() >= config_.numNeurons);
+    }
+
+    /** The loaded configuration. */
+    const Config &config() const { return config_; }
+
+  private:
+    Config config_;
+    uint64_t neuron_ = 0;
+    uint32_t connection_ = 0;
+    uint32_t mac_ = 0;
+    bool done_ = true;
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_PNG_COUNTERS_HH

@@ -1,0 +1,73 @@
+#include "png/lut.hh"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace neurocube
+{
+
+const char *
+activationName(ActivationKind kind)
+{
+    switch (kind) {
+      case ActivationKind::Identity: return "identity";
+      case ActivationKind::ReLU:     return "relu";
+      case ActivationKind::Sigmoid:  return "sigmoid";
+      case ActivationKind::Tanh:     return "tanh";
+    }
+    return "?";
+}
+
+namespace
+{
+
+double
+activate(ActivationKind kind, double x)
+{
+    switch (kind) {
+      case ActivationKind::Identity:
+        return x;
+      case ActivationKind::ReLU:
+        return x > 0.0 ? x : 0.0;
+      case ActivationKind::Sigmoid:
+        return 1.0 / (1.0 + std::exp(-x));
+      case ActivationKind::Tanh:
+        return std::tanh(x);
+    }
+    nc_panic("unknown activation kind");
+    return 0.0;
+}
+
+} // namespace
+
+Lut::Lut(ActivationKind kind) : kind_(kind), table_(entries)
+{
+    for (size_t i = 0; i < entries; ++i) {
+        Fixed in = Fixed::fromRaw(int16_t(uint16_t(i)));
+        table_[i] = Fixed::fromDouble(activate(kind, in.toDouble()));
+    }
+}
+
+const Lut &
+sharedLut(ActivationKind kind)
+{
+    // Function-local statics: built once, never destroyed state is
+    // trivially a heap leak-free singleton via static storage.
+    static const Lut identity(ActivationKind::Identity);
+    static const Lut relu(ActivationKind::ReLU);
+    static const Lut sigmoid(ActivationKind::Sigmoid);
+    static const Lut tanh_lut(ActivationKind::Tanh);
+    switch (kind) {
+      case ActivationKind::Identity: return identity;
+      case ActivationKind::ReLU:     return relu;
+      case ActivationKind::Sigmoid:  return sigmoid;
+      case ActivationKind::Tanh:     return tanh_lut;
+    }
+    nc_panic("unknown activation kind");
+    return identity;
+}
+
+} // namespace neurocube

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Non-linear activation function implemented as a look-up table
+ * (paper Section IV-A/IV-B).
+ *
+ * Each PNG owns a LUT that maps a 16-bit accumulated neuron state to
+ * its activated output. Reprogramming the LUT per layer is how the
+ * Neurocube realizes different activation functions (the paper notes
+ * LSTM-style networks are supported "by updating the LUT for each
+ * layer during programming").
+ */
+
+#ifndef NEUROCUBE_PNG_LUT_HH
+#define NEUROCUBE_PNG_LUT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hh"
+
+namespace neurocube
+{
+
+/** Activation functions the library ships LUT generators for. */
+enum class ActivationKind : uint8_t
+{
+    Identity,
+    ReLU,
+    Sigmoid,
+    Tanh,
+};
+
+/** Name of an activation kind (for dumps and tables). */
+const char *activationName(ActivationKind kind);
+
+/**
+ * A 2^16-entry look-up table from raw Q1.7.8 input to Q1.7.8 output.
+ *
+ * The table is materialized exactly as the hardware would hold it, so
+ * activation results are a pure function of the input bit pattern.
+ */
+class Lut
+{
+  public:
+    /** Build the table for a standard activation. */
+    explicit Lut(ActivationKind kind);
+
+    /** Apply the activation to one value. */
+    Fixed
+    apply(Fixed in) const
+    {
+        return table_[uint16_t(in.raw())];
+    }
+
+    /** The activation this table implements. */
+    ActivationKind kind() const { return kind_; }
+
+    /** Number of table entries. */
+    static constexpr size_t entries = 1u << 16;
+
+  private:
+    ActivationKind kind_;
+    /** Dense table indexed by the unsigned reinterpretation of raw. */
+    std::vector<Fixed> table_;
+};
+
+/** Process-wide shared table for an activation kind (immutable). */
+const Lut &sharedLut(ActivationKind kind);
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_PNG_LUT_HH

@@ -1,0 +1,155 @@
+#include "png/png.hh"
+
+#include "common/logging.hh"
+
+namespace neurocube
+{
+
+Png::Png(VaultId id, const PngParams &params, MemoryChannel &channel,
+         NocFabric &fabric, StatGroup *parent)
+    : id_(id), params_(params), channel_(channel), fabric_(fabric),
+      lut_(&sharedLut(ActivationKind::Identity)),
+      statGroup_(parent, "png" + std::to_string(id)),
+      statIssued_(&statGroup_, "issued", "element reads issued"),
+      statInjected_(&statGroup_, "injected", "operand packets injected"),
+      statWriteBacks_(&statGroup_, "writeBacks",
+                      "write-back packets absorbed"),
+      statInjectStallTicks_(&statGroup_, "injectStallTicks",
+                            "ticks with packets blocked on the router")
+{
+}
+
+void
+Png::configure(const PngProgram &program)
+{
+    nc_assert(pending_.empty() && outQueue_.empty(),
+              "reprogramming PNG %u with work in flight", unsigned(id_));
+    program_ = program;
+    generator_.configure(program, params_.numMacs,
+                         params_.connBlockSize);
+    lut_ = &sharedLut(program.activation);
+    wbReceived_ = 0;
+}
+
+void
+Png::tick(Tick now)
+{
+    if (!program_.enabled)
+        return;
+
+    // 1. Generate operand addresses and issue reads to the vault.
+    // The plane loop is throttled against this vault's own
+    // write-back progress so one fast vault cannot run whole output
+    // maps ahead of the PEs consuming its stream (every vault
+    // generates plane p before any stalls at p + window, so progress
+    // is guaranteed plane by plane).
+    unsigned allowed_plane = ~0u;
+    if (program_.outPlanes > 1 && program_.expectedWriteBacks > 0) {
+        uint64_t per_plane =
+            program_.expectedWriteBacks / program_.outPlanes;
+        if (per_plane > 0) {
+            allowed_plane =
+                unsigned(wbReceived_ / per_plane) + planeWindow;
+        }
+    }
+    unsigned issued = 0;
+    while (issued < params_.maxIssuePerTick && !generator_.done()
+           && generator_.currentPlane() < allowed_plane
+           && channel_.canAccept()
+           && pending_.size() < MemoryChannel::queueCapacity) {
+        GeneratedOp op;
+        if (!generator_.next(op))
+            break;
+        MemRequest req;
+        req.write = false;
+        req.addr = op.addr;
+        req.tag = nextTag_++;
+        channel_.enqueue(req);
+        pending_.push_back({req.tag, op});
+        ++issued;
+        statIssued_ += 1;
+    }
+
+    // 2. Encapsulate returned data into packets. Completions may be
+    // out of order within the vault controller's reorder window, so
+    // match by tag.
+    auto &responses = channel_.responses();
+    while (!responses.empty()
+           && outQueue_.size() < params_.outQueueDepth) {
+        const MemResponse &resp = responses.front();
+        nc_assert(!pending_.empty(), "response without a pending read");
+        auto it = pending_.begin();
+        while (it != pending_.end() && it->tag != resp.tag)
+            ++it;
+        nc_assert(it != pending_.end(),
+                  "unmatched response tag at PNG %u", unsigned(id_));
+        const GeneratedOp &op = it->op;
+        Packet packet;
+        packet.kind = op.kind;
+        packet.src = id_;
+        packet.dst = op.dst;
+        packet.dstIsMem = false;
+        packet.mac = op.mac;
+        packet.opId = op.opId;
+        packet.group = op.group;
+        packet.neuron = op.neuron;
+        packet.homeVault = op.homeVault;
+        packet.data = resp.data;
+        outQueue_.push_back(packet);
+        pending_.erase(it);
+        responses.pop_front();
+    }
+
+    // 3. Inject packets into the router's memory port.
+    unsigned width = fabric_.config().localPortWidth;
+    unsigned injected = 0;
+    while (injected < width && !outQueue_.empty()
+           && fabric_.memInjectSpace(id_) > 0) {
+        fabric_.injectFromMem(id_, outQueue_.front(), now);
+        outQueue_.pop_front();
+        ++injected;
+        statInjected_ += 1;
+    }
+    if (!outQueue_.empty() && injected == 0)
+        statInjectStallTicks_ += 1;
+
+    // 4. Absorb write-backs: activation LUT, then write to the vault.
+    auto &delivery = fabric_.memDelivery(id_);
+    unsigned absorbed = 0;
+    while (!delivery.empty() && absorbed < params_.maxWriteBacksPerTick
+           && channel_.canAccept()) {
+        const Packet &wb = delivery.front();
+        nc_assert(wb.kind == PacketKind::WriteBack,
+                  "non-write-back packet on PNG %u memory port",
+                  unsigned(id_));
+        uint32_t plane = 0;
+        uint32_t pixel = wb.neuron;
+        if (program_.outPlaneSize > 0) {
+            plane = wb.neuron / program_.outPlaneSize;
+            pixel = wb.neuron % program_.outPlaneSize;
+        }
+        int32_t x = int32_t(pixel % program_.outMapWidth);
+        int32_t y = int32_t(pixel / program_.outMapWidth);
+        MemRequest req;
+        req.write = true;
+        req.addr = program_.output.addrOf(program_.outPlane + plane,
+                                          x, y);
+        req.data = lut_->apply(wb.data);
+        channel_.enqueue(req);
+        delivery.pop_front();
+        ++absorbed;
+        ++wbReceived_;
+        statWriteBacks_ += 1;
+    }
+}
+
+bool
+Png::done() const
+{
+    if (!program_.enabled)
+        return true;
+    return generator_.done() && pending_.empty() && outQueue_.empty()
+        && wbReceived_ >= program_.expectedWriteBacks;
+}
+
+} // namespace neurocube

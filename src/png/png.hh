@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Programmable neurosequence generator (paper Sections IV-V, Fig. 8a).
+ *
+ * One PNG sits next to each vault controller. Per pass it:
+ *  - generates the operand address stream (AddressGenerator) and
+ *    issues element reads to its vault controller;
+ *  - encapsulates returning data into 36-bit packets (SRC, DST,
+ *    MAC-ID, OP-ID) and injects them into the local router's memory
+ *    port;
+ *  - receives write-back packets, pushes the accumulated state
+ *    through the activation LUT, and writes the result to its vault;
+ *  - raises "pass done" once the state of the last owned output
+ *    neuron has been received (Fig. 8d's layer-done condition).
+ */
+
+#ifndef NEUROCUBE_PNG_PNG_HH
+#define NEUROCUBE_PNG_PNG_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/memory_channel.hh"
+#include "noc/fabric.hh"
+#include "png/address_generator.hh"
+#include "png/lut.hh"
+#include "png/program.hh"
+
+namespace neurocube
+{
+
+/** Structural parameters of a PNG. */
+struct PngParams
+{
+    /** MAC units per PE (group size for the generator). */
+    unsigned numMacs = 16;
+    /** Element reads issued to the vault controller per tick. */
+    unsigned maxIssuePerTick = 4;
+    /** Packets buffered between the vault and the router. */
+    unsigned outQueueDepth = 16;
+    /** Write-back packets absorbed per tick. */
+    unsigned maxWriteBacksPerTick = 2;
+    /** Connections batched per emission phase (DRAM run length). */
+    unsigned connBlockSize = 16;
+};
+
+/** One vault's programmable neurosequence generator. */
+class Png
+{
+  public:
+    /**
+     * @param id the vault this PNG serves
+     * @param params structural parameters
+     * @param channel the vault controller / DRAM channel
+     * @param fabric the NoC
+     * @param parent stat group parent
+     */
+    Png(VaultId id, const PngParams &params, MemoryChannel &channel,
+        NocFabric &fabric, StatGroup *parent);
+
+    /** Load a pass program (host writes the configuration regs). */
+    void configure(const PngProgram &program);
+
+    /** Advance one reference-clock tick. */
+    void tick(Tick now);
+
+    /**
+     * True when the pass is complete from this PNG's perspective:
+     * every operand generated and injected, and the write-back for
+     * the last owned output neuron received and issued to the vault.
+     */
+    bool done() const;
+
+    /** Vault index. */
+    VaultId id() const { return id_; }
+
+    /** Write-back packets received so far this pass. */
+    uint64_t writeBacksReceived() const { return wbReceived_; }
+
+    /** Operand pairs generated so far this pass (2 MAC ops each). */
+    uint64_t totalPairs() const { return generator_.totalPairs(); }
+
+    /** Upper bound on this pass's pairs (deadline estimation). */
+    uint64_t pairBudget() const { return generator_.pairBudget(); }
+
+    /** The loaded program. */
+    const PngProgram &program() const { return program_; }
+
+    /** Output planes the generator may run ahead of write-backs. */
+    static constexpr unsigned planeWindow = 4;
+
+  private:
+    VaultId id_;
+    PngParams params_;
+    MemoryChannel &channel_;
+    NocFabric &fabric_;
+
+    PngProgram program_;
+    AddressGenerator generator_;
+    const Lut *lut_;
+
+    /** One read in flight. */
+    struct PendingRead
+    {
+        uint64_t tag;
+        GeneratedOp op;
+    };
+
+    /**
+     * Metadata for reads in flight, in issue order. The vault
+     * controller may complete row hits out of order (FR-FCFS), so
+     * responses are matched by tag within this window.
+     */
+    std::deque<PendingRead> pending_;
+    /** Encapsulated packets awaiting router injection. */
+    std::deque<Packet> outQueue_;
+    uint64_t nextTag_ = 0;
+    uint64_t wbReceived_ = 0;
+
+    StatGroup statGroup_;
+    Stat statIssued_;
+    Stat statInjected_;
+    Stat statWriteBacks_;
+    Stat statInjectStallTicks_;
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_PNG_PNG_HH

@@ -1,0 +1,59 @@
+#include "power/energy_model.hh"
+
+#include <cmath>
+
+namespace neurocube
+{
+
+EnergyReport
+accountEnergy(const RunResult &run, const PowerModel &model,
+              double dram_pj_per_bit)
+{
+    EnergyReport report;
+    double clock_hz = model.throughputClockGhz() * 1e9;
+    report.seconds = double(run.totalCycles()) / clock_hz;
+    report.computeJ = model.computePowerW() * report.seconds;
+    report.logicDieJ = model.hmcLogicDiePowerW() * report.seconds;
+    uint64_t bits = 0;
+    for (const LayerResult &layer : run.layers)
+        bits += layer.dramBits;
+    report.dramJ = double(bits) * dram_pj_per_bit * 1e-12;
+    return report;
+}
+
+FloorplanReport
+buildFloorplan(const PowerModel &model, double vc_mm2)
+{
+    FloorplanReport report;
+
+    // Vault-controller area synthesized in 28 nm [24]; the 15 nm
+    // design scales area with the Table II PE ratio.
+    double vc = vc_mm2;
+    if (model.node() == TechNode::Nm15) {
+        PowerModel m28(TechNode::Nm28);
+        vc *= model.peAreaMm2() / m28.peAreaMm2();
+    }
+
+    // 116 TSVs per core at 4 um pitch, 2 um diameter (Section VII).
+    double tsv_mm2 = 116.0 * (4e-3 * 4e-3);
+
+    CoreTile tile;
+    tile.peRouterMm2 = model.peAreaMm2();
+    tile.vaultControllerMm2 = vc;
+    tile.tsvMm2 = tsv_mm2;
+    tile.utilization = 0.70; // placement utilization of Fig. 16
+    // The paper's 513 um x 513 um tile holds the PE + router at 70%
+    // utilization; the vault controller (with its TSV array in the
+    // middle) sits beside it.
+    tile.edgeUm =
+        std::sqrt(tile.peRouterMm2 / tile.utilization) * 1e3;
+
+    report.tile = tile;
+    report.coresMm2 = 16.0
+        * (tile.peRouterMm2 / tile.utilization
+           + tile.vaultControllerMm2 + tile.tsvMm2);
+    report.fits = report.coresMm2 <= report.dieBudgetMm2;
+    return report;
+}
+
+} // namespace neurocube

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Energy accounting for a simulated run, and the Fig. 16 floorplan
+ * feasibility model.
+ *
+ * Energy combines the dynamic compute power of the Table II blocks
+ * (integrated over the run's wall-clock at the node's clock) with
+ * the measured DRAM traffic priced at Table I's pJ/bit. The
+ * floorplan model reproduces the Section VII area argument: one core
+ * (PE + router + vault controller + TSV array) per vault tile, all
+ * 16 fitting the HMC's 68 mm^2 logic die.
+ */
+
+#ifndef NEUROCUBE_POWER_ENERGY_MODEL_HH
+#define NEUROCUBE_POWER_ENERGY_MODEL_HH
+
+#include "core/results.hh"
+#include "power/power_model.hh"
+
+namespace neurocube
+{
+
+/** Energy breakdown of one simulated run. */
+struct EnergyReport
+{
+    /** Run wall-clock at the node's throughput clock, seconds. */
+    double seconds = 0.0;
+    /** Compute-layer energy (16 PEs + routers), joules. */
+    double computeJ = 0.0;
+    /** HMC logic die (vault controllers, links), joules. */
+    double logicDieJ = 0.0;
+    /** DRAM access energy from measured traffic, joules. */
+    double dramJ = 0.0;
+
+    double totalJ() const { return computeJ + logicDieJ + dramJ; }
+
+    /** Energy efficiency in GOPs/J ( = GOPs/s/W ). */
+    double
+    gopsPerJoule(uint64_t ops) const
+    {
+        return totalJ() > 0.0 ? double(ops) / 1e9 / totalJ() : 0.0;
+    }
+};
+
+/**
+ * Account a run's energy at a technology node.
+ *
+ * @param run per-layer results (cycles + DRAM bits)
+ * @param model the node's power model
+ * @param dram_pj_per_bit access energy of the memory technology
+ */
+EnergyReport accountEnergy(const RunResult &run,
+                           const PowerModel &model,
+                           double dram_pj_per_bit);
+
+/** One tile of the Fig. 16 logic-die floorplan. */
+struct CoreTile
+{
+    /** Edge of the square tile in micrometres. */
+    double edgeUm = 0.0;
+    /** PE + router area within the tile, mm^2. */
+    double peRouterMm2 = 0.0;
+    /** Vault-controller area, mm^2. */
+    double vaultControllerMm2 = 0.0;
+    /** TSV array area (116 TSVs at 4 um pitch), mm^2. */
+    double tsvMm2 = 0.0;
+    /** Placement utilization inside the tile. */
+    double utilization = 0.0;
+};
+
+/** Area feasibility of the 16-core logic die (Section VII). */
+struct FloorplanReport
+{
+    CoreTile tile;
+    /** Total die area used by the 16 core tiles, mm^2. */
+    double coresMm2 = 0.0;
+    /** HMC logic-die budget, mm^2 (68 mm^2 per [20]). */
+    double dieBudgetMm2 = 68.0;
+    /** True when the cores fit the die at the tile utilization. */
+    bool fits = false;
+};
+
+/**
+ * Build the Fig. 16 floorplan for a node.
+ *
+ * @param model the node's power model
+ * @param vc_mm2 synthesized vault-controller area (0.4 mm^2 in
+ *        28 nm per [24]; scaled by the model's node)
+ */
+FloorplanReport buildFloorplan(const PowerModel &model,
+                               double vc_mm2 = 0.4);
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_POWER_ENERGY_MODEL_HH

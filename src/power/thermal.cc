@@ -1,0 +1,133 @@
+#include "power/thermal.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace neurocube
+{
+
+ThermalModel::ThermalModel(const ThermalParams &params)
+    : params_(params)
+{
+    nc_assert(params_.gridSize >= 2, "thermal grid too small");
+    nc_assert(params_.dramDies >= 1, "need at least one DRAM die");
+}
+
+std::vector<double>
+ThermalModel::floorplanPowerMap(double pe_power_w, double logic_die_w,
+                                unsigned num_cores) const
+{
+    const unsigned n = params_.gridSize;
+    std::vector<double> map(size_t(n) * n, 0.0);
+
+    // Vault grid (4x4 for 16 cores); each core tile spreads its PE,
+    // router and vault-controller power uniformly over its cells.
+    unsigned cores_edge =
+        unsigned(std::lround(std::sqrt(double(num_cores))));
+    nc_assert(cores_edge * cores_edge == num_cores,
+              "floorplan needs a square core count");
+    double core_power = pe_power_w + logic_die_w / double(num_cores);
+    for (unsigned cy = 0; cy < cores_edge; ++cy) {
+        for (unsigned cx = 0; cx < cores_edge; ++cx) {
+            unsigned x0 = cx * n / cores_edge;
+            unsigned x1 = (cx + 1) * n / cores_edge;
+            unsigned y0 = cy * n / cores_edge;
+            unsigned y1 = (cy + 1) * n / cores_edge;
+            double per_cell =
+                core_power / double((x1 - x0) * (y1 - y0));
+            for (unsigned y = y0; y < y1; ++y) {
+                for (unsigned x = x0; x < x1; ++x)
+                    map[size_t(y) * n + x] += per_cell;
+            }
+        }
+    }
+    return map;
+}
+
+ThermalResult
+ThermalModel::solve(const std::vector<double> &logic_power_map,
+                    double dram_total_w) const
+{
+    const unsigned n = params_.gridSize;
+    const size_t cells = size_t(n) * n;
+    nc_assert(logic_power_map.size() == cells,
+              "power map has %zu cells, expected %zu",
+              logic_power_map.size(), cells);
+
+    // Layer 0 = logic die, layers 1..dramDies = DRAM, heat leaves the
+    // top DRAM die through the sink.
+    const unsigned layers = 1 + params_.dramDies;
+    std::vector<double> temp(cells * layers, params_.ambientK);
+    std::vector<double> power(cells * layers, 0.0);
+    for (size_t c = 0; c < cells; ++c)
+        power[c] = logic_power_map[c];
+    double dram_cell_w =
+        dram_total_w / double(params_.dramDies) / double(cells);
+    for (unsigned l = 1; l < layers; ++l) {
+        for (size_t c = 0; c < cells; ++c)
+            power[l * cells + c] = dram_cell_w;
+    }
+
+    // Per-cell conductances.
+    const double g_lat = params_.lateralConductanceWPerK;
+    const double g_vert =
+        1.0 / (params_.interDieResistanceKPerW * double(cells));
+    const double g_sink =
+        1.0 / (params_.sinkResistanceKPerW * double(cells));
+
+    ThermalResult result;
+    unsigned iter = 0;
+    double max_delta = params_.toleranceK + 1.0;
+    while (iter < params_.maxIterations
+           && max_delta > params_.toleranceK) {
+        max_delta = 0.0;
+        for (unsigned l = 0; l < layers; ++l) {
+            for (unsigned y = 0; y < n; ++y) {
+                for (unsigned x = 0; x < n; ++x) {
+                    size_t idx = l * cells + size_t(y) * n + x;
+                    double g_sum = 0.0;
+                    double flow = power[idx];
+                    auto couple = [&](size_t other, double g) {
+                        g_sum += g;
+                        flow += g * temp[other];
+                    };
+                    if (x > 0)
+                        couple(idx - 1, g_lat);
+                    if (x + 1 < n)
+                        couple(idx + 1, g_lat);
+                    if (y > 0)
+                        couple(idx - n, g_lat);
+                    if (y + 1 < n)
+                        couple(idx + n, g_lat);
+                    if (l > 0)
+                        couple(idx - cells, g_vert);
+                    if (l + 1 < layers) {
+                        couple(idx + cells, g_vert);
+                    } else {
+                        // Top die rejects to ambient via the sink.
+                        g_sum += g_sink;
+                        flow += g_sink * params_.ambientK;
+                    }
+                    double t_new = flow / g_sum;
+                    max_delta = std::max(max_delta,
+                                         std::abs(t_new - temp[idx]));
+                    temp[idx] = t_new;
+                }
+            }
+        }
+        ++iter;
+    }
+
+    result.iterations = iter;
+    result.logicMapK.assign(temp.begin(), temp.begin() + long(cells));
+    result.maxLogicK =
+        *std::max_element(result.logicMapK.begin(),
+                          result.logicMapK.end());
+    result.maxDramK = *std::max_element(temp.begin() + long(cells),
+                                        temp.end());
+    return result;
+}
+
+} // namespace neurocube

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Compact steady-state 3D thermal model (paper Section VII, Fig. 17).
+ *
+ * The paper runs 3D-ICE / Energy Introspector over the Fig. 16
+ * floorplan. This model is the same class of compact RC network: each
+ * die is a 2D grid of thermal cells with lateral conductances, dies
+ * are stacked with vertical interface conductances, and the top of
+ * the stack rejects heat to ambient through a passive heat sink
+ * resistance. Steady state is solved by Gauss-Seidel relaxation.
+ *
+ * Stack (bottom to top): logic die (Neurocube + vault controllers),
+ * four DRAM dies, heat sink to ambient.
+ */
+
+#ifndef NEUROCUBE_POWER_THERMAL_HH
+#define NEUROCUBE_POWER_THERMAL_HH
+
+#include <vector>
+
+namespace neurocube
+{
+
+/** Calibration parameters of the compact thermal network. */
+struct ThermalParams
+{
+    /** Grid cells per die edge. */
+    unsigned gridSize = 16;
+    /** DRAM dies stacked above the logic die. */
+    unsigned dramDies = 4;
+    /** Ambient temperature, kelvin. */
+    double ambientK = 300.0;
+    /** Whole-package heat-sink resistance to ambient, K/W. */
+    double sinkResistanceKPerW = 2.0;
+    /** Whole-die vertical resistance between adjacent dies, K/W. */
+    double interDieResistanceKPerW = 0.1;
+    /** Cell-to-cell lateral conductance within a die, W/K. */
+    double lateralConductanceWPerK = 0.012;
+    /** Relaxation convergence threshold, kelvin. */
+    double toleranceK = 1e-4;
+    /** Maximum relaxation sweeps. */
+    unsigned maxIterations = 20000;
+};
+
+/** Solved temperatures. */
+struct ThermalResult
+{
+    /** Hottest logic-die cell, kelvin. */
+    double maxLogicK = 0.0;
+    /** Hottest DRAM cell across all DRAM dies, kelvin. */
+    double maxDramK = 0.0;
+    /** Logic-die temperature map (gridSize^2, row-major). */
+    std::vector<double> logicMapK;
+    /** Relaxation sweeps used. */
+    unsigned iterations = 0;
+};
+
+/** The compact thermal solver. */
+class ThermalModel
+{
+  public:
+    explicit ThermalModel(const ThermalParams &params);
+
+    /**
+     * Solve the steady state.
+     *
+     * @param logic_power_map per-cell power on the logic die, watts
+     *        (gridSize^2 entries, row-major)
+     * @param dram_total_w total power of all DRAM dies (spread
+     *        uniformly)
+     * @return solved temperatures
+     */
+    ThermalResult solve(const std::vector<double> &logic_power_map,
+                        double dram_total_w) const;
+
+    /**
+     * Build the logic-die power map from the Fig. 16 floorplan: the
+     * die is divided into a vault grid; each vault tile dissipates
+     * one PE + router + vault-controller share uniformly.
+     *
+     * @param pe_power_w per-core compute power (PE + router), watts
+     * @param logic_die_w HMC logic-die power excluding the Neurocube
+     * @param num_cores number of cores (16)
+     */
+    std::vector<double> floorplanPowerMap(double pe_power_w,
+                                          double logic_die_w,
+                                          unsigned num_cores) const;
+
+    /** The parameters. */
+    const ThermalParams &params() const { return params_; }
+
+  private:
+    ThermalParams params_;
+};
+
+/** HMC 2.0 operating limits (paper Section VII). */
+constexpr double hmcLogicDieLimitK = 383.0;
+constexpr double hmcDramDieLimitK = 378.0;
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_POWER_THERMAL_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Cross-checks of the analytic throughput model against the cycle
+ * simulator: the closed form must land within a modest band of the
+ * simulated cycle counts across layer types and mappings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/analytic_model.hh"
+#include "core/neurocube.hh"
+
+namespace neurocube
+{
+namespace
+{
+
+/** Simulate one single-layer network and return its result. */
+LayerResult
+simulate(const LayerDesc &layer, const NeurocubeConfig &config,
+         uint64_t seed)
+{
+    NetworkDesc net;
+    net.name = "analytic-check";
+    net.layers.push_back(layer);
+    net.validate();
+    NetworkData data = NetworkData::randomized(net, seed);
+    Tensor input(layer.inMaps, layer.inHeight, layer.inWidth);
+    Rng rng(seed + 1);
+    input.randomize(rng);
+    Neurocube cube(config);
+    cube.loadNetwork(net, data);
+    cube.setInput(input);
+    return cube.runLayer(0);
+}
+
+void
+expectWithin(const LayerDesc &layer, const NeurocubeConfig &config,
+             double rel_band, uint64_t seed)
+{
+    LayerResult sim = simulate(layer, config, seed);
+    AnalyticEstimate est = analyticLayerEstimate(layer, config);
+    EXPECT_EQ(est.ops, sim.ops) << layer.name;
+    double rel = double(est.cycles) / double(sim.cycles);
+    EXPECT_GT(rel, 1.0 - rel_band)
+        << layer.name << ": analytic " << est.cycles << " vs sim "
+        << sim.cycles;
+    EXPECT_LT(rel, 1.0 + rel_band)
+        << layer.name << ": analytic " << est.cycles << " vs sim "
+        << sim.cycles;
+}
+
+LayerDesc
+convLayer(unsigned w, unsigned h, unsigned k, unsigned maps)
+{
+    LayerDesc conv;
+    conv.type = LayerType::Conv2D;
+    conv.name = "conv";
+    conv.inWidth = w;
+    conv.inHeight = h;
+    conv.inMaps = 1;
+    conv.outMaps = maps;
+    conv.kernel = k;
+    conv.channelwise = true;
+    return conv;
+}
+
+TEST(Analytic, ConvDuplicatedWithinBand)
+{
+    expectWithin(convLayer(160, 120, 7, 1), NeurocubeConfig{}, 0.30,
+                 1);
+}
+
+TEST(Analytic, ConvMultiMapWithinBand)
+{
+    expectWithin(convLayer(96, 72, 5, 4), NeurocubeConfig{}, 0.30, 2);
+}
+
+TEST(Analytic, ConvNoDupWithinBand)
+{
+    NeurocubeConfig config;
+    config.mapping.duplicateConvHalo = false;
+    expectWithin(convLayer(96, 72, 7, 2), config, 0.40, 3);
+}
+
+TEST(Analytic, FcDuplicatedWithinBand)
+{
+    LayerDesc fc;
+    fc.type = LayerType::FullyConnected;
+    fc.name = "fc";
+    fc.inWidth = 2048;
+    fc.inHeight = 1;
+    fc.inMaps = 1;
+    fc.outMaps = 512;
+    expectWithin(fc, NeurocubeConfig{}, 0.30, 4);
+}
+
+TEST(Analytic, LateralFractionTracksMapping)
+{
+    NeurocubeConfig dup;
+    AnalyticEstimate e1 =
+        analyticLayerEstimate(convLayer(160, 120, 7, 1), dup);
+    EXPECT_DOUBLE_EQ(e1.lateralFraction, 0.0);
+
+    NeurocubeConfig nodup;
+    nodup.mapping.duplicateConvHalo = false;
+    AnalyticEstimate e2 =
+        analyticLayerEstimate(convLayer(160, 120, 7, 1), nodup);
+    EXPECT_GT(e2.lateralFraction, 0.0);
+    EXPECT_LT(e2.lateralFraction, 0.5);
+
+    LayerDesc fc;
+    fc.type = LayerType::FullyConnected;
+    fc.inWidth = 1024;
+    fc.inHeight = 1;
+    fc.inMaps = 1;
+    fc.outMaps = 64;
+    NeurocubeConfig fc_nodup;
+    fc_nodup.mapping.duplicateFcInput = false;
+    AnalyticEstimate e3 = analyticLayerEstimate(fc, fc_nodup);
+    EXPECT_NEAR(e3.lateralFraction, 15.0 / 16.0, 1e-9);
+}
+
+TEST(Analytic, Ddr3SlowerThanHmc)
+{
+    LayerDesc conv = convLayer(160, 120, 7, 1);
+    NeurocubeConfig hmc;
+    NeurocubeConfig ddr;
+    ddr.dram = DramParams::ddr3();
+    AnalyticEstimate e_hmc = analyticLayerEstimate(conv, hmc);
+    AnalyticEstimate e_ddr = analyticLayerEstimate(conv, ddr);
+    EXPECT_GT(e_ddr.cycles, 3 * e_hmc.cycles);
+}
+
+TEST(Analytic, FullSceneInferenceNearPaperThroughput)
+{
+    // Whole-network analytic estimate should land near the paper's
+    // 132.4 GOPs/s (duplication).
+    NetworkDesc net = sceneLabelingNetwork();
+    NeurocubeConfig config;
+    uint64_t ops = 0;
+    Tick cycles = 0;
+    for (const LayerDesc &layer : net.layers) {
+        AnalyticEstimate est = analyticLayerEstimate(layer, config);
+        ops += est.ops;
+        cycles += est.cycles;
+    }
+    double gops = double(ops) / (double(cycles) / 5e9) / 1e9;
+    EXPECT_GT(gops, 110.0);
+    EXPECT_LT(gops, 160.0);
+}
+
+} // namespace
+} // namespace neurocube

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for logging, statistics and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace neurocube
+{
+namespace
+{
+
+TEST(Logging, CapturesWarnAndInform)
+{
+    setLogCapture(true);
+    nc_warn("something odd: %d", 42);
+    nc_inform("status %s", "ok");
+    std::string log = takeCapturedLog();
+    setLogCapture(false);
+    EXPECT_NE(log.find("warn: something odd: 42"), std::string::npos);
+    EXPECT_NE(log.find("info: status ok"), std::string::npos);
+}
+
+TEST(Logging, CaptureDrainsBuffer)
+{
+    setLogCapture(true);
+    nc_inform("first");
+    takeCapturedLog();
+    EXPECT_TRUE(takeCapturedLog().empty());
+    setLogCapture(false);
+}
+
+TEST(Stats, CountAndValue)
+{
+    StatGroup root(nullptr, "root");
+    Stat counter(&root, "events", "test events");
+    counter += 3;
+    counter += 2;
+    EXPECT_EQ(counter.count(), 5u);
+    counter.add(0.5);
+    EXPECT_DOUBLE_EQ(counter.value(), 5.5);
+    counter.reset();
+    EXPECT_EQ(counter.count(), 0u);
+}
+
+TEST(Stats, HierarchicalDump)
+{
+    StatGroup root(nullptr, "root");
+    StatGroup child(&root, "child");
+    Stat a(&root, "a", "top stat");
+    Stat b(&child, "b", "child stat");
+    a += 1;
+    b += 2;
+    std::ostringstream os;
+    root.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("root.a"), std::string::npos);
+    EXPECT_NE(out.find("root.child.b"), std::string::npos);
+}
+
+TEST(Stats, FindStat)
+{
+    StatGroup root(nullptr, "root");
+    Stat a(&root, "a", "stat");
+    EXPECT_EQ(root.findStat("a"), &a);
+    EXPECT_EQ(root.findStat("missing"), nullptr);
+}
+
+TEST(Stats, ResetAllRecurses)
+{
+    StatGroup root(nullptr, "root");
+    StatGroup child(&root, "child");
+    Stat a(&root, "a", "");
+    Stat b(&child, "b", "");
+    a += 5;
+    b += 7;
+    root.resetAll();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer", "23"});
+    std::string out = table.str();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(Format, FormatCountInsertsSeparators)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1,000");
+    EXPECT_EQ(formatCount(73476), "73,476");
+    EXPECT_EQ(formatCount(1234567890), "1,234,567,890");
+}
+
+TEST(Format, FormatDoublePrecision)
+{
+    EXPECT_EQ(formatDouble(132.42, 1), "132.4");
+    EXPECT_EQ(formatDouble(3.14159, 3), "3.142");
+}
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123), b(123), c(124);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, BelowBounded)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RoughlyUniform)
+{
+    Rng rng(99);
+    int buckets[10] = {};
+    const int samples = 100000;
+    for (int i = 0; i < samples; ++i)
+        ++buckets[rng.below(10)];
+    for (int b : buckets) {
+        EXPECT_GT(b, samples / 10 - samples / 50);
+        EXPECT_LT(b, samples / 10 + samples / 50);
+    }
+}
+
+} // namespace
+} // namespace neurocube

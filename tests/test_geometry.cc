@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for rectangles and tile maps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/geometry.hh"
+
+namespace neurocube
+{
+namespace
+{
+
+TEST(Rect, ContainsAndCount)
+{
+    Rect r{2, 3, 4, 5};
+    EXPECT_EQ(r.count(), 20u);
+    EXPECT_TRUE(r.contains(2, 3));
+    EXPECT_TRUE(r.contains(5, 7));
+    EXPECT_FALSE(r.contains(6, 3));
+    EXPECT_FALSE(r.contains(2, 8));
+    EXPECT_FALSE(r.contains(1, 3));
+}
+
+TEST(Rect, LocalIndexRowMajor)
+{
+    Rect r{10, 20, 3, 2};
+    EXPECT_EQ(r.localIndex(10, 20), 0u);
+    EXPECT_EQ(r.localIndex(12, 20), 2u);
+    EXPECT_EQ(r.localIndex(10, 21), 3u);
+    EXPECT_EQ(r.localIndex(12, 21), 5u);
+}
+
+TEST(Rect, ExpandedWithinClips)
+{
+    Rect bounds{0, 0, 10, 10};
+    Rect r{1, 1, 3, 3};
+    Rect e = r.expandedWithin(2, bounds);
+    EXPECT_EQ(e.x0, 0);
+    EXPECT_EQ(e.y0, 0);
+    EXPECT_EQ(e.w, 6);
+    EXPECT_EQ(e.h, 6);
+}
+
+TEST(TileMap, GridCoversAreaExactly)
+{
+    Rect area{0, 0, 314, 234};
+    TileMap map = TileMap::grid(area, 4, 4);
+    uint64_t total = 0;
+    for (unsigned v = 0; v < 16; ++v)
+        total += map.tile(v).count();
+    EXPECT_EQ(total, area.count());
+}
+
+TEST(TileMap, OwnerConsistentWithTiles)
+{
+    Rect area{0, 0, 37, 23};
+    TileMap map = TileMap::grid(area, 4, 4);
+    for (int32_t y = 0; y < 23; ++y) {
+        for (int32_t x = 0; x < 37; ++x) {
+            unsigned owner = map.owner(x, y);
+            EXPECT_TRUE(map.tile(owner).contains(x, y))
+                << "pixel (" << x << "," << y << ")";
+        }
+    }
+}
+
+TEST(TileMap, LocalIndexDenseWithinTile)
+{
+    Rect area{0, 0, 20, 12};
+    TileMap map = TileMap::grid(area, 4, 4);
+    for (unsigned v = 0; v < 16; ++v) {
+        Rect tile = map.tile(v);
+        uint64_t expect = 0;
+        for (int32_t y = tile.y0; y < tile.y0 + tile.h; ++y) {
+            for (int32_t x = tile.x0; x < tile.x0 + tile.w; ++x) {
+                EXPECT_EQ(map.localIndex(x, y), expect);
+                ++expect;
+            }
+        }
+    }
+}
+
+TEST(TileMap, VectorSplit)
+{
+    Rect area{0, 0, 1000, 1};
+    TileMap map = TileMap::grid(area, 16, 1);
+    uint64_t total = 0;
+    for (unsigned v = 0; v < 16; ++v) {
+        Rect t = map.tile(v);
+        EXPECT_EQ(t.h, 1);
+        total += t.count();
+    }
+    EXPECT_EQ(total, 1000u);
+    EXPECT_EQ(map.owner(0, 0), 0u);
+    EXPECT_EQ(map.owner(999, 0), 15u);
+}
+
+TEST(TileMap, DegenerateTilesAllowed)
+{
+    // More columns than pixels: some tiles are empty.
+    Rect area{0, 0, 8, 1};
+    TileMap map = TileMap::grid(area, 16, 1);
+    uint64_t total = 0;
+    for (unsigned v = 0; v < 16; ++v)
+        total += map.tile(v).count();
+    EXPECT_EQ(total, 8u);
+}
+
+TEST(TileMap, NonZeroOrigin)
+{
+    Rect area{5, 7, 16, 8};
+    TileMap map = TileMap::grid(area, 4, 2);
+    EXPECT_EQ(map.owner(5, 7), 0u);
+    EXPECT_EQ(map.owner(20, 14), 7u);
+    EXPECT_EQ(map.tile(0).x0, 5);
+    EXPECT_EQ(map.tile(0).y0, 7);
+}
+
+} // namespace
+} // namespace neurocube

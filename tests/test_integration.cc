@@ -1,0 +1,378 @@
+/**
+ * @file
+ * End-to-end integration tests: the cycle-level machine must produce
+ * bit-identical outputs to the sequential reference model for every
+ * layer type and mapping policy, while its cycle counts respect the
+ * machine's physical bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/neurocube.hh"
+#include "nn/reference.hh"
+
+namespace neurocube
+{
+namespace
+{
+
+/** Compare two tensors bit-for-bit; report the first mismatch. */
+::testing::AssertionResult
+tensorsEqual(const Tensor &a, const Tensor &b)
+{
+    if (a.maps() != b.maps() || a.height() != b.height()
+        || a.width() != b.width()) {
+        return ::testing::AssertionFailure()
+            << "shape " << a.maps() << "x" << a.height() << "x"
+            << a.width() << " vs " << b.maps() << "x" << b.height()
+            << "x" << b.width();
+    }
+    for (unsigned m = 0; m < a.maps(); ++m) {
+        for (unsigned y = 0; y < a.height(); ++y) {
+            for (unsigned x = 0; x < a.width(); ++x) {
+                if (!(a.at(m, y, x) == b.at(m, y, x))) {
+                    return ::testing::AssertionFailure()
+                        << "mismatch at (" << m << "," << y << ","
+                        << x << "): " << a.at(m, y, x).toDouble()
+                        << " vs " << b.at(m, y, x).toDouble();
+                }
+            }
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+/** Run net on the machine and compare every layer to the reference. */
+RunResult
+runAndVerify(const NeurocubeConfig &config, const NetworkDesc &net,
+             uint64_t seed)
+{
+    NetworkData data = NetworkData::randomized(net, seed);
+    Tensor input(net.inputMaps(), net.inputHeight(), net.inputWidth());
+    Rng rng(seed + 1);
+    input.randomize(rng);
+
+    Neurocube cube(config);
+    cube.loadNetwork(net, data);
+    cube.setInput(input);
+    RunResult run = cube.runForward();
+
+    auto expect = referenceForward(net, data, input);
+    for (size_t i = 0; i < net.layers.size(); ++i) {
+        EXPECT_TRUE(tensorsEqual(cube.layerOutput(i), expect[i]))
+            << "layer " << i << " (" << net.layers[i].name << ")";
+    }
+    return run;
+}
+
+NetworkDesc
+tinyConvNet()
+{
+    NetworkDesc net;
+    net.name = "tiny-conv";
+    LayerDesc conv;
+    conv.type = LayerType::Conv2D;
+    conv.name = "conv";
+    conv.inWidth = 20;
+    conv.inHeight = 16;
+    conv.inMaps = 2;
+    conv.outMaps = 4;
+    conv.kernel = 3;
+    conv.channelwise = true;
+    conv.activation = ActivationKind::Tanh;
+    net.layers.push_back(conv);
+    net.validate();
+    return net;
+}
+
+TEST(Integration, ChannelwiseConvMatchesReference)
+{
+    runAndVerify(NeurocubeConfig{}, tinyConvNet(), 1);
+}
+
+TEST(Integration, ConvWithoutDuplicationMatchesReference)
+{
+    NeurocubeConfig config;
+    config.mapping.duplicateConvHalo = false;
+    RunResult run = runAndVerify(config, tinyConvNet(), 2);
+    EXPECT_GT(run.layers[0].lateralPackets, 0u);
+}
+
+TEST(Integration, ConvWithDuplicationHasNoLateralTraffic)
+{
+    NeurocubeConfig config;
+    config.mapping.duplicateConvHalo = true;
+    RunResult run = runAndVerify(config, tinyConvNet(), 3);
+    EXPECT_EQ(run.layers[0].lateralPackets, 0u);
+}
+
+TEST(Integration, DuplicatedModeNeverOverflowsOpCache)
+{
+    // In the paper's mapping (full duplication) every PE consumes a
+    // single in-order stream; when its tiles are MAC-aligned (each
+    // per-plane tile a multiple of 16 neurons) the 16x64-entry cache
+    // must suffice. Out 32x32 -> 8x8 = 64-neuron tiles.
+    NeurocubeConfig config;
+    Neurocube cube(config);
+    NetworkDesc net;
+    net.name = "aligned-conv";
+    LayerDesc conv;
+    conv.type = LayerType::Conv2D;
+    conv.name = "conv";
+    conv.inWidth = 34;
+    conv.inHeight = 34;
+    conv.inMaps = 2;
+    conv.outMaps = 4;
+    conv.kernel = 3;
+    conv.channelwise = true;
+    conv.activation = ActivationKind::Tanh;
+    net.layers.push_back(conv);
+    net.validate();
+    NetworkData data = NetworkData::randomized(net, 77);
+    Tensor input(2, 34, 34);
+    Rng rng(78);
+    input.randomize(rng);
+    cube.loadNetwork(net, data);
+    cube.setInput(input);
+    cube.runForward();
+    EXPECT_EQ(cube.totalCacheOverflows(), 0u);
+}
+
+TEST(Integration, PoolingMatchesReference)
+{
+    NetworkDesc net;
+    net.name = "pool-net";
+    LayerDesc pool;
+    pool.type = LayerType::Pool;
+    pool.name = "pool";
+    pool.inWidth = 24;
+    pool.inHeight = 18;
+    pool.inMaps = 3;
+    pool.outMaps = 3;
+    pool.kernel = 2;
+    pool.stride = 2;
+    net.layers.push_back(pool);
+    net.validate();
+    runAndVerify(NeurocubeConfig{}, net, 4);
+}
+
+TEST(Integration, FullConvAccumulationMatchesReference)
+{
+    NetworkDesc net;
+    net.name = "full-conv";
+    LayerDesc fc;
+    fc.type = LayerType::Conv2D;
+    fc.name = "fc1";
+    fc.inWidth = 9;
+    fc.inHeight = 7;
+    fc.inMaps = 5;
+    fc.outMaps = 3;
+    fc.kernel = 1;
+    fc.channelwise = false;
+    fc.activation = ActivationKind::Sigmoid;
+    net.layers.push_back(fc);
+    net.validate();
+    runAndVerify(NeurocubeConfig{}, net, 5);
+}
+
+TEST(Integration, SplitFullConvPassesMatchSplitReference)
+{
+    // The partial-sum programming mode: one pass per (outMap,
+    // inMap), intermediate sums truncated to Q1.7.8 and re-read with
+    // weight 1.0. Verified against the split-semantics reference.
+    NetworkDesc net;
+    net.name = "split-conv";
+    LayerDesc fc;
+    fc.type = LayerType::Conv2D;
+    fc.name = "fc1";
+    fc.inWidth = 9;
+    fc.inHeight = 7;
+    fc.inMaps = 4;
+    fc.outMaps = 3;
+    fc.kernel = 3;
+    fc.channelwise = false;
+    fc.activation = ActivationKind::Tanh;
+    net.layers.push_back(fc);
+    net.validate();
+
+    NetworkData data = NetworkData::randomized(net, 44);
+    Tensor input(4, 7, 9);
+    Rng rng(45);
+    input.randomize(rng);
+
+    NeurocubeConfig config;
+    config.splitFullConvPasses = true;
+    Neurocube cube(config);
+    cube.loadNetwork(net, data);
+    cube.setInput(input);
+    LayerResult r = cube.runLayer(0);
+    EXPECT_EQ(r.passes, 12u); // 3 out maps x 4 in maps
+
+    Tensor expect =
+        referenceLayerSplitPasses(fc, data.weights[0], input);
+    EXPECT_TRUE(tensorsEqual(cube.layerOutput(0), expect));
+}
+
+TEST(Integration, FullConvSpatialKernelMatchesReference)
+{
+    NetworkDesc net;
+    net.name = "full-conv-3x3";
+    LayerDesc fc;
+    fc.type = LayerType::Conv2D;
+    fc.name = "conv";
+    fc.inWidth = 11;
+    fc.inHeight = 9;
+    fc.inMaps = 2;
+    fc.outMaps = 2;
+    fc.kernel = 3;
+    fc.channelwise = false;
+    fc.activation = ActivationKind::ReLU;
+    net.layers.push_back(fc);
+    net.validate();
+    runAndVerify(NeurocubeConfig{}, net, 6);
+}
+
+TEST(Integration, FullyConnectedDuplicatedMatchesReference)
+{
+    NeurocubeConfig config;
+    config.mapping.duplicateFcInput = true;
+    RunResult run =
+        runAndVerify(config, threeLayerMlp(48, 32, 10), 7);
+    // Fig. 10d: duplicated input keeps FC traffic local.
+    EXPECT_EQ(run.layers[0].lateralPackets, 0u);
+}
+
+TEST(Integration, FullyConnectedPartitionedMatchesReference)
+{
+    NeurocubeConfig config;
+    config.mapping.duplicateFcInput = false;
+    RunResult run =
+        runAndVerify(config, threeLayerMlp(48, 32, 10), 8);
+    // Fig. 10e / Fig. 14c: partitioned input makes most traffic
+    // lateral.
+    EXPECT_GT(run.layers[0].lateralFraction(), 0.5);
+}
+
+TEST(Integration, Fc2dInputMatchesReference)
+{
+    // MLP over a 2D multi-map input exercises the plane-major
+    // flattening and the non-contiguous weight slices.
+    NetworkDesc net;
+    net.name = "fc2d";
+    LayerDesc fc;
+    fc.type = LayerType::FullyConnected;
+    fc.name = "fc";
+    fc.inWidth = 10;
+    fc.inHeight = 6;
+    fc.inMaps = 2;
+    fc.outMaps = 18;
+    fc.activation = ActivationKind::Sigmoid;
+    net.layers.push_back(fc);
+    net.validate();
+    for (bool dup : {true, false}) {
+        NeurocubeConfig config;
+        config.mapping.duplicateFcInput = dup;
+        runAndVerify(config, net, 9);
+    }
+}
+
+TEST(Integration, MultiLayerPipelineMatchesReference)
+{
+    NetworkDesc net;
+    net.name = "pipeline";
+    LayerDesc conv;
+    conv.type = LayerType::Conv2D;
+    conv.name = "conv";
+    conv.inWidth = 18;
+    conv.inHeight = 14;
+    conv.inMaps = 2;
+    conv.outMaps = 4;
+    conv.kernel = 3;
+    conv.channelwise = true;
+    conv.activation = ActivationKind::Tanh;
+    net.layers.push_back(conv);
+
+    LayerDesc pool = nextLayerTemplate(conv);
+    pool.type = LayerType::Pool;
+    pool.name = "pool";
+    pool.outMaps = pool.inMaps;
+    pool.kernel = 2;
+    pool.stride = 2;
+    net.layers.push_back(pool);
+
+    LayerDesc fc = nextLayerTemplate(pool);
+    fc.type = LayerType::FullyConnected;
+    fc.name = "fc";
+    fc.outMaps = 9;
+    fc.activation = ActivationKind::Sigmoid;
+    net.layers.push_back(fc);
+    net.validate();
+
+    runAndVerify(NeurocubeConfig{}, net, 10);
+}
+
+TEST(Integration, WeightMemoryModeMatchesReference)
+{
+    NeurocubeConfig config;
+    config.mapping.weightsInPeMemory = true;
+    runAndVerify(config, tinyConvNet(), 11);
+}
+
+TEST(Integration, FullyConnectedNocMatchesReference)
+{
+    NeurocubeConfig config;
+    config.noc.topology = NocTopology::FullyConnected;
+    config.mapping.duplicateFcInput = false;
+    runAndVerify(config, threeLayerMlp(48, 32, 10), 12);
+}
+
+TEST(Integration, Ddr3TwoChannelsMatchesReference)
+{
+    NeurocubeConfig config;
+    config.dram = DramParams::ddr3();
+    runAndVerify(config, tinyConvNet(), 13);
+}
+
+TEST(Integration, CyclesRespectMemoryBound)
+{
+    // A conv layer's cycles can never beat the DRAM streaming bound:
+    // one operand pair per vault-word, one word per tick per vault.
+    NeurocubeConfig config;
+    Neurocube cube(config);
+    NetworkDesc net = tinyConvNet();
+    NetworkData data = NetworkData::randomized(net, 20);
+    Tensor input(2, 16, 20);
+    Rng rng(21);
+    input.randomize(rng);
+    cube.loadNetwork(net, data);
+    cube.setInput(input);
+    LayerResult r = cube.runLayer(0);
+    uint64_t pairs = r.ops / 2;
+    // Words needed across 16 vaults, perfectly balanced.
+    uint64_t min_cycles = pairs / 16;
+    EXPECT_GE(r.cycles, min_cycles);
+    EXPECT_EQ(r.ops, net.layers[0].totalOps());
+}
+
+TEST(Integration, StatsDumpIsWellFormed)
+{
+    NeurocubeConfig config;
+    Neurocube cube(config);
+    NetworkDesc net = tinyConvNet();
+    NetworkData data = NetworkData::randomized(net, 30);
+    Tensor input(2, 16, 20);
+    Rng rng(31);
+    input.randomize(rng);
+    cube.loadNetwork(net, data);
+    cube.setInput(input);
+    cube.runForward();
+    std::ostringstream os;
+    cube.stats().dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("neurocube.passes"), std::string::npos);
+    EXPECT_NE(out.find("vault0"), std::string::npos);
+    EXPECT_NE(out.find("noc"), std::string::npos);
+}
+
+} // namespace
+} // namespace neurocube

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Unit tests of the layer program compiler: memory layout, program
+ * register contents, host gather, and the plane-loop collapse.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/layer_compiler.hh"
+#include "core/neurocube.hh"
+
+namespace neurocube
+{
+namespace
+{
+
+class CompilerTest : public ::testing::Test
+{
+  protected:
+    CompilerTest() : compiler_(config_)
+    {
+        for (unsigned ch = 0; ch < 16; ++ch) {
+            storesOwned_.push_back(
+                std::make_unique<BackingStore>());
+            stores_.push_back(storesOwned_.back().get());
+        }
+    }
+
+    CompiledLayer
+    compile(const LayerDesc &layer, const std::vector<Fixed> &w,
+            const Tensor &input)
+    {
+        return compiler_.compile(layer, w, input, stores_);
+    }
+
+    NeurocubeConfig config_;
+    LayerCompiler compiler_;
+    std::vector<std::unique_ptr<BackingStore>> storesOwned_;
+    std::vector<BackingStore *> stores_;
+};
+
+LayerDesc
+smallConv()
+{
+    LayerDesc conv;
+    conv.type = LayerType::Conv2D;
+    conv.name = "conv";
+    conv.inWidth = 20;
+    conv.inHeight = 16;
+    conv.inMaps = 2;
+    conv.outMaps = 4;
+    conv.kernel = 3;
+    conv.channelwise = true;
+    conv.activation = ActivationKind::Tanh;
+    return conv;
+}
+
+TEST_F(CompilerTest, ConvCollapsesToOneProgram)
+{
+    LayerDesc conv = smallConv();
+    NetworkDesc net;
+    net.layers.push_back(conv);
+    NetworkData data = NetworkData::randomized(net, 1);
+    Tensor input(2, 16, 20);
+    CompiledLayer compiled =
+        compile(conv, data.weights[0], input);
+
+    // One pass whose program iterates all four output maps.
+    ASSERT_EQ(compiled.passes.size(), 1u);
+    const PngProgram &prog = compiled.passes[0].programs[0];
+    EXPECT_EQ(prog.outPlanes, 4u);
+    EXPECT_EQ(prog.planeInMapModulo, 2u);
+    EXPECT_EQ(prog.weightPlaneStride, 9u);
+    EXPECT_EQ(prog.conns.size(), 9u);
+    EXPECT_EQ(prog.outPlaneSize, uint32_t(18 * 14));
+    EXPECT_EQ(prog.activation, ActivationKind::Tanh);
+    // PE sees all planes' neurons.
+    const PePassConfig &pc = compiled.passes[0].peConfigs[0];
+    EXPECT_EQ(pc.planes, 4u);
+    EXPECT_EQ(pc.numNeurons % 4u, 0u);
+}
+
+TEST_F(CompilerTest, InputWrittenIntoStoredRect)
+{
+    LayerDesc conv = smallConv();
+    NetworkDesc net;
+    net.layers.push_back(conv);
+    NetworkData data = NetworkData::randomized(net, 2);
+    Tensor input(2, 16, 20);
+    Rng rng(3);
+    input.randomize(rng);
+    CompiledLayer compiled =
+        compile(conv, data.weights[0], input);
+
+    for (unsigned ch = 0; ch < 16; ++ch) {
+        const PngProgram &prog = compiled.passes[0].programs[ch];
+        const Rect &stored = prog.input.stored;
+        for (unsigned m = 0; m < 2; ++m) {
+            for (int32_t y = stored.y0; y < stored.y0 + stored.h;
+                 ++y) {
+                for (int32_t x = stored.x0;
+                     x < stored.x0 + stored.w; ++x) {
+                    EXPECT_EQ(stores_[ch]->read(
+                                  prog.input.addrOf(m, x, y)),
+                              input.at(m, unsigned(y), unsigned(x)));
+                }
+            }
+        }
+    }
+}
+
+TEST_F(CompilerTest, SharedKernelsDuplicatedInEveryVault)
+{
+    LayerDesc conv = smallConv();
+    NetworkDesc net;
+    net.layers.push_back(conv);
+    NetworkData data = NetworkData::randomized(net, 4);
+    Tensor input(2, 16, 20);
+    CompiledLayer compiled =
+        compile(conv, data.weights[0], input);
+
+    for (unsigned ch = 0; ch < 16; ++ch) {
+        const PngProgram &prog = compiled.passes[0].programs[ch];
+        for (size_t i = 0; i < data.weights[0].size(); ++i) {
+            EXPECT_EQ(stores_[ch]->read(prog.weights.base + i),
+                      data.weights[0][i])
+                << "vault " << ch << " weight " << i;
+        }
+    }
+}
+
+TEST_F(CompilerTest, GatherRoundTripsOutputStores)
+{
+    LayerDesc conv = smallConv();
+    NetworkDesc net;
+    net.layers.push_back(conv);
+    NetworkData data = NetworkData::randomized(net, 5);
+    Tensor input(2, 16, 20);
+    CompiledLayer compiled =
+        compile(conv, data.weights[0], input);
+
+    // Write a recognizable pattern into every vault's output region
+    // and gather it back.
+    for (unsigned ch = 0; ch < 16; ++ch) {
+        const PlaneStorage &out = compiled.outputStorage[ch];
+        for (unsigned p = 0; p < out.planes; ++p) {
+            const Rect &tile = out.stored;
+            for (int32_t y = tile.y0; y < tile.y0 + tile.h; ++y) {
+                for (int32_t x = tile.x0; x < tile.x0 + tile.w;
+                     ++x) {
+                    stores_[ch]->write(
+                        out.addrOf(p, x, y),
+                        Fixed::fromRaw(int16_t(p * 1000 + y * 20
+                                               + x)));
+                }
+            }
+        }
+    }
+    Tensor gathered = compiler_.gather(compiled, stores_);
+    ASSERT_EQ(gathered.maps(), 4u);
+    for (unsigned p = 0; p < 4; ++p) {
+        for (unsigned y = 0; y < gathered.height(); ++y) {
+            for (unsigned x = 0; x < gathered.width(); ++x) {
+                EXPECT_EQ(gathered.at(p, y, x).raw(),
+                          int16_t(p * 1000 + y * 20 + x));
+            }
+        }
+    }
+}
+
+TEST_F(CompilerTest, FcWeightsInterleavedGroupBlocked)
+{
+    LayerDesc fc;
+    fc.type = LayerType::FullyConnected;
+    fc.name = "fc";
+    fc.inWidth = 8;
+    fc.inHeight = 1;
+    fc.inMaps = 1;
+    fc.outMaps = 32;
+
+    NetworkDesc net;
+    net.layers.push_back(fc);
+    NetworkData data = NetworkData::randomized(net, 6);
+    Tensor input(1, 1, 8);
+    CompiledLayer compiled = compile(fc, data.weights[0], input);
+
+    // Vault ch owns output slice [2ch, 2ch+2); its weights are
+    // stored MAC-minor: base + (walk/16)*8*16 + c*16 + walk%16.
+    for (unsigned ch = 0; ch < 16; ++ch) {
+        const PngProgram &prog = compiled.passes[0].programs[ch];
+        EXPECT_TRUE(prog.weightInterleaved);
+        EXPECT_EQ(prog.weightNeuronStride, 8u);
+        Rect tile = compiled.mapping.outTiles.tile(ch);
+        uint64_t walk = 0;
+        for (int32_t o = tile.x0; o < tile.x0 + tile.w;
+             ++o, ++walk) {
+            for (uint64_t c = 0; c < 8; ++c) {
+                Addr addr = prog.weights.base
+                    + (walk / 16) * 8 * 16 + c * 16 + walk % 16;
+                EXPECT_EQ(stores_[ch]->read(addr),
+                          data.weights[0][uint64_t(o) * 8 + c]);
+            }
+        }
+    }
+}
+
+TEST_F(CompilerTest, PixelMajorLayoutForPerPixelClassifier)
+{
+    LayerDesc fc1;
+    fc1.type = LayerType::Conv2D;
+    fc1.name = "fc1";
+    fc1.inWidth = 10;
+    fc1.inHeight = 6;
+    fc1.inMaps = 8;
+    fc1.outMaps = 2;
+    fc1.kernel = 1;
+    fc1.channelwise = false;
+
+    NetworkDesc net;
+    net.layers.push_back(fc1);
+    NetworkData data = NetworkData::randomized(net, 7);
+    Tensor input(8, 6, 10);
+    Rng rng(8);
+    input.randomize(rng);
+    CompiledLayer compiled = compile(fc1, data.weights[0], input);
+
+    const PngProgram &prog = compiled.passes[0].programs[0];
+    EXPECT_TRUE(prog.input.pixelMajor);
+    // Consecutive maps of one pixel are adjacent in the vault.
+    const Rect &stored = prog.input.stored;
+    Addr a0 = prog.input.addrOf(0, stored.x0, stored.y0);
+    Addr a1 = prog.input.addrOf(1, stored.x0, stored.y0);
+    EXPECT_EQ(a1, a0 + 1);
+}
+
+TEST_F(CompilerTest, OnesElementBackstopsPartialReads)
+{
+    LayerDesc conv = smallConv();
+    NetworkDesc net;
+    net.layers.push_back(conv);
+    NetworkData data = NetworkData::randomized(net, 9);
+    Tensor input(2, 16, 20);
+    CompiledLayer compiled =
+        compile(conv, data.weights[0], input);
+    for (unsigned ch = 0; ch < 16; ++ch) {
+        const PngProgram &prog = compiled.passes[0].programs[ch];
+        EXPECT_EQ(stores_[ch]->read(prog.onesAddr),
+                  Fixed::fromDouble(1.0));
+    }
+}
+
+TEST_F(CompilerTest, SplitModeStillEmitsPerPassPrograms)
+{
+    NeurocubeConfig config;
+    config.splitFullConvPasses = true;
+    LayerCompiler compiler(config);
+
+    LayerDesc fc1;
+    fc1.type = LayerType::Conv2D;
+    fc1.name = "fc1";
+    fc1.inWidth = 6;
+    fc1.inHeight = 4;
+    fc1.inMaps = 3;
+    fc1.outMaps = 2;
+    fc1.kernel = 1;
+    fc1.channelwise = false;
+
+    NetworkDesc net;
+    net.layers.push_back(fc1);
+    NetworkData data = NetworkData::randomized(net, 10);
+    Tensor input(3, 4, 6);
+    CompiledLayer compiled =
+        compiler.compile(fc1, data.weights[0], input, stores_);
+    EXPECT_EQ(compiled.passes.size(), 6u); // 2 out x 3 in maps
+    // Accumulating passes carry the partial-sum connection.
+    EXPECT_EQ(compiled.passes[1].programs[0].conns.size(), 2u);
+    EXPECT_EQ(compiled.passes[1].programs[0].conns.back().source,
+              Conn::Source::Partial);
+    // Only the last pass of each output map applies the activation.
+    EXPECT_EQ(compiled.passes[0].programs[0].outPlanes, 1u);
+}
+
+} // namespace
+} // namespace neurocube

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Unit tests for the DRAM channel timing model and backing store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/backing_store.hh"
+#include "dram/dram_params.hh"
+#include "dram/memory_channel.hh"
+
+namespace neurocube
+{
+namespace
+{
+
+TEST(DramParams, TableOneValues)
+{
+    DramParams hmc = DramParams::hmcInternal();
+    EXPECT_EQ(hmc.numChannels, 16u);
+    EXPECT_EQ(hmc.wordBits, 32u);
+    // One 32-bit word per 5 GHz tick (the Section VI burst rate).
+    EXPECT_DOUBLE_EQ(hmc.peakBandwidthGBps, 20.0);
+    EXPECT_EQ(hmc.elementsPerWord(), 2u);
+
+    DramParams ddr = DramParams::ddr3();
+    EXPECT_EQ(ddr.numChannels, 2u);
+    EXPECT_EQ(ddr.wordBits, 64u);
+    EXPECT_EQ(ddr.elementsPerWord(), 4u);
+}
+
+TEST(DramParams, HmcRateIsOneWordPerTick)
+{
+    // The paper's simulator pushes one 32-bit word per 5 GHz cycle
+    // per vault in burst mode (Section VI).
+    DramParams hmc = DramParams::hmcInternal();
+    EXPECT_NEAR(hmc.wordsPerTick(), 1.0, 1e-9);
+}
+
+TEST(DramParams, ActivateTicksRoundsUp)
+{
+    DramParams hmc = DramParams::hmcInternal();
+    // 27.5 ns at 5 GHz = 137.5 -> 138 ticks.
+    EXPECT_EQ(hmc.activateTicks(), 138u);
+}
+
+TEST(BackingStore, ReadWriteAndDefaultZero)
+{
+    BackingStore store;
+    EXPECT_EQ(store.read(100).raw(), 0);
+    store.write(100, Fixed::fromDouble(2.5));
+    EXPECT_DOUBLE_EQ(store.read(100).toDouble(), 2.5);
+}
+
+TEST(BackingStore, AllocatorBumpsAndTracks)
+{
+    BackingStore store;
+    Region a = store.allocate(10);
+    Region b = store.allocate(5);
+    EXPECT_EQ(a.base, 0u);
+    EXPECT_EQ(b.base, 10u);
+    EXPECT_EQ(store.allocatedElements(), 15u);
+    EXPECT_EQ(store.allocatedBytes(), 30u);
+    EXPECT_TRUE(a.contains(9));
+    EXPECT_FALSE(a.contains(10));
+}
+
+class ChannelTest : public ::testing::Test
+{
+  protected:
+    ChannelTest()
+        : params_(makeParams()), root_(nullptr, "test"),
+          channel_(params_, &root_, "ch")
+    {
+    }
+
+    static DramParams
+    makeParams()
+    {
+        DramParams p = DramParams::hmcInternal();
+        // Full-rate channel for deterministic timing in tests.
+        p.peakBandwidthGBps = 20.0; // 1 word/tick
+        return p;
+    }
+
+    /** Run the channel for n ticks, collecting responses. */
+    std::vector<MemResponse>
+    run(Tick n)
+    {
+        std::vector<MemResponse> out;
+        for (Tick t = 0; t < n; ++t) {
+            channel_.tick(now_++);
+            while (!channel_.responses().empty()) {
+                out.push_back(channel_.responses().front());
+                channel_.responses().pop_front();
+            }
+        }
+        return out;
+    }
+
+    DramParams params_;
+    StatGroup root_;
+    MemoryChannel channel_;
+    Tick now_ = 0;
+};
+
+TEST_F(ChannelTest, ServicesReadsInOrder)
+{
+    channel_.store().write(0, Fixed::fromDouble(1.0));
+    channel_.store().write(1, Fixed::fromDouble(2.0));
+    channel_.enqueue({false, 0, Fixed(), 7});
+    channel_.enqueue({false, 1, Fixed(), 8});
+    auto responses = run(200);
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_EQ(responses[0].tag, 7u);
+    EXPECT_DOUBLE_EQ(responses[0].data.toDouble(), 1.0);
+    EXPECT_EQ(responses[1].tag, 8u);
+    EXPECT_DOUBLE_EQ(responses[1].data.toDouble(), 2.0);
+}
+
+TEST_F(ChannelTest, PacksTwoElementsPerWord)
+{
+    // Both elements are in the same row: one word services both, so
+    // they complete on the same tick.
+    channel_.enqueue({false, 0, Fixed(), 0});
+    channel_.enqueue({false, 1, Fixed(), 1});
+    Tick first = 0, second = 0;
+    for (Tick t = 0; t < 300 && second == 0; ++t) {
+        channel_.tick(now_++);
+        while (!channel_.responses().empty()) {
+            if (channel_.responses().front().tag == 0)
+                first = t;
+            else
+                second = t;
+            channel_.responses().pop_front();
+        }
+    }
+    EXPECT_EQ(first, second);
+}
+
+TEST_F(ChannelTest, ColdStartPaysActivation)
+{
+    channel_.enqueue({false, 0, Fixed(), 0});
+    Tick done = 0;
+    for (Tick t = 0; t < 400 && done == 0; ++t) {
+        channel_.tick(now_++);
+        if (!channel_.responses().empty())
+            done = t;
+    }
+    // First access must wait out tRCD + tCL (138 ticks at 5 GHz).
+    EXPECT_GE(done, params_.activateTicks() - 1);
+}
+
+TEST_F(ChannelTest, BurstGapEnforced)
+{
+    // Stream 64 sequential elements (32 words = 4 bursts) and check
+    // the total time exceeds the pure transfer time by the gaps.
+    for (Addr a = 0; a < 64; ++a)
+        channel_.enqueue({false, a, Fixed(), a});
+    size_t seen = 0;
+    Tick last = 0;
+    for (Tick t = 0; t < 1000 && seen < 64; ++t) {
+        channel_.tick(now_++);
+        while (!channel_.responses().empty()) {
+            ++seen;
+            last = t;
+            channel_.responses().pop_front();
+        }
+    }
+    ASSERT_EQ(seen, 64u);
+    // 32 words in bursts of 8 with 1-tick gaps: >= 35 ticks of
+    // transfer beyond the activation.
+    EXPECT_GE(last, params_.activateTicks() + 32 + 3 - 1);
+}
+
+TEST_F(ChannelTest, WritesLandInStore)
+{
+    channel_.enqueue({true, 5, Fixed::fromDouble(-1.5), 0});
+    run(300);
+    EXPECT_DOUBLE_EQ(channel_.store().read(5).toDouble(), -1.5);
+    EXPECT_TRUE(channel_.idle());
+}
+
+TEST_F(ChannelTest, ResponseBacklogStallsChannel)
+{
+    for (Addr a = 0; a < 64; ++a)
+        channel_.enqueue({false, a, Fixed(), a});
+    // Never drain responses: the channel must stop at the backlog
+    // limit instead of buffering unboundedly.
+    for (Tick t = 0; t < 600; ++t)
+        channel_.tick(now_++);
+    EXPECT_LE(channel_.responses().size(),
+              MemoryChannel::responseBacklogLimit + 1);
+    EXPECT_FALSE(channel_.canAccept() && channel_.idle());
+}
+
+TEST_F(ChannelTest, RowMissStallsUntilActivation)
+{
+    // Two reads in different rows of the same bank cannot proceed
+    // back-to-back; the second waits for its activation. Row 17
+    // hashes to bank 0 like row 0 does ((17 ^ 1) % 16 == 0).
+    unsigned row_elems = params_.elementsPerRow();
+    Addr same_bank_far = Addr(row_elems) * 17;
+    channel_.enqueue({false, 0, Fixed(), 0});
+    channel_.enqueue({false, same_bank_far, Fixed(), 1});
+    Tick first = 0, second = 0;
+    for (Tick t = 0; t < 1000 && second == 0; ++t) {
+        channel_.tick(now_++);
+        while (!channel_.responses().empty()) {
+            if (channel_.responses().front().tag == 0)
+                first = t;
+            else
+                second = t;
+            channel_.responses().pop_front();
+        }
+    }
+    ASSERT_GT(second, 0u);
+    EXPECT_GE(second - first, params_.activateTicks() - 1);
+}
+
+TEST_F(ChannelTest, ReadAfterBufferedWriteReturnsNewValue)
+{
+    // A read that targets an address sitting in the write buffer
+    // must observe the written value (the hazard forces a drain).
+    channel_.store().write(9, Fixed::fromDouble(1.0));
+    channel_.enqueue({true, 9, Fixed::fromDouble(7.5), 0});
+    channel_.enqueue({false, 9, Fixed(), 1});
+    auto responses = run(600);
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_DOUBLE_EQ(responses[0].data.toDouble(), 7.5);
+}
+
+TEST_F(ChannelTest, WritesDrainWhenReadsRunOut)
+{
+    // A lone write must not linger: with no reads queued the drain
+    // policy flushes it.
+    channel_.enqueue({true, 3, Fixed::fromDouble(2.0), 0});
+    run(400);
+    EXPECT_TRUE(channel_.idle());
+    EXPECT_DOUBLE_EQ(channel_.store().read(3).toDouble(), 2.0);
+}
+
+TEST_F(ChannelTest, WriteBurstAmortizesRowActivations)
+{
+    // 48 writes into one output row drain in batches: far fewer
+    // activations than writes.
+    for (Addr a = 0; a < 48 && channel_.canAccept(); ++a)
+        channel_.enqueue({true, 5000 + a, Fixed::fromDouble(0.5), a});
+    run(1200);
+    EXPECT_TRUE(channel_.idle());
+    for (Addr a = 0; a < 48; ++a)
+        EXPECT_DOUBLE_EQ(channel_.store().read(5000 + a).toDouble(),
+                         0.5);
+}
+
+TEST_F(ChannelTest, InterleavedReadsAndWritesAllComplete)
+{
+    // Mixed traffic: reads of one region, writes to another; every
+    // request completes and reads see pre-write contents (disjoint
+    // addresses).
+    for (Addr a = 0; a < 16; ++a)
+        channel_.store().write(a, Fixed::fromRaw(int16_t(a)));
+    unsigned issued_reads = 0;
+    for (Addr a = 0; a < 16; ++a) {
+        channel_.enqueue({false, a, Fixed(), a});
+        ++issued_reads;
+        channel_.enqueue({true, 9000 + a,
+                          Fixed::fromRaw(int16_t(100 + a)), a});
+    }
+    auto responses = run(1500);
+    EXPECT_TRUE(channel_.idle());
+    ASSERT_EQ(responses.size(), size_t(issued_reads));
+    for (const MemResponse &r : responses)
+        EXPECT_EQ(r.data.raw(), int16_t(r.addr));
+    for (Addr a = 0; a < 16; ++a) {
+        EXPECT_EQ(channel_.store().read(9000 + a).raw(),
+                  int16_t(100 + a));
+    }
+}
+
+TEST_F(ChannelTest, EnergyTracksBits)
+{
+    channel_.enqueue({false, 0, Fixed(), 0});
+    channel_.enqueue({false, 1, Fixed(), 1});
+    run(300);
+    EXPECT_EQ(channel_.bitsTransferred(), 32u);
+    EXPECT_NEAR(channel_.energyJoules(),
+                32 * params_.energyPjPerBit * 1e-12, 1e-18);
+}
+
+TEST(ChannelRate, Ddr3SlowerThanReference)
+{
+    // DDR3 delivers 12.8 GB/s over 8-byte words = 1.6 Gwords/s, i.e.
+    // 0.32 words per 5 GHz tick.
+    DramParams ddr = DramParams::ddr3();
+    EXPECT_NEAR(ddr.wordsPerTick(), 0.32, 1e-9);
+
+    StatGroup root(nullptr, "t");
+    MemoryChannel channel(ddr, &root, "ddr");
+    Tick now = 0;
+    size_t seen = 0;
+    Addr issued = 0;
+    Tick last = 0;
+    while (now < 5000 && seen < 256) {
+        while (issued < 256 && channel.canAccept())
+            channel.enqueue({false, issued, Fixed(), issued}), ++issued;
+        channel.tick(now++);
+        while (!channel.responses().empty()) {
+            ++seen;
+            last = now;
+            channel.responses().pop_front();
+        }
+    }
+    ASSERT_EQ(seen, 256u);
+    // 64 words at 0.32 words/tick = 200 ticks minimum transfer time.
+    EXPECT_GE(last, 200u);
+}
+
+} // namespace
+} // namespace neurocube

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the multi-cube scaling model (the paper's Section IX
+ * extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/multi_cube.hh"
+
+namespace neurocube
+{
+namespace
+{
+
+NetworkDesc
+bigScene()
+{
+    return sceneLabelingNetwork(640, 480);
+}
+
+TEST(MultiCube, OneCubeMatchesSingleCubeModel)
+{
+    NetworkDesc net = bigScene();
+    MultiCubeConfig config;
+    config.numCubes = 1;
+    MultiCubeEstimate est = multiCubeNetworkEstimate(net, config);
+    EXPECT_EQ(est.exchangeCycles, 0u);
+
+    Tick single = 0;
+    for (const LayerDesc &layer : net.layers) {
+        single +=
+            analyticLayerEstimate(layer, config.cube).cycles;
+    }
+    EXPECT_EQ(est.computeCycles, single);
+    EXPECT_EQ(est.ops, net.totalOps());
+}
+
+TEST(MultiCube, MoreCubesAreFaster)
+{
+    NetworkDesc net = bigScene();
+    Tick prev = 0;
+    for (unsigned cubes : {1u, 2u, 4u, 8u}) {
+        MultiCubeConfig config;
+        config.numCubes = cubes;
+        Tick cycles = multiCubeNetworkEstimate(net, config)
+                          .totalCycles();
+        if (prev) {
+            EXPECT_LT(cycles, prev) << cubes << " cubes";
+        }
+        prev = cycles;
+    }
+}
+
+TEST(MultiCube, EfficiencyBoundedAndDecreasing)
+{
+    NetworkDesc net = bigScene();
+    double prev = 1.1;
+    for (unsigned cubes : {2u, 4u, 16u}) {
+        MultiCubeConfig config;
+        config.numCubes = cubes;
+        double eff = multiCubeEfficiency(net, config);
+        EXPECT_GT(eff, 0.2) << cubes;
+        EXPECT_LT(eff, 1.05) << cubes;
+        EXPECT_LE(eff, prev + 0.05) << cubes;
+        prev = eff;
+    }
+}
+
+TEST(MultiCube, LargerImagesScaleBetter)
+{
+    // Halos are thinner relative to bigger tiles.
+    MultiCubeConfig config;
+    config.numCubes = 16;
+    double small =
+        multiCubeEfficiency(sceneLabelingNetwork(160, 120), config);
+    double large =
+        multiCubeEfficiency(sceneLabelingNetwork(1280, 960), config);
+    EXPECT_GT(large, small);
+}
+
+TEST(MultiCube, SlowLinksHurt)
+{
+    NetworkDesc net = bigScene();
+    MultiCubeConfig fast;
+    fast.numCubes = 8;
+    MultiCubeConfig slow = fast;
+    slow.linkBandwidthGBps = 1.0;
+    EXPECT_GT(multiCubeNetworkEstimate(net, slow).totalCycles(),
+              multiCubeNetworkEstimate(net, fast).totalCycles());
+}
+
+} // namespace
+} // namespace neurocube

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Unit tests for the PNG: counters, LUT, and address generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "png/address_generator.hh"
+#include "png/counters.hh"
+#include "png/lut.hh"
+
+namespace neurocube
+{
+namespace
+{
+
+TEST(NestedCounters, VisitsEveryTriple)
+{
+    NestedCounters fsm;
+    fsm.configure({40, 3, 16});
+    std::set<std::tuple<uint64_t, uint32_t, uint32_t>> seen;
+    while (!fsm.done()) {
+        seen.insert({fsm.neuron(), fsm.connection(), fsm.mac()});
+        EXPECT_LT(fsm.currentNeuronIndex(), 40u);
+        fsm.advance();
+    }
+    // 40 neurons: groups of 16, last group has 8 active MACs.
+    // Total (neuron-group, conn, mac) visits = (16+16+8) * 3.
+    EXPECT_EQ(seen.size(), size_t(40 * 3));
+}
+
+TEST(NestedCounters, MacInnermostConnectionMiddle)
+{
+    NestedCounters fsm;
+    fsm.configure({16, 2, 16});
+    EXPECT_EQ(fsm.mac(), 0u);
+    fsm.advance();
+    EXPECT_EQ(fsm.mac(), 1u);
+    EXPECT_EQ(fsm.connection(), 0u);
+    for (int i = 0; i < 15; ++i)
+        fsm.advance();
+    EXPECT_EQ(fsm.mac(), 0u);
+    EXPECT_EQ(fsm.connection(), 1u);
+}
+
+TEST(NestedCounters, NeuronCounterStepsByMacCount)
+{
+    // The paper's example: the neuron counter increments by 16 since
+    // 16 neuron states are computed simultaneously.
+    NestedCounters fsm;
+    fsm.configure({32, 1, 16});
+    for (int i = 0; i < 16; ++i)
+        fsm.advance();
+    EXPECT_EQ(fsm.neuron(), 16u);
+}
+
+TEST(NestedCounters, SceneLabelingLayer1Example)
+{
+    // 73,476 neurons, 49 connections, 16 MACs (Section IV-C).
+    NestedCounters fsm;
+    fsm.configure({73476, 49, 16});
+    uint64_t steps = 0;
+    while (!fsm.done()) {
+        fsm.advance();
+        ++steps;
+    }
+    EXPECT_EQ(steps, 73476ull * 49ull);
+}
+
+TEST(Lut, IdentityIsExact)
+{
+    const Lut &lut = sharedLut(ActivationKind::Identity);
+    for (int raw = -32768; raw <= 32767; raw += 257) {
+        Fixed in = Fixed::fromRaw(int16_t(raw));
+        EXPECT_EQ(lut.apply(in), in);
+    }
+}
+
+TEST(Lut, ReluClampsNegatives)
+{
+    const Lut &lut = sharedLut(ActivationKind::ReLU);
+    EXPECT_EQ(lut.apply(Fixed::fromDouble(-3.0)).raw(), 0);
+    EXPECT_EQ(lut.apply(Fixed::fromDouble(3.0)),
+              Fixed::fromDouble(3.0));
+}
+
+TEST(Lut, SigmoidMatchesQuantizedMath)
+{
+    const Lut &lut = sharedLut(ActivationKind::Sigmoid);
+    for (double v : {-8.0, -1.0, 0.0, 1.0, 8.0}) {
+        Fixed in = Fixed::fromDouble(v);
+        Fixed expect =
+            Fixed::fromDouble(1.0 / (1.0 + std::exp(-in.toDouble())));
+        EXPECT_EQ(lut.apply(in), expect) << "at " << v;
+    }
+}
+
+TEST(Lut, TanhSaturatesToUnit)
+{
+    const Lut &lut = sharedLut(ActivationKind::Tanh);
+    EXPECT_NEAR(lut.apply(Fixed::fromDouble(20.0)).toDouble(), 1.0,
+                1.0 / 256.0);
+    EXPECT_NEAR(lut.apply(Fixed::fromDouble(-20.0)).toDouble(), -1.0,
+                1.0 / 256.0);
+}
+
+/** Build a simple one-vault conv program over a small image. */
+PngProgram
+smallConvProgram()
+{
+    PngProgram prog;
+    prog.enabled = true;
+    prog.outWalk = {0, 0, 6, 6};
+    prog.strideX = prog.strideY = 1;
+    for (int dy = 0; dy < 3; ++dy) {
+        for (int dx = 0; dx < 3; ++dx) {
+            prog.conns.push_back({Conn::Source::Input, 0,
+                                  int16_t(dx), int16_t(dy)});
+        }
+    }
+    prog.input.region = {100, 64};
+    prog.input.stored = {0, 0, 8, 8};
+    prog.input.planes = 1;
+    prog.output.region = {200, 36};
+    prog.output.stored = {0, 0, 6, 6};
+    prog.output.planes = 1;
+    prog.weights = {300, 9};
+    prog.outTiles = TileMap::grid({0, 0, 6, 6}, 1, 1);
+    prog.homeTiles = prog.outTiles;
+    prog.outMapWidth = 6;
+    prog.expectedWriteBacks = 36;
+    return prog;
+}
+
+TEST(AddressGenerator, GeneratesAllPairsOnce)
+{
+    AddressGenerator gen;
+    gen.configure(smallConvProgram(), 16);
+    std::map<std::tuple<uint32_t, uint32_t, uint32_t>, int> seen;
+    GeneratedOp op;
+    uint64_t states = 0, weights = 0;
+    while (gen.next(op)) {
+        if (op.kind == PacketKind::State)
+            ++states;
+        else
+            ++weights;
+        seen[{op.group, op.opId, op.mac}] += 1;
+    }
+    EXPECT_EQ(states, 36u * 9u);
+    EXPECT_EQ(weights, 36u * 9u);
+    EXPECT_EQ(gen.totalPairs(), 36u * 9u);
+    // Each (group, op, mac) must appear exactly twice: one state,
+    // one weight.
+    for (const auto &[key, count] : seen)
+        EXPECT_EQ(count, 2) << "group/op/mac duplicated or missing";
+}
+
+TEST(AddressGenerator, ConvAddressesFollowEq45)
+{
+    AddressGenerator gen;
+    PngProgram prog = smallConvProgram();
+    gen.configure(prog, 16);
+    GeneratedOp op;
+    while (gen.next(op)) {
+        if (op.kind != PacketKind::State)
+            continue;
+        uint32_t x = op.neuron % 6;
+        uint32_t y = op.neuron / 6;
+        const Conn &c = prog.conns[op.opId];
+        // Addr = (targ_y * W + targ_x) + base (Eq. 5, W = stored
+        // width 8).
+        Addr expect = 100 + (y + c.dy) * 8 + (x + c.dx);
+        EXPECT_EQ(op.addr, expect);
+    }
+}
+
+TEST(AddressGenerator, SharedWeightsIndexedByConnection)
+{
+    AddressGenerator gen;
+    gen.configure(smallConvProgram(), 16);
+    GeneratedOp op;
+    while (gen.next(op)) {
+        if (op.kind == PacketKind::Weight) {
+            EXPECT_EQ(op.addr, 300 + op.opId);
+        }
+    }
+}
+
+TEST(AddressGenerator, StatesBeforeWeightsPerConnection)
+{
+    // For every (group, connection), all state operands are emitted
+    // before any weight operand — the burst-aligned DRAM pattern
+    // (states of a whole connection block stream first, then the
+    // block's weights).
+    AddressGenerator gen;
+    gen.configure(smallConvProgram(), 16);
+    GeneratedOp op;
+    std::map<std::pair<uint32_t, uint32_t>, int> last_state;
+    std::map<std::pair<uint32_t, uint32_t>, int> first_weight;
+    int seq = 0;
+    while (gen.next(op)) {
+        auto key = std::make_pair(op.group, uint32_t(op.opId));
+        if (op.kind == PacketKind::State) {
+            last_state[key] = seq;
+        } else {
+            if (!first_weight.count(key))
+                first_weight[key] = seq;
+        }
+        ++seq;
+    }
+    for (const auto &[key, w] : first_weight) {
+        ASSERT_TRUE(last_state.count(key));
+        EXPECT_GT(w, last_state[key])
+            << "group " << key.first << " op " << key.second;
+    }
+}
+
+TEST(AddressGenerator, ConnectionBlockingLengthensStreamRuns)
+{
+    // With a connection block of 4, at least 4 * 16 state operands
+    // stream back-to-back before the first weight.
+    AddressGenerator gen;
+    gen.configure(smallConvProgram(), 16, 4);
+    GeneratedOp op;
+    unsigned run = 0;
+    while (gen.next(op) && op.kind == PacketKind::State)
+        ++run;
+    EXPECT_GE(run, 4u * 16u);
+}
+
+TEST(AddressGenerator, OrderedPerDestinationGroup)
+{
+    // The PE's OP-counter sequencing needs: per destination, groups
+    // non-decreasing; and within a (dst, group), each operand KIND's
+    // op ids non-decreasing (states of a connection block stream
+    // before the block's weights, so kinds interleave).
+    AddressGenerator gen;
+    gen.configure(smallConvProgram(), 16);
+    GeneratedOp op;
+    std::map<uint32_t, uint32_t> last_group; // dst -> group
+    std::map<std::tuple<uint32_t, uint32_t, int>, uint32_t> last_op;
+    while (gen.next(op)) {
+        auto it = last_group.find(op.dst);
+        if (it != last_group.end()) {
+            EXPECT_GE(op.group, it->second)
+                << "group regressed for dst " << op.dst;
+        }
+        last_group[op.dst] = op.group;
+        auto key = std::make_tuple(op.dst, op.group,
+                                   int(op.kind));
+        auto jt = last_op.find(key);
+        if (jt != last_op.end()) {
+            EXPECT_GE(op.opId, jt->second)
+                << "op id regressed for dst " << op.dst << " kind "
+                << int(op.kind);
+        }
+        last_op[key] = op.opId;
+    }
+}
+
+TEST(AddressGenerator, InputFilteringSplitsWorkExactly)
+{
+    // Two vaults each own half of the input; together they must
+    // generate every (neuron, conn) exactly once.
+    PngProgram base = smallConvProgram();
+    base.filterByInput = true;
+    std::map<std::pair<uint32_t, uint32_t>, int> coverage;
+    for (int half = 0; half < 2; ++half) {
+        PngProgram prog = base;
+        prog.ownedInput = half == 0 ? Rect{0, 0, 8, 4}
+                                    : Rect{0, 4, 8, 4};
+        // Both walk the full output (reachable region = everything
+        // for this small image).
+        AddressGenerator gen;
+        gen.configure(prog, 16);
+        GeneratedOp op;
+        while (gen.next(op)) {
+            if (op.kind == PacketKind::State)
+                coverage[{op.neuron, op.opId}] += 1;
+        }
+    }
+    EXPECT_EQ(coverage.size(), size_t(36 * 9));
+    for (const auto &[key, count] : coverage)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(AddressGenerator, StrideZeroFullyConnected)
+{
+    PngProgram prog;
+    prog.enabled = true;
+    prog.outWalk = {0, 0, 4, 1};
+    prog.strideX = prog.strideY = 0;
+    for (int i = 0; i < 10; ++i)
+        prog.conns.push_back({Conn::Source::Input, 0, int16_t(i), 0});
+    prog.input.region = {0, 10};
+    prog.input.stored = {0, 0, 10, 1};
+    prog.input.planes = 1;
+    prog.output.region = {50, 4};
+    prog.output.stored = {0, 0, 4, 1};
+    prog.output.planes = 1;
+    prog.weights = {100, 40};
+    prog.weightNeuronStride = 10;
+    prog.outTiles = TileMap::grid({0, 0, 4, 1}, 1, 1);
+    prog.homeTiles = prog.outTiles;
+    prog.outMapWidth = 4;
+
+    AddressGenerator gen;
+    gen.configure(prog, 16);
+    GeneratedOp op;
+    while (gen.next(op)) {
+        if (op.kind == PacketKind::State) {
+            EXPECT_EQ(op.addr, Addr(op.opId)); // input[conn]
+        } else {
+            // W[o * 10 + c] with walk index = o.
+            EXPECT_EQ(op.addr, 100 + op.neuron * 10 + op.opId);
+        }
+    }
+    EXPECT_EQ(gen.totalPairs(), 40u);
+}
+
+TEST(AddressGenerator, StreamWeightsOffHalvesTraffic)
+{
+    PngProgram prog = smallConvProgram();
+    prog.streamWeights = false;
+    AddressGenerator gen;
+    gen.configure(prog, 16);
+    GeneratedOp op;
+    uint64_t total = 0;
+    while (gen.next(op)) {
+        EXPECT_EQ(op.kind, PacketKind::State);
+        ++total;
+    }
+    EXPECT_EQ(total, 36u * 9u);
+    EXPECT_EQ(gen.totalPairs(), 36u * 9u);
+}
+
+TEST(AddressGenerator, PartialConnectionReadsOutputPlane)
+{
+    PngProgram prog = smallConvProgram();
+    prog.conns.push_back({Conn::Source::Partial, 0, 0, 0});
+    prog.onesAddr = 999;
+    AddressGenerator gen;
+    gen.configure(prog, 16);
+    GeneratedOp op;
+    bool saw_partial_state = false, saw_partial_weight = false;
+    while (gen.next(op)) {
+        if (op.opId != 9)
+            continue;
+        if (op.kind == PacketKind::State) {
+            uint32_t x = op.neuron % 6, y = op.neuron / 6;
+            EXPECT_EQ(op.addr, 200 + y * 6 + x);
+            saw_partial_state = true;
+        } else {
+            EXPECT_EQ(op.addr, 999u);
+            EXPECT_TRUE(op.isConstantOne);
+            saw_partial_weight = true;
+        }
+    }
+    EXPECT_TRUE(saw_partial_state);
+    EXPECT_TRUE(saw_partial_weight);
+}
+
+} // namespace
+} // namespace neurocube

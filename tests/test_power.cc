@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the power/area model (Table II) and the compact
+ * thermal solver (Fig. 17).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hh"
+#include "power/power_model.hh"
+#include "power/thermal.hh"
+
+namespace neurocube
+{
+namespace
+{
+
+TEST(PowerModel, PeSumMatchesTable2At28nm)
+{
+    PowerModel model(TechNode::Nm28);
+    EXPECT_NEAR(model.pePowerW(), 1.56e-2, 2e-4);
+    EXPECT_NEAR(model.peAreaMm2(), 0.1936, 2e-3);
+}
+
+TEST(PowerModel, PeSumMatchesTable2At15nm)
+{
+    PowerModel model(TechNode::Nm15);
+    EXPECT_NEAR(model.pePowerW(), 2.13e-1, 2e-3);
+    EXPECT_NEAR(model.peAreaMm2(), 0.0600, 1e-3);
+}
+
+TEST(PowerModel, ComputeTotalsMatchPaper)
+{
+    // 249 mW / 3.09 mm^2 in 28 nm; 3.41 W / 0.96 mm^2 in 15 nm.
+    PowerModel m28(TechNode::Nm28);
+    EXPECT_NEAR(m28.computePowerW(), 0.249, 0.005);
+    EXPECT_NEAR(m28.computeAreaMm2(), 3.098, 0.05);
+    PowerModel m15(TechNode::Nm15);
+    EXPECT_NEAR(m15.computePowerW(), 3.41, 0.05);
+    EXPECT_NEAR(m15.computeAreaMm2(), 0.96, 0.02);
+}
+
+TEST(PowerModel, HmcPowerDerivation)
+{
+    // Logic die: 6.78 pJ/bit x 32 x 16 x 5 GHz scaled by activity
+    // 0.06 at 28 nm = 1.04 W; by 0.5 energy scale at 15 nm = 8.67 W.
+    PowerModel m28(TechNode::Nm28);
+    EXPECT_NEAR(m28.hmcLogicDiePowerW(), 1.04, 0.02);
+    EXPECT_NEAR(m28.dramPowerW(), 0.568, 0.01);
+    PowerModel m15(TechNode::Nm15);
+    EXPECT_NEAR(m15.hmcLogicDiePowerW(), 8.67, 0.02);
+    EXPECT_NEAR(m15.dramPowerW(), 9.47, 0.02);
+}
+
+TEST(PowerModel, EfficiencyMatchesTable3)
+{
+    // Table III: 8.0 GOPs/s at 0.25 W -> 31.92 GOPs/s/W (28 nm) and
+    // 132.4 at 3.41 W -> 38.82 (15 nm).
+    PowerModel m28(TechNode::Nm28);
+    EXPECT_NEAR(m28.efficiencyGopsPerWatt(8.0), 31.92, 0.8);
+    PowerModel m15(TechNode::Nm15);
+    EXPECT_NEAR(m15.efficiencyGopsPerWatt(132.4), 38.82, 0.8);
+}
+
+TEST(PowerModel, ActivityFactorFollowsClock)
+{
+    EXPECT_NEAR(PowerModel(TechNode::Nm28).activityFactor(), 0.06,
+                1e-9);
+    EXPECT_NEAR(PowerModel(TechNode::Nm15).activityFactor(), 1.0,
+                1e-9);
+}
+
+TEST(PowerModel, PublishedPlatformsEfficiency)
+{
+    auto rows = publishedPlatforms();
+    ASSERT_GE(rows.size(), 8u);
+    // GTX 780: 1781 GOPs/s at 206.8 W = 8.61 GOPs/s/W.
+    for (const auto &row : rows) {
+        if (row.paper.find("GTX") != std::string::npos) {
+            EXPECT_NEAR(row.efficiency(), 8.61, 0.05);
+        }
+        if (row.paper.find("DaDianNao") != std::string::npos) {
+            EXPECT_NEAR(row.efficiency(), 349.4, 1.0);
+        }
+    }
+}
+
+TEST(Energy, AccountsComputeAndDram)
+{
+    RunResult run;
+    LayerResult layer;
+    layer.name = "l";
+    layer.ops = 1000000;
+    layer.cycles = 5000000; // 1 ms at 5 GHz
+    layer.dramBits = 1000000;
+    run.layers.push_back(layer);
+
+    PowerModel m15(TechNode::Nm15);
+    EnergyReport report = accountEnergy(run, m15, 3.7);
+    EXPECT_NEAR(report.seconds, 1e-3, 1e-9);
+    EXPECT_NEAR(report.computeJ, m15.computePowerW() * 1e-3, 1e-6);
+    EXPECT_NEAR(report.dramJ, 1e6 * 3.7e-12, 1e-12);
+    EXPECT_GT(report.totalJ(), 0.0);
+    EXPECT_GT(report.gopsPerJoule(layer.ops), 0.0);
+}
+
+TEST(Energy, SlowerClockCostsMoreStaticIntegration)
+{
+    RunResult run;
+    LayerResult layer;
+    layer.cycles = 1000000;
+    layer.dramBits = 0;
+    run.layers.push_back(layer);
+    // Same cycle count takes longer wall-clock at 300 MHz than at
+    // 5 GHz, but the 28 nm node burns far less power.
+    EnergyReport e28 =
+        accountEnergy(run, PowerModel(TechNode::Nm28), 3.7);
+    EnergyReport e15 =
+        accountEnergy(run, PowerModel(TechNode::Nm15), 3.7);
+    EXPECT_GT(e28.seconds, e15.seconds);
+}
+
+TEST(Floorplan, SixteenCoresFitTheLogicDie)
+{
+    // Section VII: 16 cores (PE + router + VC + TSVs) fit the HMC's
+    // 68 mm^2 logic die at 70% placement utilization, in both nodes.
+    for (TechNode node : {TechNode::Nm28, TechNode::Nm15}) {
+        PowerModel model(node);
+        FloorplanReport report = buildFloorplan(model);
+        EXPECT_TRUE(report.fits) << techNodeName(node);
+        EXPECT_LT(report.coresMm2, report.dieBudgetMm2);
+        EXPECT_GT(report.tile.edgeUm, 0.0);
+    }
+    // The paper's 28 nm tile is 513 um x 513 um.
+    FloorplanReport r28 = buildFloorplan(PowerModel(TechNode::Nm28));
+    EXPECT_NEAR(r28.tile.edgeUm, 513.0, 600.0 - 513.0);
+}
+
+TEST(Thermal, UniformPowerSymmetricTemperature)
+{
+    ThermalParams params;
+    ThermalModel model(params);
+    std::vector<double> map(params.gridSize * params.gridSize,
+                            10.0 / 256.0);
+    ThermalResult r = model.solve(map, 0.0);
+    // Symmetric power: corner cells match by symmetry.
+    unsigned n = params.gridSize;
+    EXPECT_NEAR(r.logicMapK.front(), r.logicMapK[n - 1], 1e-2);
+    EXPECT_GT(r.maxLogicK, params.ambientK);
+}
+
+TEST(Thermal, MorePowerIsHotter)
+{
+    ThermalParams params;
+    ThermalModel model(params);
+    std::vector<double> low(256, 5.0 / 256.0);
+    std::vector<double> high(256, 20.0 / 256.0);
+    EXPECT_GT(model.solve(high, 5.0).maxLogicK,
+              model.solve(low, 1.0).maxLogicK);
+}
+
+TEST(Thermal, LogicHotterThanDramWhenLogicDominates)
+{
+    ThermalParams params;
+    ThermalModel model(params);
+    PowerModel m15(TechNode::Nm15);
+    auto map = model.floorplanPowerMap(
+        m15.pePowerW(), m15.hmcLogicDiePowerW(), 16);
+    ThermalResult r = model.solve(map, m15.dramPowerW());
+    EXPECT_GT(r.maxLogicK, r.maxDramK);
+}
+
+TEST(Thermal, Fig17Band15nm)
+{
+    // Paper: logic max 349 K, DRAM max 344 K at the 15 nm operating
+    // point. The compact model should land within a few kelvin.
+    ThermalParams params;
+    ThermalModel model(params);
+    PowerModel m15(TechNode::Nm15);
+    auto map = model.floorplanPowerMap(
+        m15.pePowerW(), m15.hmcLogicDiePowerW(), 16);
+    ThermalResult r = model.solve(map, m15.dramPowerW());
+    EXPECT_NEAR(r.maxLogicK, 349.0, 8.0);
+    EXPECT_NEAR(r.maxDramK, 344.0, 8.0);
+    // Within HMC 2.0 limits.
+    EXPECT_LT(r.maxLogicK, hmcLogicDieLimitK);
+    EXPECT_LT(r.maxDramK, hmcDramDieLimitK);
+}
+
+TEST(Thermal, NegligibleAt28nm)
+{
+    ThermalParams params;
+    ThermalModel model(params);
+    PowerModel m28(TechNode::Nm28);
+    auto map = model.floorplanPowerMap(
+        m28.pePowerW(), m28.hmcLogicDiePowerW(), 16);
+    ThermalResult r = model.solve(map, m28.dramPowerW());
+    // ~1.9 W total: a few kelvin of rise at most.
+    EXPECT_LT(r.maxLogicK, params.ambientK + 15.0);
+}
+
+TEST(Thermal, FloorplanConservesPower)
+{
+    ThermalParams params;
+    ThermalModel model(params);
+    auto map = model.floorplanPowerMap(0.213, 8.67, 16);
+    double total = 0.0;
+    for (double p : map)
+        total += p;
+    EXPECT_NEAR(total, 0.213 * 16 + 8.67, 1e-9);
+}
+
+} // namespace
+} // namespace neurocube

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests of the Section-VI extension claims: RNN unfolding in time,
+ * LSTM via per-pass LUT reprogramming and per-neuron-weight gate
+ * products. The machine must match the sequential reference
+ * bit-for-bit across time steps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/recurrent.hh"
+#include "nn/reference.hh"
+
+namespace neurocube
+{
+namespace
+{
+
+std::vector<Tensor>
+randomSequence(unsigned size, unsigned steps, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Tensor> seq;
+    for (unsigned t = 0; t < steps; ++t) {
+        Tensor x(1, 1, size);
+        x.randomize(rng, -1.0, 1.0);
+        seq.push_back(x);
+    }
+    return seq;
+}
+
+bool
+vectorsEqual(const Tensor &a, const Tensor &b)
+{
+    return a.flat() == b.flat() && a.width() == b.width();
+}
+
+TEST(PerNeuronWeights, ElementwiseProductOnMachine)
+{
+    // out[j] = a[j] * w[j]: the gate-product building block.
+    const unsigned n = 37;
+    LayerDesc layer = lstmScaleLayer(n, ActivationKind::Identity,
+                                     "scale");
+    layer.validate();
+
+    Tensor in(1, 1, n);
+    Rng rng(70);
+    in.randomize(rng);
+    std::vector<Fixed> w(n);
+    for (unsigned j = 0; j < n; ++j)
+        w[j] = Fixed::fromDouble(rng.uniform(-1.0, 1.0));
+
+    Neurocube cube(NeurocubeConfig{});
+    Tensor out;
+    cube.runSingleLayer(layer, w, in, &out);
+    for (unsigned j = 0; j < n; ++j)
+        EXPECT_EQ(out.at(0, 0, j), in.at(0, 0, j) * w[j]) << j;
+}
+
+TEST(PerNeuronWeights, CellUpdateCombinesTwoPlanes)
+{
+    // c = f (.) c_prev + i (.) g, bit-exact vs manual arithmetic.
+    const unsigned n = 23;
+    LayerDesc cell = lstmCellUpdateLayer(n);
+    cell.validate();
+
+    Rng rng(71);
+    Tensor c_prev(1, 1, n), g(1, 1, n), f(1, 1, n), i(1, 1, n);
+    c_prev.randomize(rng);
+    g.randomize(rng);
+    f.randomize(rng, 0.0, 1.0);
+    i.randomize(rng, 0.0, 1.0);
+
+    Neurocube cube(NeurocubeConfig{});
+    Tensor out;
+    cube.runSingleLayer(cell, interleaveGates(f, i),
+                        stackPlanes(c_prev, g), &out);
+    for (unsigned j = 0; j < n; ++j) {
+        Accum acc;
+        acc.mac(c_prev.at(0, 0, j), f.at(0, 0, j));
+        acc.mac(g.at(0, 0, j), i.at(0, 0, j));
+        EXPECT_EQ(out.at(0, 0, j), acc.toFixed()) << j;
+    }
+}
+
+TEST(Rnn, MachineMatchesReferenceOverTime)
+{
+    RnnDesc desc;
+    desc.inputSize = 12;
+    desc.hiddenSize = 20;
+    desc.timeSteps = 6;
+
+    Rng rng(72);
+    std::vector<Fixed> w(desc.weightCount());
+    for (Fixed &v : w)
+        v = Fixed::fromDouble(rng.uniform(-0.1, 0.1));
+    auto inputs = randomSequence(12, 6, 73);
+
+    Neurocube cube(NeurocubeConfig{});
+    std::vector<Tensor> machine_states;
+    RunResult run = runRnn(cube, desc, w, inputs, &machine_states);
+    auto expect = referenceRnn(desc, w, inputs);
+
+    ASSERT_EQ(machine_states.size(), expect.size());
+    for (size_t t = 0; t < expect.size(); ++t) {
+        EXPECT_TRUE(vectorsEqual(machine_states[t], expect[t]))
+            << "step " << t;
+    }
+    EXPECT_EQ(run.layers.size(), 6u);
+}
+
+TEST(Rnn, StateFeedsBack)
+{
+    // With zero input after step 0, the state must still evolve
+    // through the recurrent weights (feedback connectivity of
+    // Fig. 3d).
+    RnnDesc desc;
+    desc.inputSize = 4;
+    desc.hiddenSize = 8;
+    desc.timeSteps = 3;
+
+    Rng rng(74);
+    std::vector<Fixed> w(desc.weightCount());
+    for (Fixed &v : w)
+        v = Fixed::fromDouble(rng.uniform(-0.3, 0.3));
+
+    std::vector<Tensor> inputs(3, Tensor(1, 1, 4));
+    inputs[0].randomize(rng);
+    auto states = referenceRnn(desc, w, inputs);
+    EXPECT_FALSE(vectorsEqual(states[1], states[2]));
+}
+
+TEST(Lstm, MachineMatchesReferenceOverTime)
+{
+    LstmDesc desc;
+    desc.inputSize = 10;
+    desc.hiddenSize = 16;
+    desc.timeSteps = 4;
+
+    LstmWeights weights = LstmWeights::randomized(desc, 75);
+    auto inputs = randomSequence(10, 4, 76);
+
+    Neurocube cube(NeurocubeConfig{});
+    std::vector<Tensor> machine_states;
+    RunResult run =
+        runLstm(cube, desc, weights, inputs, &machine_states);
+    auto expect = referenceLstm(desc, weights, inputs);
+
+    ASSERT_EQ(machine_states.size(), expect.size());
+    for (size_t t = 0; t < expect.size(); ++t) {
+        EXPECT_TRUE(vectorsEqual(machine_states[t], expect[t]))
+            << "step " << t;
+    }
+    // Seven passes per step.
+    EXPECT_EQ(run.layers.size(), 4u * 7u);
+}
+
+TEST(Lstm, ForgetGateZeroClearsCell)
+{
+    // With Wf driven to large negatives (sigmoid -> 0) the cell
+    // carries nothing forward: h depends only on the current input.
+    LstmDesc desc;
+    desc.inputSize = 6;
+    desc.hiddenSize = 8;
+    desc.timeSteps = 2;
+
+    LstmWeights weights = LstmWeights::randomized(desc, 77);
+    for (Fixed &v : weights.wf)
+        v = Fixed::fromDouble(-8.0);
+
+    auto seq_a = randomSequence(6, 2, 78);
+    auto seq_b = seq_a;
+    Rng rng(79);
+    seq_b[0].randomize(rng); // different history, same last input
+
+    auto out_a = referenceLstm(desc, weights, seq_a);
+    auto out_b = referenceLstm(desc, weights, seq_b);
+    // Not exactly equal (h_{t-1} still feeds the gates), but the
+    // cell path is cut: check the cell-only contribution by making
+    // the histories differ wildly yet outputs stay close.
+    double max_diff = 0.0;
+    for (unsigned j = 0; j < desc.hiddenSize; ++j) {
+        max_diff = std::max(
+            max_diff,
+            std::abs(out_a[1].at(0, 0, j).toDouble()
+                     - out_b[1].at(0, 0, j).toDouble()));
+    }
+    EXPECT_LT(max_diff, 0.5);
+}
+
+TEST(Lstm, WeightShapesAndValidation)
+{
+    LstmDesc desc;
+    desc.inputSize = 5;
+    desc.hiddenSize = 7;
+    EXPECT_EQ(desc.gateWeightCount(), 7u * 13u);
+    LstmWeights w = LstmWeights::randomized(desc, 80);
+    EXPECT_EQ(w.wi.size(), desc.gateWeightCount());
+    desc.gateLayer(ActivationKind::Sigmoid).validate();
+    lstmCellUpdateLayer(7).validate();
+}
+
+} // namespace
+} // namespace neurocube

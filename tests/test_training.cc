@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the training sequencer: delta/gradient pass construction,
+ * exact FC backprop on the machine, and the training ops budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/training.hh"
+#include "nn/reference.hh"
+
+namespace neurocube
+{
+namespace
+{
+
+TEST(Training, ConvDeltaRestoresInputDims)
+{
+    LayerDesc conv;
+    conv.type = LayerType::Conv2D;
+    conv.name = "conv1";
+    conv.inWidth = 64;
+    conv.inHeight = 64;
+    conv.inMaps = 3;
+    conv.outMaps = 16;
+    conv.kernel = 7;
+
+    LayerDesc delta = deltaLayerDesc(conv);
+    delta.validate();
+    // Padded valid conv: out dims == forward in dims.
+    EXPECT_EQ(delta.outWidth(), conv.inWidth);
+    EXPECT_EQ(delta.outHeight(), conv.inHeight);
+    EXPECT_EQ(delta.kernel, conv.kernel);
+}
+
+TEST(Training, FcDeltaIsTranspose)
+{
+    LayerDesc fc;
+    fc.type = LayerType::FullyConnected;
+    fc.name = "fc";
+    fc.inWidth = 12;
+    fc.inHeight = 1;
+    fc.inMaps = 1;
+    fc.outMaps = 5;
+
+    LayerDesc delta = deltaLayerDesc(fc);
+    EXPECT_EQ(delta.type, LayerType::FullyConnected);
+    EXPECT_EQ(delta.inWidth, 5u);
+    EXPECT_EQ(delta.outMaps, 12u);
+
+    // Transposition round-trips.
+    std::vector<Fixed> w(12 * 5);
+    for (size_t i = 0; i < w.size(); ++i)
+        w[i] = Fixed::fromRaw(int16_t(i));
+    auto t = transposeFcWeights(fc, w);
+    auto rt = transposeFcWeights(delta, t);
+    EXPECT_EQ(w, rt);
+}
+
+TEST(Training, GradientOpsMatchForwardOps)
+{
+    // The gradient proxy must move exactly as many operands as the
+    // true dW computation, which equals the forward layer's ops.
+    LayerDesc conv;
+    conv.type = LayerType::Conv2D;
+    conv.name = "conv";
+    conv.inWidth = 64;
+    conv.inHeight = 64;
+    conv.inMaps = 3;
+    conv.outMaps = 16;
+    conv.kernel = 7;
+    LayerDesc grad = gradientLayerDesc(conv);
+    grad.validate();
+    EXPECT_EQ(grad.totalOps(), conv.totalOps());
+
+    LayerDesc fc;
+    fc.type = LayerType::FullyConnected;
+    fc.name = "fc";
+    fc.inWidth = 784;
+    fc.inHeight = 1;
+    fc.inMaps = 1;
+    fc.outMaps = 100;
+    EXPECT_EQ(gradientLayerDesc(fc).totalOps(), fc.totalOps());
+}
+
+TEST(Training, MachineFcDeltaMatchesReferenceBackprop)
+{
+    // Exact backward error propagation through an FC layer: running
+    // the transposed layer on the machine must equal the reference
+    // execution of the transposed layer (which is the definition of
+    // the delta propagation delta_in = W^T delta_out).
+    LayerDesc fc;
+    fc.type = LayerType::FullyConnected;
+    fc.name = "fc";
+    fc.inWidth = 24;
+    fc.inHeight = 1;
+    fc.inMaps = 1;
+    fc.outMaps = 10;
+
+    NetworkData data;
+    NetworkDesc net;
+    net.name = "fc-net";
+    net.layers.push_back(fc);
+    data = NetworkData::randomized(net, 55);
+
+    LayerDesc delta = deltaLayerDesc(fc);
+    std::vector<Fixed> wt = transposeFcWeights(fc, data.weights[0]);
+
+    Tensor delta_out(1, 1, 10);
+    Rng rng(56);
+    delta_out.randomize(rng, -0.25, 0.25);
+
+    NeurocubeConfig config;
+    Neurocube cube(config);
+    Tensor machine_out;
+    cube.runSingleLayer(delta, wt, delta_out, &machine_out);
+
+    Tensor expect = referenceLayer(delta, wt, delta_out);
+    ASSERT_EQ(machine_out.width(), expect.width());
+    for (unsigned i = 0; i < expect.width(); ++i)
+        EXPECT_EQ(machine_out.at(0, 0, i), expect.at(0, 0, i));
+}
+
+TEST(Training, IterationRunsForwardPlusDeltas)
+{
+    NetworkDesc net = threeLayerMlp(32, 16, 8);
+    NetworkData data = NetworkData::randomized(net, 60);
+    Tensor input(1, 1, 32);
+    Rng rng(61);
+    input.randomize(rng);
+
+    NeurocubeConfig config;
+    Neurocube cube(config);
+    RunResult run = runTrainingIteration(cube, net, data, input);
+    // 2 forward + 1 delta (layer 0's delta is skipped).
+    ASSERT_EQ(run.layers.size(), 3u);
+    EXPECT_EQ(run.layers[2].name, "d_output");
+    EXPECT_GT(run.layers[2].ops, 0u);
+}
+
+TEST(Training, GradientPassesOptIn)
+{
+    NetworkDesc net = threeLayerMlp(32, 16, 8);
+    NetworkData data = NetworkData::randomized(net, 62);
+    Tensor input(1, 1, 32);
+    Rng rng(63);
+    input.randomize(rng);
+
+    NeurocubeConfig config;
+    Neurocube cube(config);
+    TrainingOptions opts;
+    opts.includeWeightGradient = true;
+    RunResult run =
+        runTrainingIteration(cube, net, data, input, opts);
+    // 2 forward + 1 delta + 2 gradient passes.
+    ASSERT_EQ(run.layers.size(), 5u);
+    // Full backprop roughly triples the forward ops.
+    uint64_t fwd = run.layers[0].ops + run.layers[1].ops;
+    EXPECT_GT(run.totalOps(), 2 * fwd);
+}
+
+TEST(Training, OpsBudgetMatchesPaperBand)
+{
+    // Paper calibration (EXPERIMENTS.md): training on 64x64 costs
+    // 28-29 MOp per iteration (126.8 GOPs/s / 4542 fps). Forward +
+    // delta passes must land in that band.
+    NetworkDesc net = sceneLabelingNetwork(64, 64);
+    uint64_t ops = net.totalOps();
+    for (size_t i = 1; i < net.layers.size(); ++i)
+        ops += deltaLayerDesc(net.layers[i]).totalOps();
+    double mop = double(ops) / 1e6;
+    EXPECT_GT(mop, 18.0);
+    EXPECT_LT(mop, 45.0);
+}
+
+} // namespace
+} // namespace neurocube
