@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multicube.dir/ext_multicube.cc.o"
+  "CMakeFiles/ext_multicube.dir/ext_multicube.cc.o.d"
+  "ext_multicube"
+  "ext_multicube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multicube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

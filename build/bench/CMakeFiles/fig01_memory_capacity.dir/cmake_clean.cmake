@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_memory_capacity.dir/fig01_memory_capacity.cc.o"
+  "CMakeFiles/fig01_memory_capacity.dir/fig01_memory_capacity.cc.o.d"
+  "fig01_memory_capacity"
+  "fig01_memory_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_memory_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

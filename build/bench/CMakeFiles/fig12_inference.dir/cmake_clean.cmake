@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_inference.dir/fig12_inference.cc.o"
+  "CMakeFiles/fig12_inference.dir/fig12_inference.cc.o.d"
+  "fig12_inference"
+  "fig12_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_training.dir/fig13_training.cc.o"
+  "CMakeFiles/fig13_training.dir/fig13_training.cc.o.d"
+  "fig13_training"
+  "fig13_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

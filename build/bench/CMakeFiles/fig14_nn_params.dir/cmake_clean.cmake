@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_nn_params.dir/fig14_nn_params.cc.o"
+  "CMakeFiles/fig14_nn_params.dir/fig14_nn_params.cc.o.d"
+  "fig14_nn_params"
+  "fig14_nn_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_nn_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_memory_noc.dir/fig15_memory_noc.cc.o"
+  "CMakeFiles/fig15_memory_noc.dir/fig15_memory_noc.cc.o.d"
+  "fig15_memory_noc"
+  "fig15_memory_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_memory_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_thermal.dir/fig17_thermal.cc.o"
+  "CMakeFiles/fig17_thermal.dir/fig17_thermal.cc.o.d"
+  "fig17_thermal"
+  "fig17_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recurrent_nets.dir/recurrent_nets.cpp.o"
+  "CMakeFiles/recurrent_nets.dir/recurrent_nets.cpp.o.d"
+  "recurrent_nets"
+  "recurrent_nets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recurrent_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scene_labeling.dir/scene_labeling.cpp.o"
+  "CMakeFiles/scene_labeling.dir/scene_labeling.cpp.o.d"
+  "scene_labeling"
+  "scene_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scene_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_common.dir/logging.cc.o"
+  "CMakeFiles/nc_common.dir/logging.cc.o.d"
+  "CMakeFiles/nc_common.dir/stats.cc.o"
+  "CMakeFiles/nc_common.dir/stats.cc.o.d"
+  "libnc_common.a"
+  "libnc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

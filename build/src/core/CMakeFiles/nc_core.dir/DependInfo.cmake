@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic_model.cc" "src/core/CMakeFiles/nc_core.dir/analytic_model.cc.o" "gcc" "src/core/CMakeFiles/nc_core.dir/analytic_model.cc.o.d"
+  "/root/repo/src/core/layer_compiler.cc" "src/core/CMakeFiles/nc_core.dir/layer_compiler.cc.o" "gcc" "src/core/CMakeFiles/nc_core.dir/layer_compiler.cc.o.d"
+  "/root/repo/src/core/multi_cube.cc" "src/core/CMakeFiles/nc_core.dir/multi_cube.cc.o" "gcc" "src/core/CMakeFiles/nc_core.dir/multi_cube.cc.o.d"
+  "/root/repo/src/core/neurocube.cc" "src/core/CMakeFiles/nc_core.dir/neurocube.cc.o" "gcc" "src/core/CMakeFiles/nc_core.dir/neurocube.cc.o.d"
+  "/root/repo/src/core/recurrent.cc" "src/core/CMakeFiles/nc_core.dir/recurrent.cc.o" "gcc" "src/core/CMakeFiles/nc_core.dir/recurrent.cc.o.d"
+  "/root/repo/src/core/training.cc" "src/core/CMakeFiles/nc_core.dir/training.cc.o" "gcc" "src/core/CMakeFiles/nc_core.dir/training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/nc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/nc_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/png/CMakeFiles/nc_png.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nc_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

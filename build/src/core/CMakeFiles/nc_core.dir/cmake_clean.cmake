@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_core.dir/analytic_model.cc.o"
+  "CMakeFiles/nc_core.dir/analytic_model.cc.o.d"
+  "CMakeFiles/nc_core.dir/layer_compiler.cc.o"
+  "CMakeFiles/nc_core.dir/layer_compiler.cc.o.d"
+  "CMakeFiles/nc_core.dir/multi_cube.cc.o"
+  "CMakeFiles/nc_core.dir/multi_cube.cc.o.d"
+  "CMakeFiles/nc_core.dir/neurocube.cc.o"
+  "CMakeFiles/nc_core.dir/neurocube.cc.o.d"
+  "CMakeFiles/nc_core.dir/recurrent.cc.o"
+  "CMakeFiles/nc_core.dir/recurrent.cc.o.d"
+  "CMakeFiles/nc_core.dir/training.cc.o"
+  "CMakeFiles/nc_core.dir/training.cc.o.d"
+  "libnc_core.a"
+  "libnc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

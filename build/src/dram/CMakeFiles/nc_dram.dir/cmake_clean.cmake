@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_dram.dir/dram_params.cc.o"
+  "CMakeFiles/nc_dram.dir/dram_params.cc.o.d"
+  "CMakeFiles/nc_dram.dir/memory_channel.cc.o"
+  "CMakeFiles/nc_dram.dir/memory_channel.cc.o.d"
+  "libnc_dram.a"
+  "libnc_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/nc_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/nc_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/mapping.cc" "src/nn/CMakeFiles/nc_nn.dir/mapping.cc.o" "gcc" "src/nn/CMakeFiles/nc_nn.dir/mapping.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/nc_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/nc_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/recurrent.cc" "src/nn/CMakeFiles/nc_nn.dir/recurrent.cc.o" "gcc" "src/nn/CMakeFiles/nc_nn.dir/recurrent.cc.o.d"
+  "/root/repo/src/nn/reference.cc" "src/nn/CMakeFiles/nc_nn.dir/reference.cc.o" "gcc" "src/nn/CMakeFiles/nc_nn.dir/reference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/nc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/png/CMakeFiles/nc_png.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nc_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

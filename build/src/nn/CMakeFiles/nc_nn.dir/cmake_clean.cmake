@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_nn.dir/layer.cc.o"
+  "CMakeFiles/nc_nn.dir/layer.cc.o.d"
+  "CMakeFiles/nc_nn.dir/mapping.cc.o"
+  "CMakeFiles/nc_nn.dir/mapping.cc.o.d"
+  "CMakeFiles/nc_nn.dir/network.cc.o"
+  "CMakeFiles/nc_nn.dir/network.cc.o.d"
+  "CMakeFiles/nc_nn.dir/recurrent.cc.o"
+  "CMakeFiles/nc_nn.dir/recurrent.cc.o.d"
+  "CMakeFiles/nc_nn.dir/reference.cc.o"
+  "CMakeFiles/nc_nn.dir/reference.cc.o.d"
+  "libnc_nn.a"
+  "libnc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_noc.dir/fabric.cc.o"
+  "CMakeFiles/nc_noc.dir/fabric.cc.o.d"
+  "CMakeFiles/nc_noc.dir/router.cc.o"
+  "CMakeFiles/nc_noc.dir/router.cc.o.d"
+  "libnc_noc.a"
+  "libnc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

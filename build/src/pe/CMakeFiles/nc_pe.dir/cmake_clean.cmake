@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_pe.dir/pe.cc.o"
+  "CMakeFiles/nc_pe.dir/pe.cc.o.d"
+  "libnc_pe.a"
+  "libnc_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

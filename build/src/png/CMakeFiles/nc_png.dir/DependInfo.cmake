@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/png/address_generator.cc" "src/png/CMakeFiles/nc_png.dir/address_generator.cc.o" "gcc" "src/png/CMakeFiles/nc_png.dir/address_generator.cc.o.d"
+  "/root/repo/src/png/lut.cc" "src/png/CMakeFiles/nc_png.dir/lut.cc.o" "gcc" "src/png/CMakeFiles/nc_png.dir/lut.cc.o.d"
+  "/root/repo/src/png/png.cc" "src/png/CMakeFiles/nc_png.dir/png.cc.o" "gcc" "src/png/CMakeFiles/nc_png.dir/png.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/nc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nc_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

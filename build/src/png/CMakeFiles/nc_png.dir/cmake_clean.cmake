@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_png.dir/address_generator.cc.o"
+  "CMakeFiles/nc_png.dir/address_generator.cc.o.d"
+  "CMakeFiles/nc_png.dir/lut.cc.o"
+  "CMakeFiles/nc_png.dir/lut.cc.o.d"
+  "CMakeFiles/nc_png.dir/png.cc.o"
+  "CMakeFiles/nc_png.dir/png.cc.o.d"
+  "libnc_png.a"
+  "libnc_png.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_png.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

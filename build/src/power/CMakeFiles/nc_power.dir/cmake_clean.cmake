@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nc_power.dir/energy_model.cc.o"
+  "CMakeFiles/nc_power.dir/energy_model.cc.o.d"
+  "CMakeFiles/nc_power.dir/power_model.cc.o"
+  "CMakeFiles/nc_power.dir/power_model.cc.o.d"
+  "CMakeFiles/nc_power.dir/thermal.cc.o"
+  "CMakeFiles/nc_power.dir/thermal.cc.o.d"
+  "libnc_power.a"
+  "libnc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

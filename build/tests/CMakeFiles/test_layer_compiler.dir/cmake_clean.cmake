@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layer_compiler.dir/test_layer_compiler.cc.o"
+  "CMakeFiles/test_layer_compiler.dir/test_layer_compiler.cc.o.d"
+  "test_layer_compiler"
+  "test_layer_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layer_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_channel.dir/test_memory_channel.cc.o"
+  "CMakeFiles/test_memory_channel.dir/test_memory_channel.cc.o.d"
+  "test_memory_channel"
+  "test_memory_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

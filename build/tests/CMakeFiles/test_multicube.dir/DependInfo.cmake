@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_multicube.cc" "tests/CMakeFiles/test_multicube.dir/test_multicube.cc.o" "gcc" "tests/CMakeFiles/test_multicube.dir/test_multicube.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/nc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/nc_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/png/CMakeFiles/nc_png.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/nc_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicube.dir/test_multicube.cc.o"
+  "CMakeFiles/test_multicube.dir/test_multicube.cc.o.d"
+  "test_multicube"
+  "test_multicube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

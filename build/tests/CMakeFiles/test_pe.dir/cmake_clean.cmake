@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pe.dir/test_pe.cc.o"
+  "CMakeFiles/test_pe.dir/test_pe.cc.o.d"
+  "test_pe"
+  "test_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

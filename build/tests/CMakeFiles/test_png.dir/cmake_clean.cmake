@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_png.dir/test_png.cc.o"
+  "CMakeFiles/test_png.dir/test_png.cc.o.d"
+  "test_png"
+  "test_png.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_png.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recurrent.dir/test_recurrent.cc.o"
+  "CMakeFiles/test_recurrent.dir/test_recurrent.cc.o.d"
+  "test_recurrent"
+  "test_recurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
