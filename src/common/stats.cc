@@ -1,5 +1,6 @@
 #include "common/stats.hh"
 
+#include <algorithm>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -14,6 +15,89 @@ Stat::Stat(StatGroup *parent, std::string name, std::string desc)
 {
     nc_assert(parent != nullptr, "stat '%s' needs a group", name_.c_str());
     parent->addStat(this);
+}
+
+Histogram::Histogram(StatGroup *parent, std::string name,
+                     std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    nc_assert(parent != nullptr, "histogram '%s' needs a group",
+              name_.c_str());
+    parent->addHistogram(this);
+}
+
+unsigned
+Histogram::bucketOf(uint64_t value)
+{
+    unsigned width = 0;
+    while (value != 0) {
+        ++width;
+        value >>= 1;
+    }
+    return width;
+}
+
+void
+Histogram::sample(uint64_t value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++buckets_[bucketOf(value)];
+    ++count_;
+    sum_ += double(value);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / double(count_) : 0.0;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::min(100.0, std::max(0.0, p));
+
+    // 0-based target rank within the sorted samples.
+    const double rank = p / 100.0 * double(count_ - 1);
+    uint64_t seen = 0;
+    for (unsigned b = 0; b < numBuckets; ++b) {
+        if (buckets_[b] == 0)
+            continue;
+        if (rank < double(seen + buckets_[b])) {
+            // Interpolate linearly across the bucket's value span.
+            double lo = b == 0 ? 0.0 : double(uint64_t(1) << (b - 1));
+            double hi = b == 0 ? 0.0
+                               : double((uint64_t(1) << (b - 1)) * 2
+                                        - 1);
+            double frac = buckets_[b] > 1
+                            ? (rank - double(seen))
+                                  / double(buckets_[b] - 1)
+                            : 0.0;
+            double value = lo + frac * (hi - lo);
+            return std::min(double(max_),
+                            std::max(double(min_), value));
+        }
+        seen += buckets_[b];
+    }
+    return double(max_);
+}
+
+void
+Histogram::reset()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    min_ = 0;
+    max_ = 0;
+    sum_ = 0.0;
 }
 
 StatGroup::StatGroup(StatGroup *parent, std::string name)
@@ -33,6 +117,15 @@ StatGroup::addStat(Stat *stat)
 }
 
 void
+StatGroup::addHistogram(Histogram *histogram)
+{
+    nc_assert(findHistogram(histogram->name()) == nullptr,
+              "duplicate histogram '%s' in group '%s'",
+              histogram->name().c_str(), name_.c_str());
+    histograms_.push_back(histogram);
+}
+
+void
 StatGroup::addChild(StatGroup *child)
 {
     children_.push_back(child);
@@ -44,6 +137,16 @@ StatGroup::findStat(const std::string &name) const
     for (const Stat *stat : stats_) {
         if (stat->name() == name)
             return stat;
+    }
+    return nullptr;
+}
+
+const Histogram *
+StatGroup::findHistogram(const std::string &name) const
+{
+    for (const Histogram *histogram : histograms_) {
+        if (histogram->name() == name)
+            return histogram;
     }
     return nullptr;
 }
@@ -62,6 +165,22 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
            << std::right << std::setw(16) << stat->value()
            << "  # " << stat->desc() << "\n";
     }
+    for (const Histogram *histogram : histograms_) {
+        std::string full = path.empty()
+                             ? histogram->name()
+                             : path + "." + histogram->name();
+        auto line = [&](const char *suffix, double value) {
+            os << std::left << std::setw(44) << (full + suffix) << " "
+               << std::right << std::setw(16) << value << "  # "
+               << histogram->desc() << "\n";
+        };
+        line(".count", double(histogram->count()));
+        line(".min", double(histogram->min()));
+        line(".max", double(histogram->max()));
+        line(".mean", histogram->mean());
+        line(".p50", histogram->p50());
+        line(".p99", histogram->p99());
+    }
     for (const StatGroup *child : children_)
         child->dump(os, path);
 }
@@ -71,6 +190,8 @@ StatGroup::resetAll()
 {
     for (Stat *stat : stats_)
         stat->reset();
+    for (Histogram *histogram : histograms_)
+        histogram->reset();
     for (StatGroup *child : children_)
         child->resetAll();
 }

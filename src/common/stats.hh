@@ -11,6 +11,7 @@
 #ifndef NEUROCUBE_COMMON_STATS_HH
 #define NEUROCUBE_COMMON_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -63,6 +64,77 @@ class Stat
 };
 
 /**
+ * Distribution statistic over recorded non-negative integer samples.
+ *
+ * Exact count/min/max/mean plus approximate percentiles from
+ * power-of-two buckets (constant memory, no sample storage): bucket
+ * i > 0 holds samples with bit width i, i.e. [2^(i-1), 2^i - 1], and
+ * percentiles interpolate linearly inside a bucket, clamped to the
+ * observed [min, max]. Suited to latency/occupancy distributions
+ * where a few percent of relative error at the tail is acceptable.
+ */
+class Histogram
+{
+  public:
+    /**
+     * Create a histogram and register it with its owning group.
+     *
+     * @param parent group the histogram belongs to
+     * @param name short identifier, unique within the group
+     * @param desc human-readable description for dumps
+     */
+    Histogram(StatGroup *parent, std::string name, std::string desc);
+
+    /** Record one sample. */
+    void sample(uint64_t value);
+
+    /** Number of recorded samples. */
+    uint64_t count() const { return count_; }
+    /** Smallest recorded sample (0 when empty). */
+    uint64_t min() const { return count_ ? min_ : 0; }
+    /** Largest recorded sample (0 when empty). */
+    uint64_t max() const { return count_ ? max_ : 0; }
+    /** Arithmetic mean of the samples (0 when empty). */
+    double mean() const;
+
+    /**
+     * Approximate percentile of the recorded distribution.
+     *
+     * @param p percentile in [0, 100]
+     * @return interpolated sample value (0 when empty)
+     */
+    double percentile(double p) const;
+
+    /** Median. */
+    double p50() const { return percentile(50.0); }
+    /** 99th percentile. */
+    double p99() const { return percentile(99.0); }
+
+    /** The short identifier. */
+    const std::string &name() const { return name_; }
+    /** The description string. */
+    const std::string &desc() const { return desc_; }
+
+    /** Drop all samples. */
+    void reset();
+
+  private:
+    /** Bucket index of a sample value (its bit width). */
+    static unsigned bucketOf(uint64_t value);
+
+    /** Buckets: index 0 = value 0, i = values of bit width i. */
+    static constexpr unsigned numBuckets = 65;
+
+    std::string name_;
+    std::string desc_;
+    std::array<uint64_t, numBuckets> buckets_{};
+    uint64_t count_ = 0;
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
  * A node in the statistics hierarchy.
  *
  * Non-owning: the registered Stat and child-group objects must outlive
@@ -86,11 +158,16 @@ class StatGroup
 
     /** Register a statistic (called from the Stat constructor). */
     void addStat(Stat *stat);
+    /** Register a histogram (called from its constructor). */
+    void addHistogram(Histogram *histogram);
     /** Register a child group. */
     void addChild(StatGroup *child);
 
     /** Look up a direct statistic by name; nullptr when absent. */
     const Stat *findStat(const std::string &name) const;
+
+    /** Look up a direct histogram by name; nullptr when absent. */
+    const Histogram *findHistogram(const std::string &name) const;
 
     /**
      * Recursively write "path.name value # desc" lines.
@@ -109,6 +186,7 @@ class StatGroup
   private:
     std::string name_;
     std::vector<Stat *> stats_;
+    std::vector<Histogram *> histograms_;
     std::vector<StatGroup *> children_;
 };
 

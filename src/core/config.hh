@@ -19,6 +19,7 @@
 #include "noc/fabric.hh"
 #include "pe/pe.hh"
 #include "png/png.hh"
+#include "trace/trace_config.hh"
 
 namespace neurocube
 {
@@ -65,6 +66,9 @@ struct NeurocubeConfig
      * (writing the PNG configuration registers, Fig. 8c).
      */
     Tick configTicksPerPass = 64;
+
+    /** Event tracing (off by default; see src/trace/). */
+    TraceConfig trace;
 
     /** Resolve memoryNodes (filling the default placement). */
     std::vector<unsigned>

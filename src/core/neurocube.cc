@@ -23,12 +23,26 @@ Neurocube::Neurocube(const NeurocubeConfig &config)
                   "memory node %u outside the mesh", node);
     }
 
+    if (config_.trace.enabled) {
+#if NEUROCUBE_TRACE_ENABLED
+        TraceTopology topology;
+        topology.numRouters = config_.numPes;
+        topology.numPes = config_.numPes;
+        topology.numVaults = config_.dram.numChannels;
+        traceSession_ =
+            std::make_unique<TraceSession>(config_.trace, topology);
+#else
+        nc_warn("tracing requested but compiled out "
+                "(rebuild with -DNEUROCUBE_TRACE=ON)");
+#endif
+    }
+
     fabric_ = std::make_unique<NocFabric>(config_.noc, &statGroup_);
 
     for (unsigned ch = 0; ch < config_.dram.numChannels; ++ch) {
         channels_.push_back(std::make_unique<MemoryChannel>(
             config_.dram, &statGroup_,
-            "vault" + std::to_string(ch)));
+            "vault" + std::to_string(ch), uint16_t(ch)));
         pngs_.push_back(std::make_unique<Png>(
             VaultId(mem_nodes[ch]), config_.png, *channels_[ch],
             *fabric_, &statGroup_));
@@ -86,6 +100,7 @@ Neurocube::passDone() const
 Tick
 Neurocube::runPass(const CompiledPass &pass)
 {
+    NC_TRACE_TICK(now_);
     for (unsigned ch = 0; ch < channels_.size(); ++ch)
         pngs_[ch]->configure(pass.programs[ch]);
     for (unsigned p = 0; p < pes_.size(); ++p)
@@ -100,6 +115,7 @@ Neurocube::runPass(const CompiledPass &pass)
 
     Tick start = now_;
     while (!passDone()) {
+        NC_TRACE_TICK(now_);
         for (auto &png : pngs_)
             png->tick(now_);
         for (auto &channel : channels_)

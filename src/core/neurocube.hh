@@ -28,6 +28,7 @@
 #include "noc/fabric.hh"
 #include "pe/pe.hh"
 #include "png/png.hh"
+#include "trace/trace.hh"
 
 namespace neurocube
 {
@@ -105,6 +106,9 @@ class Neurocube
 
     NeurocubeConfig config_;
     StatGroup statGroup_;
+
+    /** Active tracing session (config_.trace.enabled only). */
+    std::unique_ptr<TraceSession> traceSession_;
 
     std::vector<std::unique_ptr<MemoryChannel>> channels_;
     std::unique_ptr<NocFabric> fabric_;

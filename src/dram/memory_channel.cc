@@ -15,8 +15,8 @@ constexpr size_t lookaheadWindow = 48;
 } // namespace
 
 MemoryChannel::MemoryChannel(const DramParams &params, StatGroup *parent,
-                             const std::string &name)
-    : params_(params),
+                             const std::string &name, uint16_t trace_id)
+    : params_(params), traceId_(trace_id),
       openRow_(params.banksPerChannel, noRow),
       bankReady_(params.banksPerChannel, 0),
       pendingRow_(params.banksPerChannel, noRow),
@@ -44,6 +44,9 @@ MemoryChannel::enqueue(const MemRequest &req)
     if (req.write) {
         writeQueue_.push_back(req);
         ++bufferedWrites_[req.addr];
+        NC_TRACE(TraceComponent::Vault, traceId_,
+                 TraceEventType::DramQueueDepth, 1,
+                 writeQueue_.size());
     } else {
         if (bufferedWrites_.count(req.addr)) {
             // The read depends on a buffered write: drain the write
@@ -51,6 +54,8 @@ MemoryChannel::enqueue(const MemRequest &req)
             hazardDrain_ = true;
         }
         queue_.push_back(req);
+        NC_TRACE(TraceComponent::Vault, traceId_,
+                 TraceEventType::DramQueueDepth, 0, queue_.size());
     }
 }
 
@@ -94,6 +99,8 @@ MemoryChannel::lookaheadActivate(Tick now,
             pendingRow_[bank] = row;
             bankReady_[bank] = now + params_.activateTicks();
             statRowMisses_ += 1;
+            NC_TRACE(TraceComponent::Vault, traceId_,
+                     TraceEventType::DramRowActivate, bank, row);
             // One activation start per tick (command-bus limit).
             break;
         }
@@ -161,6 +168,13 @@ MemoryChannel::serveWord(Tick /* now */, std::deque<MemRequest> &queue,
     queue.erase(queue.begin() + long(idx),
                 queue.begin() + long(idx + taken));
 
+    NC_TRACE(TraceComponent::Vault, traceId_,
+             TraceEventType::DramWord, is_write ? 1 : 0,
+             uint64_t(packed) * 8 * bytesPerElement);
+    NC_TRACE(TraceComponent::Vault, traceId_,
+             TraceEventType::DramQueueDepth, is_write ? 1 : 0,
+             queue.size());
+
     credit_ -= 1.0;
     statBusyTicks_ += 1;
     statRowHits_ += 1;
@@ -227,11 +241,17 @@ MemoryChannel::tick(Tick now)
     if (gapRemaining_ > 0) {
         --gapRemaining_;
         statStallTicks_ += 1;
+        NC_TRACE(TraceComponent::Vault, traceId_,
+                 TraceEventType::DramStall,
+                 uint32_t(DramStallReason::BurstGap), gapRemaining_);
         return;
     }
 
     if (credit_ < 1.0) {
         statStallTicks_ += 1;
+        NC_TRACE(TraceComponent::Vault, traceId_,
+                 TraceEventType::DramStall,
+                 uint32_t(DramStallReason::Bandwidth), 0);
         return;
     }
 
@@ -243,6 +263,9 @@ MemoryChannel::tick(Tick now)
             serveWord(now, writeQueue_, 0);
         } else {
             statStallTicks_ += 1;
+            NC_TRACE(TraceComponent::Vault, traceId_,
+                     TraceEventType::DramStall,
+                     uint32_t(DramStallReason::RowConflict), bank);
             lookaheadArmed_ = true;
         }
         return;
@@ -252,12 +275,20 @@ MemoryChannel::tick(Tick now)
         // Downstream (PNG / NoC) is not draining reads: stall so
         // the backpressure reaches the DRAM timing.
         statStallTicks_ += 1;
+        NC_TRACE(TraceComponent::Vault, traceId_,
+                 TraceEventType::DramStall,
+                 uint32_t(DramStallReason::Backpressure),
+                 responses_.size());
         lookaheadArmed_ = true;
         return;
     }
     size_t idx = pickServeIndex(now);
     if (idx == SIZE_MAX) {
         statStallTicks_ += 1;
+        NC_TRACE(TraceComponent::Vault, traceId_,
+                 TraceEventType::DramStall,
+                 uint32_t(DramStallReason::RowConflict),
+                 queue_.size());
         lookaheadArmed_ = true; // stalled: re-scan next tick
     } else {
         serveWord(now, queue_, idx);

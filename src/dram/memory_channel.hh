@@ -26,6 +26,7 @@
 #include "common/types.hh"
 #include "dram/backing_store.hh"
 #include "dram/dram_params.hh"
+#include "trace/trace.hh"
 
 namespace neurocube
 {
@@ -68,9 +69,10 @@ class MemoryChannel
      * @param params technology parameters
      * @param parent stat group to hang this channel's stats under
      * @param name stat path component, e.g. "vault3"
+     * @param trace_id vault/channel index used for trace events
      */
     MemoryChannel(const DramParams &params, StatGroup *parent,
-                  const std::string &name);
+                  const std::string &name, uint16_t trace_id = 0);
 
     /** True while the request queues have room. */
     bool
@@ -179,6 +181,8 @@ class MemoryChannel
 
     DramParams params_;
     BackingStore store_;
+    /** Vault/channel index published with trace events. */
+    uint16_t traceId_;
 
     std::deque<MemRequest> queue_;
     std::deque<MemRequest> writeQueue_;

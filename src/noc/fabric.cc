@@ -22,7 +22,9 @@ NocFabric::NocFabric(const Config &config, StatGroup *parent)
       statLatencySum_(&statGroup_, "latencySum",
                       "sum of end-to-end packet latencies (ticks)"),
       statLinkFlits_(&statGroup_, "linkFlits",
-                     "packet transfers over router-to-router links")
+                     "packet transfers over router-to-router links"),
+      histLatency_(&statGroup_, "latency",
+                   "end-to-end packet latency (ticks)")
 {
     switch (config_.topology) {
       case NocTopology::Mesh2D:
@@ -52,7 +54,7 @@ NocFabric::buildMesh()
 
     for (unsigned i = 0; i < n; ++i) {
         routers_.push_back(std::make_unique<Router>(
-            rc, &statGroup_, "router" + std::to_string(i)));
+            rc, &statGroup_, "router" + std::to_string(i), i));
         pePort_[i] = PortPe;
         memPort_[i] = PortMem;
     }
@@ -125,7 +127,7 @@ NocFabric::buildFullyConnected()
 
     for (unsigned i = 0; i < n; ++i) {
         routers_.push_back(std::make_unique<Router>(
-            rc, &statGroup_, "router" + std::to_string(i)));
+            rc, &statGroup_, "router" + std::to_string(i), i));
         pePort_[i] = pe_port;
         memPort_[i] = mem_port;
     }
@@ -212,25 +214,33 @@ NocFabric::tick(Tick now)
             out.pop_front();
             --budget;
             statLinkFlits_ += 1;
+            NC_TRACE(TraceComponent::Router, link.srcRouter,
+                     TraceEventType::LinkFlit, link.dstRouter);
         }
     }
 
     // Phase 3: ejection into endpoint delivery queues.
     for (unsigned node = 0; node < config_.numNodes; ++node) {
-        auto eject = [&](unsigned port, std::deque<Packet> &sink) {
+        auto eject = [&](unsigned port, std::deque<Packet> &sink,
+                         bool is_mem) {
             auto &out = routers_[node]->outputQueue(port);
             unsigned budget = routers_[node]->portWidth(port);
             while (budget > 0 && !out.empty()
                    && sink.size() < config_.deliveryDepth) {
+                Tick latency = now - out.front().injectTick;
                 statEjected_ += 1;
-                statLatencySum_ += (now - out.front().injectTick);
+                statLatencySum_ += latency;
+                histLatency_.sample(latency);
+                NC_TRACE(TraceComponent::Router, node,
+                         TraceEventType::PacketEject, is_mem ? 1 : 0,
+                         latency);
                 sink.push_back(out.front());
                 out.pop_front();
                 --budget;
             }
         };
-        eject(pePort_[node], peDelivery_[node]);
-        eject(memPort_[node], memDelivery_[node]);
+        eject(pePort_[node], peDelivery_[node], false);
+        eject(memPort_[node], memDelivery_[node], true);
     }
 }
 

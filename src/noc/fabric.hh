@@ -114,6 +114,9 @@ class NocFabric
         return n ? statLatencySum_.value() / double(n) : 0.0;
     }
 
+    /** End-to-end packet latency distribution (ticks). */
+    const Histogram &latencyHistogram() const { return histLatency_; }
+
     /** Fraction of traffic that crossed between nodes. */
     double
     lateralFraction() const
@@ -158,6 +161,7 @@ class NocFabric
     Stat statEjected_;
     Stat statLatencySum_;
     Stat statLinkFlits_;
+    Histogram histLatency_;
 };
 
 } // namespace neurocube

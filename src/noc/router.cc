@@ -6,8 +6,8 @@ namespace neurocube
 {
 
 Router::Router(const Config &config, StatGroup *parent,
-               const std::string &name)
-    : config_(config),
+               const std::string &name, unsigned trace_id)
+    : config_(config), traceId_(uint16_t(trace_id)),
       inputQueue_(config.numPorts),
       outputQueue_(config.numPorts),
       routeTable_(2 * config.numNodes, ~0u),
@@ -37,6 +37,9 @@ Router::pushInput(unsigned port, const Packet &packet)
               "push into full input FIFO (credit violation)");
     inputQueue_[port].push_back(packet);
     ++bufferedInputs_;
+    NC_TRACE(TraceComponent::Router, traceId_,
+             TraceEventType::FlitEnqueue, port,
+             inputQueue_[port].size());
 }
 
 bool
@@ -89,6 +92,8 @@ Router::tick()
                 // Head-of-line blocked; wormhole switching cannot
                 // reorder behind the blocked head.
                 statBlocked_ += 1;
+                NC_TRACE(TraceComponent::Router, traceId_,
+                         TraceEventType::FlitBlocked, in);
                 break;
             }
             outputQueue_[out].push_back(head);
@@ -97,6 +102,9 @@ Router::tick()
             --outBudget_[out];
             --in_budget;
             statSwitched_ += 1;
+            NC_TRACE(TraceComponent::Router, traceId_,
+                     TraceEventType::FlitSwitch, out,
+                     outputQueue_[out].size());
         }
     }
 

@@ -26,6 +26,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "noc/packet.hh"
+#include "trace/trace.hh"
 
 namespace neurocube
 {
@@ -76,9 +77,10 @@ class Router
      * @param config structural parameters
      * @param parent stat group parent
      * @param name stat path component, e.g. "router5"
+     * @param trace_id node index used for trace events
      */
     Router(const Config &config, StatGroup *parent,
-           const std::string &name);
+           const std::string &name, unsigned trace_id = 0);
 
     /** Install the output port for a destination index. */
     void setRoute(unsigned route_index, unsigned out_port);
@@ -139,6 +141,8 @@ class Router
 
   private:
     Config config_;
+    /** Node index published with trace events. */
+    uint16_t traceId_;
     std::vector<std::deque<Packet>> inputQueue_;
     std::vector<std::deque<Packet>> outputQueue_;
     std::vector<unsigned> routeTable_;

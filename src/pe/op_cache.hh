@@ -20,6 +20,7 @@
 
 #include "common/stats.hh"
 #include "noc/packet.hh"
+#include "trace/trace.hh"
 
 namespace neurocube
 {
@@ -40,9 +41,12 @@ class OpCache
     /**
      * @param config structural parameters
      * @param parent stat group parent
+     * @param trace_id owning PE index used for trace events
      */
-    OpCache(const Config &config, StatGroup *parent)
-        : config_(config), banks_(config.numSubBanks),
+    OpCache(const Config &config, StatGroup *parent,
+            uint16_t trace_id = 0)
+        : config_(config), traceId_(trace_id),
+          banks_(config.numSubBanks),
           statGroup_(parent, "cache"),
           statInserts_(&statGroup_, "inserts", "packets buffered"),
           statOverflows_(&statGroup_, "overflows",
@@ -78,14 +82,21 @@ class OpCache
     insert(uint32_t group, const Packet &packet)
     {
         auto &bank = banks_[subBankOf(packet.opId)];
-        if (bank.occupancy >= config_.entriesPerSubBank)
+        if (bank.occupancy >= config_.entriesPerSubBank) {
             statOverflows_ += 1;
+            NC_TRACE(TraceComponent::Pe, traceId_,
+                     TraceEventType::CacheOverflow, packet.opId,
+                     bank.occupancy);
+        }
         bank.entries[key(group, packet.opId)].push_back(packet);
         ++bank.occupancy;
         ++totalEntries_;
         if (totalEntries_ > statPeakEntries_.count())
             statPeakEntries_.set(double(totalEntries_));
         statInserts_ += 1;
+        NC_TRACE(TraceComponent::Pe, traceId_,
+                 TraceEventType::CacheInsert, packet.opId,
+                 totalEntries_);
     }
 
     /** Entries inserted beyond the hardware sub-bank capacity. */
@@ -160,6 +171,8 @@ class OpCache
     };
 
     Config config_;
+    /** Owning PE index published with trace events. */
+    uint16_t traceId_;
     std::vector<SubBank> banks_;
     unsigned totalEntries_ = 0;
 

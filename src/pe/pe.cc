@@ -11,7 +11,7 @@ Pe::Pe(PeId id, const PeParams &params, StatGroup *parent)
     : id_(id), params_(params),
       statGroup_(parent, "pe" + std::to_string(id)),
       temporal_(params.numMacs),
-      cache_(params.cache, &statGroup_),
+      cache_(params.cache, &statGroup_, id),
       macs_(params.numMacs),
       statMacOps_(&statGroup_, "macOps",
                   "multiply-accumulate operations executed"),
@@ -114,6 +114,13 @@ Pe::drainCache(Tick now)
         return;
     std::vector<Packet> matches;
     unsigned scanned = cache_.extract(group_, opCounter_, matches);
+    if (matches.empty()) {
+        NC_TRACE(TraceComponent::Pe, id_, TraceEventType::CacheMiss,
+                 opCounter_, scanned);
+    } else {
+        NC_TRACE(TraceComponent::Pe, id_, TraceEventType::CacheHit,
+                 opCounter_, matches.size());
+    }
     for (const Packet &packet : matches)
         stageOperand(packet);
 
@@ -131,6 +138,9 @@ Pe::drainCache(Tick now)
     Tick ready = now + cost;
     if (ready > nextFlushAt_) {
         statSearchStallTicks_ += (ready - nextFlushAt_);
+        NC_TRACE(TraceComponent::Pe, id_,
+                 TraceEventType::SearchStall, opCounter_,
+                 ready - nextFlushAt_);
         nextFlushAt_ = ready;
     }
 }
@@ -147,6 +157,8 @@ Pe::flush(Tick now)
     }
     statMacOps_ += active;
     statFlushes_ += 1;
+    NC_TRACE(TraceComponent::Pe, id_, TraceEventType::MacBusy,
+             active, params_.numMacs);
     temporal_.flush();
 
     // MACs run at f_PE / numMacs: they are busy for numMacs ticks.
@@ -227,6 +239,8 @@ Pe::tick(Tick now, NocFabric &fabric)
         outbox_.pop_front();
         ++injected;
         statWriteBacks_ += 1;
+        NC_TRACE(TraceComponent::Pe, id_,
+                 TraceEventType::WriteBackOut, 0, outbox_.size());
     }
 }
 

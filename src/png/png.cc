@@ -20,6 +20,22 @@ Png::Png(VaultId id, const PngParams &params, MemoryChannel &channel,
 }
 
 void
+Png::tracePhase(PngFsmPhase phase, unsigned plane)
+{
+#if NEUROCUBE_TRACE_ENABLED
+    if (phase == tracePhase_ && plane == tracePlane_)
+        return;
+    tracePhase_ = phase;
+    tracePlane_ = plane;
+    NC_TRACE(TraceComponent::Png, id_, TraceEventType::PngPhase,
+             uint32_t(phase), plane);
+#else
+    (void)phase;
+    (void)plane;
+#endif
+}
+
+void
 Png::configure(const PngProgram &program)
 {
     nc_assert(pending_.empty() && outQueue_.empty(),
@@ -29,6 +45,9 @@ Png::configure(const PngProgram &program)
                          params_.connBlockSize);
     lut_ = &sharedLut(program.activation);
     wbReceived_ = 0;
+    tracePhase(program.enabled ? PngFsmPhase::Configured
+                               : PngFsmPhase::Idle,
+               0);
 }
 
 void
@@ -68,6 +87,10 @@ Png::tick(Tick now)
         pending_.push_back({req.tag, op});
         ++issued;
         statIssued_ += 1;
+    }
+    if (issued > 0) {
+        NC_TRACE(TraceComponent::Png, id_, TraceEventType::PngIssue,
+                 0, issued);
     }
 
     // 2. Encapsulate returned data into packets. Completions may be
@@ -110,8 +133,12 @@ Png::tick(Tick now)
         ++injected;
         statInjected_ += 1;
     }
-    if (!outQueue_.empty() && injected == 0)
+    if (!outQueue_.empty() && injected == 0) {
         statInjectStallTicks_ += 1;
+        NC_TRACE(TraceComponent::Png, id_,
+                 TraceEventType::PngInjectStall, 0,
+                 outQueue_.size());
+    }
 
     // 4. Absorb write-backs: activation LUT, then write to the vault.
     auto &delivery = fabric_.memDelivery(id_);
@@ -141,6 +168,17 @@ Png::tick(Tick now)
         ++wbReceived_;
         statWriteBacks_ += 1;
     }
+
+#if NEUROCUBE_TRACE_ENABLED
+    // Counter-FSM phase for the trace: generating while addresses
+    // are still being produced, draining until the last owned
+    // write-back lands, then done.
+    tracePhase(done()                ? PngFsmPhase::Done
+               : !generator_.done() ? PngFsmPhase::Generating
+                                    : PngFsmPhase::Draining,
+               generator_.done() ? tracePlane_
+                                 : generator_.currentPlane());
+#endif
 }
 
 bool

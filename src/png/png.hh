@@ -27,6 +27,7 @@
 #include "png/address_generator.hh"
 #include "png/lut.hh"
 #include "png/program.hh"
+#include "trace/trace.hh"
 
 namespace neurocube
 {
@@ -92,10 +93,18 @@ class Png
     static constexpr unsigned planeWindow = 4;
 
   private:
+    /** Publish a PngPhase event when the FSM phase/plane changes. */
+    void tracePhase(PngFsmPhase phase, unsigned plane);
+
     VaultId id_;
     PngParams params_;
     MemoryChannel &channel_;
     NocFabric &fabric_;
+
+    /** Last FSM phase published to the trace bus. */
+    PngFsmPhase tracePhase_ = PngFsmPhase::Idle;
+    /** Last generator plane published to the trace bus. */
+    unsigned tracePlane_ = ~0u;
 
     PngProgram program_;
     AddressGenerator generator_;

@@ -1,0 +1,277 @@
+#include "trace/chrome_exporter.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace neurocube
+{
+
+namespace
+{
+
+/** Pid bases keeping component classes grouped in the Perfetto UI. */
+constexpr uint32_t pidBase[] = {
+    1,    // Sim
+    1000, // Router
+    2000, // Pe
+    3000, // Png
+    4000, // Vault
+};
+
+} // namespace
+
+uint32_t
+ChromeTraceExporter::trackPid(TraceComponent component,
+                              uint16_t instance)
+{
+    return pidBase[unsigned(component)] + instance;
+}
+
+ChromeTraceExporter::ChromeTraceExporter(std::ostream &os,
+                                         const TraceTopology &topology,
+                                         Tick windowTicks)
+    : os_(os), topology_(topology),
+      window_(windowTicks > 0 ? windowTicks : 1),
+      pngPhase_(topology.numVaults)
+{
+    emitPrelude();
+}
+
+void
+ChromeTraceExporter::emitPrelude()
+{
+    os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    emitMeta(trackPid(TraceComponent::Sim, 0), "sim");
+    for (unsigned i = 0; i < topology_.numRouters; ++i) {
+        emitMeta(trackPid(TraceComponent::Router, uint16_t(i)),
+                 "router" + std::to_string(i));
+    }
+    for (unsigned i = 0; i < topology_.numPes; ++i) {
+        emitMeta(trackPid(TraceComponent::Pe, uint16_t(i)),
+                 "pe" + std::to_string(i));
+    }
+    for (unsigned i = 0; i < topology_.numVaults; ++i) {
+        emitMeta(trackPid(TraceComponent::Png, uint16_t(i)),
+                 "png" + std::to_string(i));
+        emitMeta(trackPid(TraceComponent::Vault, uint16_t(i)),
+                 "vault" + std::to_string(i));
+    }
+}
+
+void
+ChromeTraceExporter::emitComma()
+{
+    if (!firstEvent_)
+        os_ << ",\n";
+    firstEvent_ = false;
+}
+
+void
+ChromeTraceExporter::emitMeta(uint32_t pid, const std::string &name)
+{
+    emitComma();
+    os_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+void
+ChromeTraceExporter::emitCounter(uint32_t pid, const std::string &name,
+                                 Tick ts, double value)
+{
+    emitComma();
+    os_ << "{\"name\":\"" << name << "\",\"ph\":\"C\",\"ts\":" << ts
+        << ",\"pid\":" << pid << ",\"args\":{\"value\":" << value
+        << "}}";
+}
+
+void
+ChromeTraceExporter::emitInstant(uint32_t pid, const char *name,
+                                 Tick ts, uint64_t value)
+{
+    emitComma();
+    os_ << "{\"name\":\"" << name << "\",\"ph\":\"i\",\"ts\":" << ts
+        << ",\"pid\":" << pid << ",\"tid\":0,\"s\":\"t\""
+        << ",\"args\":{\"value\":" << value << "}}";
+}
+
+void
+ChromeTraceExporter::emitSlice(uint32_t pid, const char *name, Tick ts,
+                               Tick dur, const std::string &args)
+{
+    emitComma();
+    os_ << "{\"name\":\"" << name << "\",\"ph\":\"X\",\"ts\":" << ts
+        << ",\"dur\":" << dur << ",\"pid\":" << pid
+        << ",\"tid\":0,\"args\":{" << args << "}}";
+}
+
+void
+ChromeTraceExporter::bumpCounter(uint32_t pid, const std::string &name,
+                                 AggMode mode, double value)
+{
+    CounterAgg &agg = counters_[{pid, name}];
+    agg.mode = mode;
+    switch (mode) {
+      case AggMode::Last:
+        agg.value = value;
+        break;
+      case AggMode::Sum:
+        agg.value += value;
+        break;
+      case AggMode::Mean:
+        agg.value += value;
+        break;
+    }
+    ++agg.samples;
+    agg.dirty = true;
+}
+
+void
+ChromeTraceExporter::flushWindow()
+{
+    for (auto &[key, agg] : counters_) {
+        if (!agg.dirty)
+            continue;
+        double value = agg.value;
+        if (agg.mode == AggMode::Mean && agg.samples > 0)
+            value /= double(agg.samples);
+        emitCounter(key.first, key.second, windowStart_, value);
+        agg.dirty = false;
+        agg.samples = 0;
+        if (agg.mode != AggMode::Last)
+            agg.value = 0.0;
+    }
+}
+
+void
+ChromeTraceExporter::advanceWindow(Tick tick)
+{
+    if (tick < windowStart_ + window_)
+        return;
+    flushWindow();
+    windowStart_ = tick - (tick % window_);
+}
+
+void
+ChromeTraceExporter::handle(const TraceEvent &event)
+{
+    advanceWindow(event.tick);
+    lastTick_ = std::max(lastTick_, event.tick);
+
+    const uint32_t pid = trackPid(event.component, event.instance);
+    switch (event.type) {
+      case TraceEventType::FlitEnqueue:
+        bumpCounter(pid, "inQ.p" + std::to_string(event.arg),
+                    AggMode::Last, double(event.value));
+        break;
+      case TraceEventType::FlitSwitch:
+        bumpCounter(pid, "outQ.p" + std::to_string(event.arg),
+                    AggMode::Last, double(event.value));
+        break;
+      case TraceEventType::FlitBlocked:
+        bumpCounter(pid, "blocked/win", AggMode::Sum, 1.0);
+        break;
+      case TraceEventType::LinkFlit:
+        bumpCounter(pid, "linkFlits/win", AggMode::Sum, 1.0);
+        break;
+      case TraceEventType::PacketEject:
+        bumpCounter(pid, "ejected/win", AggMode::Sum, 1.0);
+        bumpCounter(pid, "ejectLatency", AggMode::Mean,
+                    double(event.value));
+        break;
+      case TraceEventType::MacBusy:
+        emitSlice(pid, "macBurst", event.tick, event.value,
+                  "\"activeMacs\":" + std::to_string(event.arg));
+        break;
+      case TraceEventType::CacheHit:
+        bumpCounter(pid, "cacheHits/win", AggMode::Sum, 1.0);
+        break;
+      case TraceEventType::CacheMiss:
+        bumpCounter(pid, "cacheMisses/win", AggMode::Sum, 1.0);
+        break;
+      case TraceEventType::CacheInsert:
+        bumpCounter(pid, "opCacheEntries", AggMode::Last,
+                    double(event.value));
+        break;
+      case TraceEventType::CacheOverflow:
+        emitInstant(pid, "cacheOverflow", event.tick, event.value);
+        break;
+      case TraceEventType::WriteBackOut:
+        bumpCounter(pid, "outbox", AggMode::Last,
+                    double(event.value));
+        break;
+      case TraceEventType::SearchStall:
+        emitInstant(pid, "searchStall", event.tick, event.value);
+        break;
+      case TraceEventType::PngPhase: {
+        nc_assert(event.instance < pngPhase_.size(),
+                  "PNG phase event for unknown vault %u",
+                  event.instance);
+        OpenPhase &open = pngPhase_[event.instance];
+        if (open.open && event.tick > open.since) {
+            emitSlice(pid, pngFsmPhaseName(open.phase), open.since,
+                      event.tick - open.since,
+                      "\"plane\":" + std::to_string(open.plane));
+        }
+        open.open = true;
+        open.phase = PngFsmPhase(event.arg);
+        open.since = event.tick;
+        open.plane = event.value;
+        break;
+      }
+      case TraceEventType::PngInjectStall:
+        bumpCounter(pid, "injectStalls/win", AggMode::Sum, 1.0);
+        break;
+      case TraceEventType::PngIssue:
+        bumpCounter(pid, "issued/win", AggMode::Sum,
+                    double(event.value));
+        break;
+      case TraceEventType::DramQueueDepth:
+        bumpCounter(pid, event.arg ? "writeQ" : "readQ",
+                    AggMode::Last, double(event.value));
+        break;
+      case TraceEventType::DramWord:
+        bumpCounter(pid, "bits/win", AggMode::Sum,
+                    double(event.value));
+        break;
+      case TraceEventType::DramRowActivate:
+        bumpCounter(pid, "rowActivates/win", AggMode::Sum, 1.0);
+        break;
+      case TraceEventType::DramStall:
+        bumpCounter(pid, "stallTicks/win", AggMode::Sum, 1.0);
+        break;
+      case TraceEventType::EventTypeCount:
+        nc_panic("invalid trace event type");
+        break;
+    }
+}
+
+void
+ChromeTraceExporter::consume(const TraceEvent *events, size_t count)
+{
+    for (size_t i = 0; i < count; ++i)
+        handle(events[i]);
+}
+
+void
+ChromeTraceExporter::finish()
+{
+    // Close PNG phase slices still open at the end of the trace.
+    for (size_t v = 0; v < pngPhase_.size(); ++v) {
+        OpenPhase &open = pngPhase_[v];
+        if (open.open && lastTick_ > open.since) {
+            emitSlice(trackPid(TraceComponent::Png, uint16_t(v)),
+                      pngFsmPhaseName(open.phase), open.since,
+                      lastTick_ - open.since,
+                      "\"plane\":" + std::to_string(open.plane));
+        }
+        open.open = false;
+    }
+    flushWindow();
+    os_ << "\n]}\n";
+    os_.flush();
+}
+
+} // namespace neurocube

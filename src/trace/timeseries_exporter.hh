@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Windowed time-series CSV exporter.
+ *
+ * Aggregates the event stream into fixed windows of windowTicks
+ * reference cycles and writes one row per window with the headline
+ * utilization metrics of the machine: NoC flits per cycle, packets
+ * ejected per cycle and their mean latency, MAC-array utilization,
+ * PNG inject-stall ticks, DRAM bytes per cycle, and per-vault byte
+ * counts. Ready for plotting with any spreadsheet/pandas/gnuplot.
+ */
+
+#ifndef NEUROCUBE_TRACE_TIMESERIES_EXPORTER_HH
+#define NEUROCUBE_TRACE_TIMESERIES_EXPORTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace neurocube
+{
+
+/** Streams recorded events as a windowed utilization CSV. */
+class TimeSeriesCsvExporter : public TraceSink
+{
+  public:
+    /**
+     * @param os destination stream (kept open until finish())
+     * @param topology machine shape (per-vault columns, PE count)
+     * @param windowTicks aggregation window in reference ticks
+     */
+    TimeSeriesCsvExporter(std::ostream &os,
+                          const TraceTopology &topology,
+                          Tick windowTicks);
+
+    void consume(const TraceEvent *events, size_t count) override;
+    void finish() override;
+
+  private:
+    void handle(const TraceEvent &event);
+    /** Write the current window's row (if it saw any event). */
+    void flushWindow();
+    void advanceWindow(Tick tick);
+    void resetAccumulators();
+
+    std::ostream &os_;
+    TraceTopology topology_;
+    Tick window_;
+    Tick windowStart_ = 0;
+    bool sawEvent_ = false;
+
+    // Per-window accumulators.
+    uint64_t linkFlits_ = 0;
+    uint64_t ejected_ = 0;
+    uint64_t ejectLatencySum_ = 0;
+    uint64_t macBusyTicks_ = 0;
+    uint64_t pngStallTicks_ = 0;
+    uint64_t dramStallTicks_ = 0;
+    std::vector<uint64_t> vaultBits_;
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_TRACE_TIMESERIES_EXPORTER_HH

@@ -1,0 +1,234 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "trace/chrome_exporter.hh"
+#include "trace/timeseries_exporter.hh"
+
+namespace neurocube
+{
+
+const char *
+traceComponentName(TraceComponent component)
+{
+    switch (component) {
+      case TraceComponent::Sim:
+        return "sim";
+      case TraceComponent::Router:
+        return "router";
+      case TraceComponent::Pe:
+        return "pe";
+      case TraceComponent::Png:
+        return "png";
+      case TraceComponent::Vault:
+        return "vault";
+      case TraceComponent::ComponentCount:
+        break;
+    }
+    return "?";
+}
+
+const char *
+traceEventTypeName(TraceEventType type)
+{
+    switch (type) {
+      case TraceEventType::FlitEnqueue:
+        return "flitEnqueue";
+      case TraceEventType::FlitSwitch:
+        return "flitSwitch";
+      case TraceEventType::FlitBlocked:
+        return "flitBlocked";
+      case TraceEventType::LinkFlit:
+        return "linkFlit";
+      case TraceEventType::PacketEject:
+        return "packetEject";
+      case TraceEventType::MacBusy:
+        return "macBusy";
+      case TraceEventType::CacheHit:
+        return "cacheHit";
+      case TraceEventType::CacheMiss:
+        return "cacheMiss";
+      case TraceEventType::CacheInsert:
+        return "cacheInsert";
+      case TraceEventType::CacheOverflow:
+        return "cacheOverflow";
+      case TraceEventType::WriteBackOut:
+        return "writeBackOut";
+      case TraceEventType::SearchStall:
+        return "searchStall";
+      case TraceEventType::PngPhase:
+        return "pngPhase";
+      case TraceEventType::PngInjectStall:
+        return "pngInjectStall";
+      case TraceEventType::PngIssue:
+        return "pngIssue";
+      case TraceEventType::DramQueueDepth:
+        return "dramQueueDepth";
+      case TraceEventType::DramWord:
+        return "dramWord";
+      case TraceEventType::DramRowActivate:
+        return "dramRowActivate";
+      case TraceEventType::DramStall:
+        return "dramStall";
+      case TraceEventType::EventTypeCount:
+        break;
+    }
+    return "?";
+}
+
+const char *
+pngFsmPhaseName(PngFsmPhase phase)
+{
+    switch (phase) {
+      case PngFsmPhase::Idle:
+        return "idle";
+      case PngFsmPhase::Configured:
+        return "configured";
+      case PngFsmPhase::Generating:
+        return "generating";
+      case PngFsmPhase::Draining:
+        return "draining";
+      case PngFsmPhase::Done:
+        return "done";
+    }
+    return "?";
+}
+
+namespace
+{
+
+size_t
+roundUpPow2(size_t value)
+{
+    size_t pow2 = 64;
+    while (pow2 < value)
+        pow2 <<= 1;
+    return pow2;
+}
+
+/** The process-wide recorder slot NC_TRACE loads. */
+TraceRecorder *g_activeRecorder = nullptr;
+
+} // namespace
+
+namespace trace
+{
+
+TraceRecorder *
+activeRecorder()
+{
+    return g_activeRecorder;
+}
+
+void
+setActiveRecorder(TraceRecorder *recorder)
+{
+    g_activeRecorder = recorder;
+}
+
+} // namespace trace
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : ring_(roundUpPow2(capacity)), mask_(ring_.size() - 1)
+{
+}
+
+void
+TraceRecorder::addSink(TraceSink *sink)
+{
+    nc_assert(sink != nullptr, "null trace sink");
+    sinks_.push_back(sink);
+}
+
+void
+TraceRecorder::setWindow(Tick start, Tick end)
+{
+    nc_assert(start <= end, "inverted trace window");
+    startTick_ = start;
+    endTick_ = end;
+}
+
+void
+TraceRecorder::push(const TraceEvent &event)
+{
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail == ring_.size()) {
+        // Ring full: consume inline so nothing is lost. (With a
+        // threaded consumer this would become a bounded wait.)
+        drain();
+    }
+    ring_[head & mask_] = event;
+    head_.store(head + 1, std::memory_order_release);
+    ++recorded_;
+}
+
+void
+TraceRecorder::drain()
+{
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t head = head_.load(std::memory_order_acquire);
+    while (tail != head) {
+        size_t begin = size_t(tail & mask_);
+        // Largest contiguous slice: up to the wrap point.
+        size_t count = size_t(std::min<uint64_t>(
+            head - tail, ring_.size() - begin));
+        for (TraceSink *sink : sinks_)
+            sink->consume(&ring_[begin], count);
+        tail += count;
+        tail_.store(tail, std::memory_order_release);
+    }
+}
+
+void
+TraceRecorder::finish()
+{
+    drain();
+    for (TraceSink *sink : sinks_)
+        sink->finish();
+}
+
+TraceSession::TraceSession(const TraceConfig &config,
+                           const TraceTopology &topology)
+    : recorder_(config.ringCapacity)
+{
+    recorder_.setWindow(config.startTick, config.endTick);
+    recorder_.setComponentMask(config.componentMask);
+
+    auto open = [&](const std::string &path) -> std::ostream & {
+        auto stream = std::make_unique<std::ofstream>(path);
+        if (!stream->is_open())
+            nc_fatal("cannot open trace output '%s'", path.c_str());
+        streams_.push_back(std::move(stream));
+        return *streams_.back();
+    };
+
+    if (!config.chromeJsonPath.empty()) {
+        sinks_.push_back(std::make_unique<ChromeTraceExporter>(
+            open(config.chromeJsonPath), topology,
+            config.windowTicks));
+    }
+    if (!config.timeseriesCsvPath.empty()) {
+        sinks_.push_back(std::make_unique<TimeSeriesCsvExporter>(
+            open(config.timeseriesCsvPath), topology,
+            config.windowTicks));
+    }
+    for (auto &sink : sinks_)
+        recorder_.addSink(sink.get());
+
+    if (trace::activeRecorder() != nullptr) {
+        nc_warn("a trace session is already active; replacing it");
+    }
+    trace::setActiveRecorder(&recorder_);
+}
+
+TraceSession::~TraceSession()
+{
+    recorder_.finish();
+    if (trace::activeRecorder() == &recorder_)
+        trace::setActiveRecorder(nullptr);
+}
+
+} // namespace neurocube

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Trace event bus: the NC_TRACE publishing macro, the lock-free
+ * ring-buffer recorder, the sink interface exporters implement, and
+ * the session object the Neurocube top level owns.
+ *
+ * Publishing is a macro so that a build with -DNEUROCUBE_TRACE=OFF
+ * (NEUROCUBE_TRACE_ENABLED == 0) compiles every instrumentation site
+ * to nothing — zero code, zero branches. When compiled in, each site
+ * costs one load of the active-recorder pointer and a predictable
+ * branch while tracing is off, and one ring-buffer store while on.
+ *
+ * The recorder is a single-producer/single-consumer ring: the
+ * simulation loop produces, drain() consumes and hands contiguous
+ * batches to the registered sinks. The simulator itself is single
+ * threaded, but the index protocol is the standard acquire/release
+ * SPSC one so a future threaded consumer (live streaming) needs no
+ * changes; when the ring fills, the producer drains inline so no
+ * event is ever dropped inside the recording window.
+ */
+
+#ifndef NEUROCUBE_TRACE_TRACE_HH
+#define NEUROCUBE_TRACE_TRACE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/events.hh"
+#include "trace/trace_config.hh"
+
+#ifndef NEUROCUBE_TRACE_ENABLED
+#define NEUROCUBE_TRACE_ENABLED 1
+#endif
+
+namespace neurocube
+{
+
+/** Consumer of recorded event batches (exporters derive from this). */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /**
+     * Consume a batch of events in recording order. Called from
+     * TraceRecorder::drain with a contiguous slice of the ring.
+     *
+     * @param events first event of the batch
+     * @param count number of events
+     */
+    virtual void consume(const TraceEvent *events, size_t count) = 0;
+
+    /** Flush any buffered output; the trace is complete. */
+    virtual void finish() {}
+};
+
+/** Lock-free SPSC ring buffer delivering events to sinks. */
+class TraceRecorder
+{
+  public:
+    /**
+     * @param capacity ring capacity in events, rounded up to a
+     *        power of two (minimum 64)
+     */
+    explicit TraceRecorder(size_t capacity = size_t(1) << 16);
+
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    /** Register a sink; not owned, must outlive the recorder. */
+    void addSink(TraceSink *sink);
+
+    /** Restrict recording to ticks in [start, end). */
+    void setWindow(Tick start, Tick end);
+
+    /** Restrict recording to component classes with a set bit. */
+    void setComponentMask(uint32_t mask) { componentMask_ = mask; }
+
+    /** Advance the timestamp applied to subsequent events. */
+    void setNow(Tick now) { now_ = now; }
+
+    /** Timestamp currently applied to recorded events. */
+    Tick now() const { return now_; }
+
+    /** Record one event stamped with the current tick. */
+    void
+    record(TraceComponent component, uint16_t instance,
+           TraceEventType type, uint32_t arg = 0, uint64_t value = 0)
+    {
+        if (now_ < startTick_ || now_ >= endTick_)
+            return;
+        if (!(componentMask_ & (1u << unsigned(component))))
+            return;
+        TraceEvent event;
+        event.tick = now_;
+        event.component = component;
+        event.type = type;
+        event.instance = instance;
+        event.arg = arg;
+        event.value = value;
+        push(event);
+    }
+
+    /** Append a fully formed event (tests, replay tools). */
+    void push(const TraceEvent &event);
+
+    /** Deliver all pending events to the sinks. */
+    void drain();
+
+    /** Drain and notify every sink that the trace is complete. */
+    void finish();
+
+    /** Events accepted so far (excluding window/mask rejects). */
+    uint64_t recorded() const { return recorded_; }
+
+    /** Ring capacity in events (power of two). */
+    size_t capacity() const { return ring_.size(); }
+
+    /** Events currently buffered and not yet delivered. */
+    size_t
+    pending() const
+    {
+        return size_t(head_.load(std::memory_order_relaxed)
+                      - tail_.load(std::memory_order_relaxed));
+    }
+
+  private:
+    std::vector<TraceEvent> ring_;
+    size_t mask_;
+    /** Producer index (total events pushed). */
+    std::atomic<uint64_t> head_{0};
+    /** Consumer index (total events delivered). */
+    std::atomic<uint64_t> tail_{0};
+
+    Tick now_ = 0;
+    Tick startTick_ = 0;
+    Tick endTick_ = ~Tick(0);
+    uint32_t componentMask_ = ~uint32_t(0);
+    uint64_t recorded_ = 0;
+
+    std::vector<TraceSink *> sinks_;
+};
+
+namespace trace
+{
+
+/**
+ * The process-wide active recorder NC_TRACE publishes to, or nullptr
+ * while tracing is off. The simulator is single threaded; a single
+ * slot (rather than per-cube plumbing through every constructor)
+ * keeps the instrumentation sites to one expression.
+ */
+TraceRecorder *activeRecorder();
+
+/** Install (or, with nullptr, remove) the active recorder. */
+void setActiveRecorder(TraceRecorder *recorder);
+
+} // namespace trace
+
+/** Shape of the machine being traced (exporter track layout). */
+struct TraceTopology
+{
+    /** Mesh routers (== nodes). */
+    unsigned numRouters = 16;
+    /** Processing elements. */
+    unsigned numPes = 16;
+    /** Vaults / memory channels (== PNGs). */
+    unsigned numVaults = 16;
+};
+
+/**
+ * One tracing session: the recorder plus the exporters selected by a
+ * TraceConfig, activated on construction and finished/deactivated on
+ * destruction. Owned by the Neurocube top level when config.trace
+ * .enabled is set; only one session can be active at a time.
+ */
+class TraceSession
+{
+  public:
+    /**
+     * @param config output selection and knobs
+     * @param topology machine shape for exporter track layout
+     */
+    TraceSession(const TraceConfig &config,
+                 const TraceTopology &topology);
+
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    /** The session's recorder. */
+    TraceRecorder &recorder() { return recorder_; }
+
+  private:
+    TraceRecorder recorder_;
+    std::vector<std::unique_ptr<TraceSink>> sinks_;
+    /** File streams backing the exporters (destroyed after sinks). */
+    std::vector<std::unique_ptr<std::ofstream>> streams_;
+};
+
+} // namespace neurocube
+
+#if NEUROCUBE_TRACE_ENABLED
+
+/**
+ * Publish one trace event: NC_TRACE(component, instance, type[, arg
+ * [, value]]). Compiles to a null-check while tracing is inactive.
+ */
+#define NC_TRACE(component, instance, type, ...) \
+    do { \
+        if (::neurocube::TraceRecorder *nc_trace_r_ = \
+                ::neurocube::trace::activeRecorder()) { \
+            nc_trace_r_->record((component), \
+                                uint16_t(instance), \
+                                (type) __VA_OPT__(,) __VA_ARGS__); \
+        } \
+    } while (0)
+
+/** Stamp the tick applied to subsequent NC_TRACE events. */
+#define NC_TRACE_TICK(now) \
+    do { \
+        if (::neurocube::TraceRecorder *nc_trace_r_ = \
+                ::neurocube::trace::activeRecorder()) { \
+            nc_trace_r_->setNow(now); \
+        } \
+    } while (0)
+
+#else
+
+namespace neurocube::trace::detail
+{
+/** Marks macro arguments as used in NEUROCUBE_TRACE=OFF builds. */
+template <typename... Args>
+inline void
+ignore(Args &&...)
+{
+}
+} // namespace neurocube::trace::detail
+
+// The arguments sit behind `if (false)`: never evaluated, no code
+// generated, but variables referenced only by NC_TRACE stay "used".
+#define NC_TRACE(component, instance, type, ...) \
+    do { \
+        if (false) { \
+            ::neurocube::trace::detail::ignore( \
+                (component), (instance), \
+                (type)__VA_OPT__(, ) __VA_ARGS__); \
+        } \
+    } while (0)
+
+#define NC_TRACE_TICK(now) \
+    do { \
+        if (false) { \
+            ::neurocube::trace::detail::ignore(now); \
+        } \
+    } while (0)
+
+#endif // NEUROCUBE_TRACE_ENABLED
+
+#endif // NEUROCUBE_TRACE_TRACE_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Runtime configuration of the trace subsystem.
+ *
+ * Kept free of heavy includes so core/config.hh can embed it. The
+ * compile-time switch is separate: building with -DNEUROCUBE_TRACE=OFF
+ * removes every instrumentation site (the NC_TRACE macro expands to
+ * nothing), in which case this struct is inert.
+ */
+
+#ifndef NEUROCUBE_TRACE_TRACE_CONFIG_HH
+#define NEUROCUBE_TRACE_TRACE_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace neurocube
+{
+
+/** Enable/output knobs for one tracing session. */
+struct TraceConfig
+{
+    /** Master runtime switch; false = no recorder is created. */
+    bool enabled = false;
+
+    /** Chrome/Perfetto JSON output path; empty = no JSON export. */
+    std::string chromeJsonPath;
+
+    /** Windowed time-series CSV output path; empty = no CSV export. */
+    std::string timeseriesCsvPath;
+
+    /**
+     * Aggregation window, in reference ticks, for the CSV exporter
+     * and for the counter tracks of the Chrome exporter.
+     */
+    Tick windowTicks = 1024;
+
+    /** Ring-buffer capacity in events (rounded up to a power of 2). */
+    size_t ringCapacity = size_t(1) << 16;
+
+    /**
+     * Time slice to record: events outside [startTick, endTick) are
+     * dropped at the recording site. Bounds trace size on long runs.
+     */
+    Tick startTick = 0;
+    Tick endTick = ~Tick(0);
+
+    /**
+     * Per-component-class enable bits (1 << TraceComponent). The
+     * default traces everything; clear bits to cut trace volume.
+     */
+    uint32_t componentMask = ~uint32_t(0);
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_TRACE_TRACE_CONFIG_HH

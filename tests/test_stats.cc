@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Statistics tests: the StatGroup hierarchy (registration, lookup,
+ * recursive dump, reset) and the power-of-two-bucket Histogram
+ * (exact count/min/max/mean, percentile interpolation and clamping).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace neurocube
+{
+namespace
+{
+
+TEST(StatGroup, DumpWalksTheTree)
+{
+    StatGroup root(nullptr, "machine");
+    StatGroup child(&root, "noc");
+    Stat top(&root, "passes", "passes executed");
+    Stat inner(&child, "flits", "flits forwarded");
+    Histogram hist(&child, "latency", "packet latency");
+
+    top += 3;
+    inner += 40;
+    hist.sample(2);
+    hist.sample(6);
+
+    std::ostringstream os;
+    root.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("machine.passes"), std::string::npos);
+    EXPECT_NE(text.find("machine.noc.flits"), std::string::npos);
+    EXPECT_NE(text.find("machine.noc.latency.count"),
+              std::string::npos);
+    EXPECT_NE(text.find("machine.noc.latency.p99"),
+              std::string::npos);
+    EXPECT_NE(text.find("passes executed"), std::string::npos);
+
+    EXPECT_EQ(root.findStat("passes"), &top);
+    EXPECT_EQ(root.findStat("flits"), nullptr); // not recursive
+    EXPECT_EQ(child.findHistogram("latency"), &hist);
+
+    root.resetAll();
+    EXPECT_EQ(top.count(), 0u);
+    EXPECT_EQ(inner.count(), 0u);
+    EXPECT_EQ(hist.count(), 0u);
+}
+
+TEST(Histogram, EmptyIsAllZero)
+{
+    StatGroup group(nullptr, "g");
+    Histogram hist(&group, "h", "test");
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hist.min(), 0u);
+    EXPECT_EQ(hist.max(), 0u);
+    EXPECT_EQ(hist.mean(), 0.0);
+    EXPECT_EQ(hist.p50(), 0.0);
+    EXPECT_EQ(hist.p99(), 0.0);
+}
+
+TEST(Histogram, ExactStatsAreExact)
+{
+    StatGroup group(nullptr, "g");
+    Histogram hist(&group, "h", "test");
+    for (uint64_t v : {5u, 1u, 9u, 0u, 1000u})
+        hist.sample(v);
+    EXPECT_EQ(hist.count(), 5u);
+    EXPECT_EQ(hist.min(), 0u);
+    EXPECT_EQ(hist.max(), 1000u);
+    EXPECT_DOUBLE_EQ(hist.mean(), (5.0 + 1 + 9 + 0 + 1000) / 5.0);
+}
+
+TEST(Histogram, PercentilesOfConstantDistribution)
+{
+    StatGroup group(nullptr, "g");
+    Histogram hist(&group, "h", "test");
+    for (int i = 0; i < 100; ++i)
+        hist.sample(42);
+    // Every percentile of a constant distribution is that constant:
+    // the interpolation must clamp to the observed [min, max].
+    EXPECT_DOUBLE_EQ(hist.percentile(0), 42.0);
+    EXPECT_DOUBLE_EQ(hist.p50(), 42.0);
+    EXPECT_DOUBLE_EQ(hist.p99(), 42.0);
+    EXPECT_DOUBLE_EQ(hist.percentile(100), 42.0);
+}
+
+TEST(Histogram, PercentilesAreMonotoneAndBracketed)
+{
+    StatGroup group(nullptr, "g");
+    Histogram hist(&group, "h", "test");
+    // 1..1000 uniformly: p50 ~ 500, p99 ~ 990 within bucket error.
+    for (uint64_t v = 1; v <= 1000; ++v)
+        hist.sample(v);
+    double prev = -1.0;
+    for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+        double value = hist.percentile(p);
+        EXPECT_GE(value, prev) << "at p" << p;
+        EXPECT_GE(value, 1.0);
+        EXPECT_LE(value, 1000.0);
+        prev = value;
+    }
+    // The power-of-two buckets bound relative error by the bucket
+    // width: p50 must land in bucket [256, 511] or a neighbour.
+    EXPECT_NEAR(hist.p50(), 500.0, 260.0);
+    EXPECT_GT(hist.p99(), hist.p50());
+    EXPECT_DOUBLE_EQ(hist.percentile(100), 1000.0);
+}
+
+TEST(Histogram, TailSkewShowsUpInP99)
+{
+    StatGroup group(nullptr, "g");
+    Histogram hist(&group, "h", "test");
+    for (int i = 0; i < 980; ++i)
+        hist.sample(10);
+    for (int i = 0; i < 20; ++i)
+        hist.sample(100000);
+    EXPECT_NEAR(hist.p50(), 10.0, 6.0);
+    // The top 2% live at 100000, so p99 falls inside the tail
+    // population and must be far above the median.
+    EXPECT_GT(hist.p99(), 1000.0);
+    EXPECT_EQ(hist.max(), 100000u);
+}
+
+TEST(Histogram, ResetDropsEverything)
+{
+    StatGroup group(nullptr, "g");
+    Histogram hist(&group, "h", "test");
+    hist.sample(7);
+    hist.sample(12345);
+    hist.reset();
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hist.max(), 0u);
+    EXPECT_EQ(hist.p99(), 0.0);
+    hist.sample(3);
+    EXPECT_EQ(hist.min(), 3u);
+    EXPECT_EQ(hist.max(), 3u);
+}
+
+} // namespace
+} // namespace neurocube

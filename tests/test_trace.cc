@@ -1,0 +1,522 @@
+/**
+ * @file
+ * Trace subsystem tests: recorder ring behaviour (wraparound,
+ * ordering, window/mask filtering), the NC_TRACE publishing macro,
+ * Chrome-JSON well-formedness (re-parsed with a standalone JSON
+ * parser), and an end-to-end run of the machine with tracing enabled
+ * producing loadable JSON and CSV files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/neurocube.hh"
+#include "trace/chrome_exporter.hh"
+#include "trace/timeseries_exporter.hh"
+#include "trace/trace.hh"
+
+namespace neurocube
+{
+namespace
+{
+
+/** Sink that stores every delivered event. */
+struct CollectingSink : TraceSink
+{
+    std::vector<TraceEvent> events;
+    bool finished = false;
+
+    void
+    consume(const TraceEvent *batch, size_t count) override
+    {
+        events.insert(events.end(), batch, batch + count);
+    }
+
+    void finish() override { finished = true; }
+};
+
+/**
+ * Minimal recursive-descent JSON validator (RFC 8259 grammar, no
+ * value tree built). Counts the elements of a top-level
+ * "traceEvents" array so tests can assert the trace is non-trivial.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(std::string text)
+        : text_(std::move(text)), p_(text_.c_str()),
+          end_(p_ + text_.size())
+    {
+    }
+
+    /** True when the whole input is one well-formed JSON value. */
+    bool
+    parse()
+    {
+        bool ok = value(0);
+        skipWs();
+        return ok && p_ == end_;
+    }
+
+    /** Elements in the top-level "traceEvents" array. */
+    size_t traceEvents() const { return traceEvents_; }
+
+  private:
+    static constexpr int maxDepth = 64;
+
+    void
+    skipWs()
+    {
+        while (p_ != end_
+               && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n'
+                   || *p_ == '\r')) {
+            ++p_;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (; *word; ++word, ++p_) {
+            if (p_ == end_ || *p_ != *word)
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    string(std::string *out = nullptr)
+    {
+        if (p_ == end_ || *p_ != '"')
+            return false;
+        ++p_;
+        while (p_ != end_ && *p_ != '"') {
+            if (*p_ == '\\') {
+                ++p_;
+                if (p_ == end_)
+                    return false;
+                switch (*p_) {
+                  case '"': case '\\': case '/': case 'b':
+                  case 'f': case 'n': case 'r': case 't':
+                    ++p_;
+                    break;
+                  case 'u':
+                    ++p_;
+                    for (int i = 0; i < 4; ++i, ++p_) {
+                        if (p_ == end_ || !isxdigit(uint8_t(*p_)))
+                            return false;
+                    }
+                    break;
+                  default:
+                    return false;
+                }
+            } else {
+                if (out)
+                    out->push_back(*p_);
+                ++p_;
+            }
+        }
+        if (p_ == end_)
+            return false;
+        ++p_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        if (p_ != end_ && *p_ == '-')
+            ++p_;
+        if (p_ == end_ || !isdigit(uint8_t(*p_)))
+            return false;
+        while (p_ != end_ && isdigit(uint8_t(*p_)))
+            ++p_;
+        if (p_ != end_ && *p_ == '.') {
+            ++p_;
+            if (p_ == end_ || !isdigit(uint8_t(*p_)))
+                return false;
+            while (p_ != end_ && isdigit(uint8_t(*p_)))
+                ++p_;
+        }
+        if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+            ++p_;
+            if (p_ != end_ && (*p_ == '+' || *p_ == '-'))
+                ++p_;
+            if (p_ == end_ || !isdigit(uint8_t(*p_)))
+                return false;
+            while (p_ != end_ && isdigit(uint8_t(*p_)))
+                ++p_;
+        }
+        return true;
+    }
+
+    bool
+    array(int depth, size_t *count)
+    {
+        ++p_; // '['
+        skipWs();
+        size_t n = 0;
+        if (p_ != end_ && *p_ == ']') {
+            ++p_;
+        } else {
+            while (true) {
+                if (!value(depth + 1))
+                    return false;
+                ++n;
+                skipWs();
+                if (p_ != end_ && *p_ == ',') {
+                    ++p_;
+                    skipWs();
+                    continue;
+                }
+                if (p_ == end_ || *p_ != ']')
+                    return false;
+                ++p_;
+                break;
+            }
+        }
+        if (count)
+            *count = n;
+        return true;
+    }
+
+    bool
+    object(int depth)
+    {
+        ++p_; // '{'
+        skipWs();
+        if (p_ != end_ && *p_ == '}') {
+            ++p_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!string(&key))
+                return false;
+            skipWs();
+            if (p_ == end_ || *p_ != ':')
+                return false;
+            ++p_;
+            skipWs();
+            if (depth == 0 && key == "traceEvents" && p_ != end_
+                && *p_ == '[') {
+                size_t n = 0;
+                if (!array(depth + 1, &n))
+                    return false;
+                traceEvents_ = n;
+            } else if (!value(depth + 1)) {
+                return false;
+            }
+            skipWs();
+            if (p_ != end_ && *p_ == ',') {
+                ++p_;
+                continue;
+            }
+            if (p_ == end_ || *p_ != '}')
+                return false;
+            ++p_;
+            return true;
+        }
+    }
+
+    bool
+    value(int depth)
+    {
+        if (depth > maxDepth)
+            return false;
+        skipWs();
+        if (p_ == end_)
+            return false;
+        switch (*p_) {
+          case '{':
+            return object(depth);
+          case '[':
+            return array(depth, nullptr);
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    std::string text_;
+    const char *p_;
+    const char *end_;
+    size_t traceEvents_ = 0;
+};
+
+TEST(JsonChecker, AcceptsAndRejects)
+{
+    EXPECT_TRUE(JsonChecker("{}").parse());
+    EXPECT_TRUE(JsonChecker("[1, -2.5e3, \"a\\nb\", true, null]")
+                    .parse());
+    EXPECT_TRUE(JsonChecker("{\"a\":{\"b\":[{},[]]}}").parse());
+    EXPECT_FALSE(JsonChecker("{").parse());
+    EXPECT_FALSE(JsonChecker("[1,]").parse());
+    EXPECT_FALSE(JsonChecker("{\"a\":}").parse());
+    EXPECT_FALSE(JsonChecker("01a").parse());
+    EXPECT_FALSE(JsonChecker("{} {}").parse());
+    JsonChecker counted("{\"traceEvents\":[{},{},{}]}");
+    EXPECT_TRUE(counted.parse());
+    EXPECT_EQ(counted.traceEvents(), 3u);
+}
+
+TEST(TraceRecorder, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(TraceRecorder(100).capacity(), 128u);
+    EXPECT_EQ(TraceRecorder(256).capacity(), 256u);
+    EXPECT_EQ(TraceRecorder(1).capacity(), 64u);
+}
+
+TEST(TraceRecorder, WraparoundKeepsEveryEventInOrder)
+{
+    TraceRecorder recorder(64);
+    CollectingSink sink;
+    recorder.addSink(&sink);
+
+    constexpr uint64_t total = 1000; // ~15x the ring capacity
+    for (uint64_t i = 0; i < total; ++i) {
+        recorder.setNow(Tick(i));
+        recorder.record(TraceComponent::Router, uint16_t(i % 16),
+                        TraceEventType::FlitEnqueue, uint32_t(i), i);
+    }
+    recorder.finish();
+
+    EXPECT_EQ(recorder.recorded(), total);
+    ASSERT_EQ(sink.events.size(), total);
+    EXPECT_TRUE(sink.finished);
+    for (uint64_t i = 0; i < total; ++i) {
+        EXPECT_EQ(sink.events[i].tick, Tick(i));
+        EXPECT_EQ(sink.events[i].value, i);
+        EXPECT_EQ(sink.events[i].instance, uint16_t(i % 16));
+    }
+}
+
+TEST(TraceRecorder, WindowAndComponentMaskFilter)
+{
+    TraceRecorder recorder(64);
+    CollectingSink sink;
+    recorder.addSink(&sink);
+    recorder.setWindow(10, 20);
+
+    for (Tick t = 0; t < 30; ++t) {
+        recorder.setNow(t);
+        recorder.record(TraceComponent::Pe, 0,
+                        TraceEventType::MacBusy, 0, t);
+    }
+    recorder.finish();
+    ASSERT_EQ(sink.events.size(), 10u);
+    EXPECT_EQ(sink.events.front().tick, Tick(10));
+    EXPECT_EQ(sink.events.back().tick, Tick(19));
+
+    TraceRecorder masked(64);
+    CollectingSink pe_only;
+    masked.addSink(&pe_only);
+    masked.setComponentMask(1u << unsigned(TraceComponent::Pe));
+    masked.record(TraceComponent::Router, 0,
+                  TraceEventType::FlitEnqueue);
+    masked.record(TraceComponent::Pe, 1, TraceEventType::MacBusy);
+    masked.record(TraceComponent::Vault, 2,
+                  TraceEventType::DramWord);
+    masked.finish();
+    ASSERT_EQ(pe_only.events.size(), 1u);
+    EXPECT_EQ(pe_only.events[0].component, TraceComponent::Pe);
+}
+
+#if NEUROCUBE_TRACE_ENABLED
+TEST(TraceRecorder, MacroPublishesToActiveRecorder)
+{
+    // No active recorder: the macro must be a safe no-op.
+    NC_TRACE(TraceComponent::Pe, 0, TraceEventType::MacBusy, 1, 2);
+
+    TraceRecorder recorder(64);
+    CollectingSink sink;
+    recorder.addSink(&sink);
+    trace::setActiveRecorder(&recorder);
+    NC_TRACE_TICK(Tick(42));
+    NC_TRACE(TraceComponent::Pe, 7, TraceEventType::MacBusy, 3, 16);
+    trace::setActiveRecorder(nullptr);
+    NC_TRACE(TraceComponent::Pe, 0, TraceEventType::MacBusy, 1, 2);
+    recorder.finish();
+
+    ASSERT_EQ(sink.events.size(), 1u);
+    EXPECT_EQ(sink.events[0].tick, Tick(42));
+    EXPECT_EQ(sink.events[0].instance, 7u);
+    EXPECT_EQ(sink.events[0].arg, 3u);
+    EXPECT_EQ(sink.events[0].value, 16u);
+}
+#endif
+
+/** Push one synthetic event through a recorder into @p sink. */
+void
+feed(TraceSink &sink, Tick tick, TraceComponent component,
+     uint16_t instance, TraceEventType type, uint32_t arg,
+     uint64_t value)
+{
+    TraceEvent event;
+    event.tick = tick;
+    event.component = component;
+    event.type = type;
+    event.instance = instance;
+    event.arg = arg;
+    event.value = value;
+    sink.consume(&event, 1);
+}
+
+TEST(ChromeExporter, EmitsWellFormedJson)
+{
+    std::ostringstream os;
+    TraceTopology topology;
+    topology.numRouters = 4;
+    topology.numPes = 4;
+    topology.numVaults = 4;
+    ChromeTraceExporter exporter(os, topology, 16);
+
+    for (Tick t = 0; t < 100; ++t) {
+        feed(exporter, t, TraceComponent::Router, uint16_t(t % 4),
+             TraceEventType::FlitEnqueue, 0, t % 3);
+        if (t % 16 == 0) {
+            feed(exporter, t, TraceComponent::Pe, 1,
+                 TraceEventType::MacBusy, 12, 16);
+            feed(exporter, t, TraceComponent::Vault, 2,
+                 TraceEventType::DramRowActivate, 1, t);
+        }
+        if (t == 10 || t == 60) {
+            feed(exporter, t, TraceComponent::Png, 3,
+                 TraceEventType::PngPhase,
+                 uint32_t(t == 10 ? PngFsmPhase::Generating
+                                  : PngFsmPhase::Done),
+                 0);
+        }
+    }
+    exporter.finish();
+
+    JsonChecker checker(os.str());
+    EXPECT_TRUE(checker.parse()) << os.str().substr(0, 400);
+    EXPECT_GT(checker.traceEvents(), 20u);
+}
+
+TEST(ChromeExporter, TrackPidsAreDisjointPerComponent)
+{
+    EXPECT_EQ(ChromeTraceExporter::trackPid(TraceComponent::Router, 3),
+              1003u);
+    EXPECT_EQ(ChromeTraceExporter::trackPid(TraceComponent::Pe, 15),
+              2015u);
+    EXPECT_EQ(ChromeTraceExporter::trackPid(TraceComponent::Png, 0),
+              3000u);
+    EXPECT_EQ(ChromeTraceExporter::trackPid(TraceComponent::Vault, 9),
+              4009u);
+}
+
+TEST(TimeSeriesExporter, OneRowPerActiveWindow)
+{
+    std::ostringstream os;
+    TraceTopology topology;
+    topology.numVaults = 2;
+    TimeSeriesCsvExporter exporter(os, topology, 10);
+
+    feed(exporter, 1, TraceComponent::Router, 0,
+         TraceEventType::LinkFlit, 1, 0);
+    feed(exporter, 25, TraceComponent::Vault, 1,
+         TraceEventType::DramWord, 0, 128);
+    exporter.finish();
+
+    std::istringstream rows(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(rows, line));
+    EXPECT_EQ(line.substr(0, 12), "window_start");
+    size_t data_rows = 0;
+    while (std::getline(rows, line))
+        ++data_rows;
+    // Window [0,10) and window [20,30): the empty middle window is
+    // skipped.
+    EXPECT_EQ(data_rows, 2u);
+}
+
+/** One tiny conv layer on the real machine with tracing on. */
+TEST(TraceIntegration, MachineEmitsLoadableTraceFiles)
+{
+    const std::string json_path = "test_trace_out.json";
+    const std::string csv_path = "test_trace_out.csv";
+
+    NetworkDesc net;
+    net.name = "trace-test";
+    LayerDesc conv;
+    conv.type = LayerType::Conv2D;
+    conv.name = "conv";
+    conv.inWidth = 20;
+    conv.inHeight = 16;
+    conv.inMaps = 2;
+    conv.outMaps = 4;
+    conv.kernel = 3;
+    conv.channelwise = true;
+    conv.activation = ActivationKind::Tanh;
+    net.layers.push_back(conv);
+    net.validate();
+
+    NetworkData data = NetworkData::randomized(net, 7);
+    Tensor input(conv.inMaps, conv.inHeight, conv.inWidth);
+    Rng rng(8);
+    input.randomize(rng);
+
+    {
+        NeurocubeConfig config;
+        config.trace.enabled = true;
+        config.trace.chromeJsonPath = json_path;
+        config.trace.timeseriesCsvPath = csv_path;
+        config.trace.windowTicks = 64;
+        Neurocube cube(config);
+        cube.loadNetwork(net, data);
+        cube.setInput(input);
+        cube.runForward();
+        // The session flushes when the cube is destroyed.
+    }
+
+#if NEUROCUBE_TRACE_ENABLED
+    std::ifstream json_in(json_path);
+    ASSERT_TRUE(json_in.good());
+    std::stringstream json_text;
+    json_text << json_in.rdbuf();
+    JsonChecker checker(json_text.str());
+    EXPECT_TRUE(checker.parse());
+    EXPECT_GT(checker.traceEvents(), 100u);
+
+    std::ifstream csv_in(csv_path);
+    ASSERT_TRUE(csv_in.good());
+    std::string header;
+    ASSERT_TRUE(std::getline(csv_in, header));
+    EXPECT_NE(header.find("pe_util_pct"), std::string::npos);
+    EXPECT_NE(header.find("vault15_bytes"), std::string::npos);
+    size_t rows = 0;
+    std::string line;
+    while (std::getline(csv_in, line)) {
+        ++rows;
+        // Every row must have the same field count as the header.
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','),
+                  std::count(header.begin(), header.end(), ','))
+            << line;
+    }
+    EXPECT_GT(rows, 2u);
+#endif
+
+    std::remove(json_path.c_str());
+    std::remove(csv_path.c_str());
+}
+
+} // namespace
+} // namespace neurocube
