@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Build and test every supported configuration:
+#   default  - RelWithDebInfo with trace instrumentation compiled in
+#   asan     - address + undefined-behaviour sanitizers
+#   notrace  - NC_TRACE compiled out (the zero-overhead configuration)
+#
+# Usage: scripts/check.sh [preset...]   (default: all three)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+    presets=(default asan notrace)
+fi
+
+for preset in "${presets[@]}"; do
+    echo "=== [$preset] configure ==="
+    cmake --preset "$preset"
+    echo "=== [$preset] build ==="
+    cmake --build --preset "$preset" -j "$(nproc)"
+    echo "=== [$preset] test ==="
+    ctest --preset "$preset"
+done
+
+echo "all presets passed: ${presets[*]}"

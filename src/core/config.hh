@@ -45,6 +45,23 @@ struct NeurocubeConfig
     /** Data placement policy (duplication knobs). */
     MappingPolicy mapping;
 
+    /** Batched multi-lane execution (Neurocube::runForwardBatch). */
+    struct BatchConfig
+    {
+        /**
+         * Vault groups running independent inputs concurrently. Each
+         * lane owns a rectangular sub-mesh (16 PEs split into 1, 2 or
+         * 4 groups on the HMC) with its own PEs, PNGs and channels;
+         * X-Y routes never leave the sub-mesh, so lanes are isolated
+         * on the NoC. Requires one memory channel per mesh node
+         * attached identically (the HMC configuration).
+         */
+        unsigned lanes = 1;
+    };
+
+    /** Batch-lane partitioning for runForwardBatch. */
+    BatchConfig batch;
+
     /**
      * Program full (cross-map) convolutions as one pass per
      * (outMap, inMap) pair with partial sums accumulated through

@@ -272,11 +272,15 @@ CompiledLayer
 LayerCompiler::compile(const LayerDesc &layer,
                        const std::vector<Fixed> &weights,
                        const Tensor &input,
-                       std::vector<BackingStore *> &stores) const
+                       std::vector<BackingStore *> &stores,
+                       const LaneSpec *lane) const
 {
     layer.validate();
-    const unsigned num_channels = config_.dram.numChannels;
-    const unsigned num_pes = config_.numPes;
+    const unsigned num_channels = lane
+        ? unsigned(lane->nodes.size())
+        : config_.dram.numChannels;
+    const unsigned num_pes =
+        lane ? unsigned(lane->nodes.size()) : config_.numPes;
     nc_assert(stores.size() == num_channels,
               "store count %zu != channel count %u", stores.size(),
               num_channels);
@@ -293,9 +297,19 @@ LayerCompiler::compile(const LayerDesc &layer,
     tileGridShape(num_pes, compiled.outRect, pe_gw, pe_gh);
     TileMap pe_tiles = TileMap::grid(compiled.outRect, pe_gw, pe_gh);
 
-    std::vector<unsigned> mem_nodes = config_.resolvedMemoryNodes();
-    std::vector<uint16_t> home_nodes(mem_nodes.begin(),
-                                     mem_nodes.end());
+    // Relocation of tile indices onto mesh nodes: lane compiles use
+    // the lane's node list for both channels and PEs (one vault per
+    // node), whole-machine compiles use the configured attachment.
+    std::vector<uint16_t> home_nodes;
+    std::vector<uint16_t> pe_nodes;
+    if (lane) {
+        home_nodes.assign(lane->nodes.begin(), lane->nodes.end());
+        pe_nodes = home_nodes;
+    } else {
+        std::vector<unsigned> mem_nodes =
+            config_.resolvedMemoryNodes();
+        home_nodes.assign(mem_nodes.begin(), mem_nodes.end());
+    }
 
     // Host mapping step: lay out and write every channel's data.
     std::vector<ChannelLayout> layouts;
@@ -391,6 +405,7 @@ LayerCompiler::compile(const LayerDesc &layer,
             prog.outPlane = out_plane;
             prog.onesAddr = layout.onesAddr;
             prog.outTiles = pe_tiles;
+            prog.peNode = pe_nodes;
             prog.homeTiles = compiled.mapping.outTiles;
             prog.homeNode = home_nodes;
             prog.activation = final_pass ? layer.activation

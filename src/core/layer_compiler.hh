@@ -68,15 +68,22 @@ class LayerCompiler
      * Map a layer onto the cube: clears the channel stores, writes
      * inputs and weights, and builds the per-pass programs.
      *
+     * With a lane, the layer is mapped onto that vault group alone:
+     * tile maps span only the lane's channels/PEs, @p stores must be
+     * the lane's stores in lane-node order, and the emitted programs
+     * carry peNode/homeNode relocations onto the lane's mesh nodes.
+     *
      * @param layer descriptor
      * @param weights the layer's flat weight block (reference layout)
      * @param input current activations
-     * @param stores one backing store per memory channel
+     * @param stores one backing store per (lane) memory channel
+     * @param lane vault group to map onto (nullptr = whole machine)
      */
     CompiledLayer compile(const LayerDesc &layer,
                           const std::vector<Fixed> &weights,
                           const Tensor &input,
-                          std::vector<BackingStore *> &stores) const;
+                          std::vector<BackingStore *> &stores,
+                          const LaneSpec *lane = nullptr) const;
 
     /**
      * Read the layer's output activations back out of the stores

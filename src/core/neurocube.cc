@@ -23,12 +23,22 @@ Neurocube::Neurocube(const NeurocubeConfig &config)
                   "memory node %u outside the mesh", node);
     }
 
+    if (config_.batch.lanes > 1)
+        buildBatchLanes();
+
     if (config_.trace.enabled) {
 #if NEUROCUBE_TRACE_ENABLED
         TraceTopology topology;
         topology.numRouters = config_.numPes;
         topology.numPes = config_.numPes;
         topology.numVaults = config_.dram.numChannels;
+        if (!lanePartition_.empty()) {
+            topology.laneOf.assign(config_.numPes, 0);
+            for (const LaneSpec &lane : lanePartition_) {
+                for (unsigned node : lane.nodes)
+                    topology.laneOf[node] = uint16_t(lane.index);
+            }
+        }
         traceSession_ =
             std::make_unique<TraceSession>(config_.trace, topology);
 #else
@@ -224,6 +234,230 @@ Neurocube::layerOutput(size_t index) const
 {
     nc_assert(index < activations_.size(), "no such layer %zu", index);
     return activations_[index];
+}
+
+void
+Neurocube::buildBatchLanes()
+{
+    const unsigned lanes = std::max(1u, config_.batch.lanes);
+    if (lanes > 1) {
+        // Lane compilation addresses channel i through mesh node i, so
+        // batching needs the HMC-style identity attachment (one vault
+        // under every PE).
+        nc_assert(config_.dram.numChannels == config_.numPes,
+                  "batch lanes need one memory channel per PE "
+                  "(%u channels, %u PEs)",
+                  config_.dram.numChannels, config_.numPes);
+        std::vector<unsigned> mem_nodes = config_.resolvedMemoryNodes();
+        for (unsigned ch = 0; ch < mem_nodes.size(); ++ch) {
+            nc_assert(mem_nodes[ch] == ch,
+                      "batch lanes need identity channel attachment "
+                      "(channel %u at node %u)", ch, mem_nodes[ch]);
+        }
+    }
+    lanePartition_ = buildLanePartition(config_.numPes, lanes);
+}
+
+bool
+Neurocube::laneDone(const LaneSpec &lane) const
+{
+    for (unsigned node : lane.nodes) {
+        if (!pngs_[node]->done() || !pes_[node]->done()
+            || !channels_[node]->idle()
+            || !fabric_->nodeQuiescent(node)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+BatchRunResult
+Neurocube::runForwardBatch(const std::vector<Tensor> &inputs)
+{
+    nc_assert(!net_.layers.empty(), "runForwardBatch before loadNetwork");
+    if (lanePartition_.empty())
+        buildBatchLanes();
+    const unsigned lanes = unsigned(lanePartition_.size());
+    nc_assert(!inputs.empty() && inputs.size() <= lanes,
+              "batch of %zu inputs on %u lanes", inputs.size(), lanes);
+    const unsigned active = unsigned(inputs.size());
+
+    const LayerDesc &first = net_.layers.front();
+    for (const Tensor &in : inputs) {
+        nc_assert(in.maps() == first.inMaps
+                      && in.height() == first.inHeight
+                      && in.width() == first.inWidth,
+                  "batch input %ux%ux%u does not match network input "
+                  "%ux%ux%u", in.maps(), in.height(), in.width(),
+                  first.inMaps, first.inHeight, first.inWidth);
+    }
+
+    // Arm the fabric's lane checker: with >1 lane, any packet that
+    // leaves its vault group is counted as a violation.
+    if (lanes > 1) {
+        std::vector<uint16_t> lane_of(config_.numPes, 0);
+        for (const LaneSpec &lane : lanePartition_) {
+            for (unsigned node : lane.nodes)
+                lane_of[node] = uint16_t(lane.index);
+        }
+        fabric_->setLaneMap(std::move(lane_of));
+    }
+
+    batchActivations_.assign(lanes, {});
+    for (unsigned l = 0; l < active; ++l)
+        batchActivations_[l].assign(net_.layers.size(), Tensor());
+
+    BatchRunResult result;
+    result.lanes.assign(active, RunResult{});
+
+    const Tick batch_start = now_;
+
+    for (size_t li = 0; li < net_.layers.size(); ++li) {
+        const LayerDesc &layer = net_.layers[li];
+        const Tick layer_start = now_;
+
+        // Compile the layer once per active lane, each against its own
+        // vault group's stores and input.
+        std::vector<CompiledLayer> compiled(active);
+        std::vector<std::vector<BackingStore *>> lane_stores(active);
+        for (unsigned l = 0; l < active; ++l) {
+            const LaneSpec &lane = lanePartition_[l];
+            lane_stores[l].reserve(lane.nodes.size());
+            for (unsigned node : lane.nodes)
+                lane_stores[l].push_back(&channels_[node]->store());
+            const Tensor &in =
+                li == 0 ? inputs[l] : batchActivations_[l][li - 1];
+            compiled[l] = compiler_.compile(layer, data_.weights[li],
+                                            in, lane_stores[l], &lane);
+        }
+        // Identical layer descriptors compile to identical pass
+        // structures, so the lanes stay in lockstep pass by pass.
+        const size_t num_passes = compiled[0].passes.size();
+        for (unsigned l = 1; l < active; ++l) {
+            nc_assert(compiled[l].passes.size() == num_passes,
+                      "lane %u compiled %zu passes, lane 0 %zu", l,
+                      compiled[l].passes.size(), num_passes);
+        }
+
+        std::vector<LayerResult> lr(active);
+        std::vector<uint64_t> macs_before(active, 0);
+        std::vector<uint64_t> bits_before(active, 0);
+        std::vector<uint64_t> lateral_before(active, 0);
+        std::vector<uint64_t> local_before(active, 0);
+        for (unsigned l = 0; l < active; ++l) {
+            for (unsigned node : lanePartition_[l].nodes) {
+                macs_before[l] += pes_[node]->macOps();
+                bits_before[l] += channels_[node]->bitsTransferred();
+                lateral_before[l] += fabric_->nodeLateralPackets(node);
+                local_before[l] += fabric_->nodeLocalPackets(node);
+            }
+        }
+
+        for (size_t p = 0; p < num_passes; ++p) {
+            NC_TRACE_TICK(now_);
+            now_ += config_.configTicksPerPass;
+
+            // Configure every node: active lanes get their programs,
+            // idle lanes are parked on disabled ones.
+            for (const LaneSpec &lane : lanePartition_) {
+                for (unsigned i = 0; i < lane.nodes.size(); ++i) {
+                    unsigned node = lane.nodes[i];
+                    if (lane.index < active) {
+                        const CompiledPass &pass =
+                            compiled[lane.index].passes[p];
+                        pngs_[node]->configure(pass.programs[i]);
+                        pes_[node]->configurePass(pass.peConfigs[i]);
+                    } else {
+                        pngs_[node]->configure(PngProgram{});
+                        pes_[node]->configurePass(PePassConfig{});
+                    }
+                }
+            }
+
+            uint64_t pairs = 0;
+            for (const auto &png : pngs_)
+                pairs += png->pairBudget();
+            const Tick deadline = now_ + 10000 + 400 * pairs;
+
+            const Tick start = now_;
+            std::vector<Tick> lane_done(active, 0);
+            unsigned remaining = active;
+            while (remaining > 0) {
+                NC_TRACE_TICK(now_);
+                for (auto &png : pngs_)
+                    png->tick(now_);
+                for (auto &channel : channels_)
+                    channel->tick(now_);
+                fabric_->tick(now_);
+                for (auto &pe : pes_)
+                    pe->tick(now_, *fabric_);
+                ++now_;
+                for (unsigned l = 0; l < active; ++l) {
+                    if (lane_done[l] == 0
+                        && laneDone(lanePartition_[l])) {
+                        lane_done[l] = now_;
+                        --remaining;
+                        NC_TRACE(TraceComponent::Sim, l,
+                                 TraceEventType::LaneDone, unsigned(p),
+                                 now_ - start);
+                    }
+                }
+                if (now_ >= deadline) {
+                    nc_panic("batch pass deadlock: %u lanes pending "
+                             "after %llu ticks", remaining,
+                             (unsigned long long)(now_ - start));
+                }
+            }
+            statPasses_ += 1;
+            for (unsigned l = 0; l < active; ++l) {
+                lr[l].cycles += config_.configTicksPerPass
+                              + (lane_done[l] - start);
+            }
+        }
+
+        for (unsigned l = 0; l < active; ++l) {
+            const LaneSpec &lane = lanePartition_[l];
+            uint64_t macs = 0, bits = 0, lateral = 0, local = 0;
+            for (unsigned node : lane.nodes) {
+                macs += pes_[node]->macOps();
+                bits += channels_[node]->bitsTransferred();
+                lateral += fabric_->nodeLateralPackets(node);
+                local += fabric_->nodeLocalPackets(node);
+            }
+            lr[l].name = layer.name.empty()
+                             ? layerTypeName(layer.type)
+                             : layer.name;
+            lr[l].passes = unsigned(num_passes);
+            lr[l].ops = 2 * (macs - macs_before[l]);
+            lr[l].dramBits = bits - bits_before[l];
+            lr[l].lateralPackets = lateral - lateral_before[l];
+            lr[l].localPackets = local - local_before[l];
+
+            LayerFootprint fp = layerFootprint(
+                layer, config_.mapping, unsigned(lane.nodes.size()));
+            lr[l].memoryBytes = fp.totalBytes();
+            lr[l].duplicationBytes = fp.duplicationBytes;
+
+            result.lanes[l].layers.push_back(lr[l]);
+            batchActivations_[l][li] =
+                compiler_.gather(compiled[l], lane_stores[l]);
+        }
+
+        statLayerCycles_ += now_ - layer_start;
+    }
+
+    result.cycles = now_ - batch_start;
+    fabric_->setLaneMap({});
+    return result;
+}
+
+const Tensor &
+Neurocube::batchLayerOutput(unsigned lane, size_t index) const
+{
+    nc_assert(lane < batchActivations_.size()
+                  && index < batchActivations_[lane].size(),
+              "no batch output for lane %u layer %zu", lane, index);
+    return batchActivations_[lane][index];
 }
 
 } // namespace neurocube

@@ -57,6 +57,30 @@ class Neurocube
     RunResult runForward();
 
     /**
+     * Execute the loaded network for several independent inputs
+     * concurrently, one per batch lane (config().batch.lanes vault
+     * groups). Every lane runs the same layer/pass sequence inside
+     * one shared cycle loop; completion is detected per lane, so each
+     * lane's LayerResult carries its own cycle count while the
+     * aggregate reflects the slowest lane. Outputs are gathered per
+     * lane and are bit-exact with a sequential runForward of the same
+     * input.
+     *
+     * @param inputs one input tensor per lane (1 <= n <= lanes;
+     *        trailing lanes idle when fewer inputs than lanes)
+     */
+    BatchRunResult runForwardBatch(const std::vector<Tensor> &inputs);
+
+    /** Gathered output of a layer for one batch lane. */
+    const Tensor &batchLayerOutput(unsigned lane, size_t index) const;
+
+    /** The lane partition used by runForwardBatch. */
+    const std::vector<LaneSpec> &lanePartition() const
+    {
+        return lanePartition_;
+    }
+
+    /**
      * Execute an ad-hoc layer outside the loaded network (used by
      * the training sequencer and the parameter sweeps).
      *
@@ -103,6 +127,10 @@ class Neurocube
     Tick runPass(const CompiledPass &pass);
     /** True when every component has finished the current pass. */
     bool passDone() const;
+    /** True when one lane's components have finished the pass. */
+    bool laneDone(const LaneSpec &lane) const;
+    /** Validate the batch preconditions and build lanePartition_. */
+    void buildBatchLanes();
 
     NeurocubeConfig config_;
     StatGroup statGroup_;
@@ -120,6 +148,11 @@ class Neurocube
     NetworkData data_;
     Tensor input_;
     std::vector<Tensor> activations_;
+
+    /** Vault groups for batched execution (batch.lanes entries). */
+    std::vector<LaneSpec> lanePartition_;
+    /** Per lane, per layer: gathered outputs of the last batch run. */
+    std::vector<std::vector<Tensor>> batchActivations_;
 
     Tick now_ = 0;
 

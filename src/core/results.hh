@@ -120,6 +120,50 @@ struct RunResult
     }
 };
 
+/** Statistics for one batched multi-lane forward execution. */
+struct BatchRunResult
+{
+    /** Per-lane run statistics (one entry per submitted input). */
+    std::vector<RunResult> lanes;
+    /**
+     * Aggregate wall-clock of the batched run in reference cycles:
+     * per pass, every lane advances in the same cycle loop, so the
+     * aggregate is the sum over passes of the slowest lane (plus the
+     * shared per-pass configuration time charged once).
+     */
+    Tick cycles = 0;
+
+    /** Sum of per-lane operation counts. */
+    uint64_t
+    totalOps() const
+    {
+        uint64_t total = 0;
+        for (const RunResult &lane : lanes)
+            total += lane.totalOps();
+        return total;
+    }
+
+    /** Aggregate throughput at a given logic clock (GHz). */
+    double
+    gopsPerSecond(double clock_ghz = referenceClockHz / 1e9) const
+    {
+        if (cycles == 0)
+            return 0.0;
+        double seconds = double(cycles) / (clock_ghz * 1e9);
+        return double(totalOps()) / seconds / 1e9;
+    }
+
+    /** Completed inputs per second (batched frame rate). */
+    double
+    inputsPerSecond(double clock_ghz = referenceClockHz / 1e9) const
+    {
+        if (cycles == 0)
+            return 0.0;
+        return double(lanes.size()) * clock_ghz * 1e9
+             / double(cycles);
+    }
+};
+
 } // namespace neurocube
 
 #endif // NEUROCUBE_CORE_RESULTS_HH

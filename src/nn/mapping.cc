@@ -118,6 +118,52 @@ buildLayerMapping(const LayerDesc &layer, const MappingPolicy &policy,
     return mapping;
 }
 
+std::vector<LaneSpec>
+buildLanePartition(unsigned num_nodes, unsigned lanes)
+{
+    nc_assert(lanes >= 1, "lane count must be positive");
+    unsigned mesh_w = 1;
+    while (mesh_w * mesh_w < num_nodes)
+        ++mesh_w;
+    nc_assert(mesh_w * mesh_w == num_nodes,
+              "lane partition needs a square mesh, got %u nodes",
+              num_nodes);
+
+    // Squarest factorization of the lane count (1x2 for 2 lanes on a
+    // square mesh would leave non-square groups; prefer lw <= lh so
+    // 2 lanes split into top/bottom halves, 4 into quadrants).
+    unsigned lw = 1;
+    for (unsigned f = 1; f * f <= lanes; ++f) {
+        if (lanes % f == 0)
+            lw = f;
+    }
+    unsigned lh = lanes / lw;
+    nc_assert(mesh_w % lw == 0 && mesh_w % lh == 0,
+              "%u lanes do not tile a %ux%u mesh", lanes, mesh_w,
+              mesh_w);
+
+    unsigned sub_w = mesh_w / lw;
+    unsigned sub_h = mesh_w / lh;
+    std::vector<LaneSpec> partition;
+    partition.reserve(lanes);
+    for (unsigned ly = 0; ly < lh; ++ly) {
+        for (unsigned lx = 0; lx < lw; ++lx) {
+            LaneSpec lane;
+            lane.index = unsigned(partition.size());
+            lane.meshW = sub_w;
+            lane.meshH = sub_h;
+            for (unsigned y = 0; y < sub_h; ++y) {
+                for (unsigned x = 0; x < sub_w; ++x) {
+                    lane.nodes.push_back((ly * sub_h + y) * mesh_w
+                                         + lx * sub_w + x);
+                }
+            }
+            partition.push_back(std::move(lane));
+        }
+    }
+    return partition;
+}
+
 LayerFootprint
 layerFootprint(const LayerDesc &layer, const MappingPolicy &policy,
                unsigned num_vaults)

@@ -13,6 +13,8 @@ NocFabric::NocFabric(const Config &config, StatGroup *parent)
       memPort_(config.numNodes),
       peDelivery_(config.numNodes),
       memDelivery_(config.numNodes),
+      nodeLateral_(config.numNodes, 0),
+      nodeLocal_(config.numNodes, 0),
       statGroup_(parent, "noc"),
       statLateral_(&statGroup_, "lateralPackets",
                    "packets crossing between nodes"),
@@ -159,10 +161,24 @@ NocFabric::buildFullyConnected()
 void
 NocFabric::accountInjection(unsigned node, const Packet &packet)
 {
-    if (packet.dst == node)
+    if (packet.dst == node) {
         statLocal_ += 1;
-    else
+        ++nodeLocal_[node];
+    } else {
         statLateral_ += 1;
+        ++nodeLateral_[node];
+    }
+    if (!laneOf_.empty() && laneOf_[node] != laneOf_[packet.dst])
+        ++crossLanePackets_;
+}
+
+void
+NocFabric::setLaneMap(std::vector<uint16_t> lane_of)
+{
+    nc_assert(lane_of.empty() || lane_of.size() == config_.numNodes,
+              "lane map size %zu != node count %u", lane_of.size(),
+              config_.numNodes);
+    laneOf_ = std::move(lane_of);
 }
 
 unsigned
@@ -209,6 +225,13 @@ NocFabric::tick(Tick now)
         while (budget > 0 && !out.empty()
                && routers_[link.dstRouter]->inputSpace(link.dstPort)
                       > 0) {
+            // With a lane map installed, a packet entering a router
+            // outside its destination's lane escaped its sub-mesh.
+            if (!laneOf_.empty()
+                && laneOf_[link.dstRouter]
+                       != laneOf_[out.front().dst]) {
+                ++crossLanePackets_;
+            }
             routers_[link.dstRouter]->pushInput(link.dstPort,
                                                 out.front());
             out.pop_front();
@@ -252,6 +275,13 @@ NocFabric::routersIdle() const
             return false;
     }
     return true;
+}
+
+bool
+NocFabric::nodeQuiescent(unsigned node) const
+{
+    return routers_[node]->idle() && peDelivery_[node].empty()
+        && memDelivery_[node].empty();
 }
 
 bool

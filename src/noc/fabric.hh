@@ -93,6 +93,25 @@ class NocFabric
      */
     bool routersIdle() const;
 
+    /**
+     * True when one node holds no packets: its router FIFOs and both
+     * endpoint delivery queues are empty. Batched execution uses this
+     * for lane-tagged completion (a lane is quiescent when every one
+     * of its nodes is).
+     */
+    bool nodeQuiescent(unsigned node) const;
+
+    /**
+     * Install a node -> lane assignment. While set, every injection
+     * and every link traversal is checked against it: a packet whose
+     * source, destination or traversed router disagree on the lane
+     * bumps crossLanePackets(). Pass an empty vector to remove.
+     */
+    void setLaneMap(std::vector<uint16_t> lane_of);
+
+    /** Packets that violated the lane map (0 when lanes isolate). */
+    uint64_t crossLanePackets() const { return crossLanePackets_; }
+
     /** Structural parameters. */
     const Config &config() const { return config_; }
 
@@ -116,6 +135,19 @@ class NocFabric
 
     /** End-to-end packet latency distribution (ticks). */
     const Histogram &latencyHistogram() const { return histLatency_; }
+
+    /** Lateral packets injected at one node (per-lane accounting). */
+    uint64_t
+    nodeLateralPackets(unsigned node) const
+    {
+        return nodeLateral_[node];
+    }
+    /** Node-local packets injected at one node. */
+    uint64_t
+    nodeLocalPackets(unsigned node) const
+    {
+        return nodeLocal_[node];
+    }
 
     /** Fraction of traffic that crossed between nodes. */
     double
@@ -154,6 +186,13 @@ class NocFabric
     std::vector<unsigned> memPort_;
     std::vector<std::deque<Packet>> peDelivery_;
     std::vector<std::deque<Packet>> memDelivery_;
+
+    /** Per node: lateral/local packets injected there. */
+    std::vector<uint64_t> nodeLateral_;
+    std::vector<uint64_t> nodeLocal_;
+    /** Node -> lane assignment (empty = no checking). */
+    std::vector<uint16_t> laneOf_;
+    uint64_t crossLanePackets_ = 0;
 
     StatGroup statGroup_;
     Stat statLateral_;

@@ -161,7 +161,11 @@ AddressGenerator::fillBuffer()
                 if (!owns(entry, conn))
                     continue;
                 GeneratedOp op;
-                op.dst = entry.dst;
+                // entry.dst is a tile index; relocate it onto the
+                // hosting mesh node (identity outside batch lanes).
+                op.dst = program_.peNode.empty()
+                    ? PeId(entry.dst)
+                    : PeId(program_.peNode[entry.dst]);
                 op.mac = entry.mac;
                 op.group = entry.group
                          + plane_ * groupsPerDst_[entry.dst];

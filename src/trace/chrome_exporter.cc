@@ -44,20 +44,28 @@ void
 ChromeTraceExporter::emitPrelude()
 {
     os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    // Batched runs prefix per-node tracks with their lane so each
+    // vault group reads as its own machine in the viewer.
+    auto lane = [&](unsigned node) {
+        return node < topology_.laneOf.size()
+                   ? "lane" + std::to_string(topology_.laneOf[node])
+                         + "."
+                   : std::string();
+    };
     emitMeta(trackPid(TraceComponent::Sim, 0), "sim");
     for (unsigned i = 0; i < topology_.numRouters; ++i) {
         emitMeta(trackPid(TraceComponent::Router, uint16_t(i)),
-                 "router" + std::to_string(i));
+                 lane(i) + "router" + std::to_string(i));
     }
     for (unsigned i = 0; i < topology_.numPes; ++i) {
         emitMeta(trackPid(TraceComponent::Pe, uint16_t(i)),
-                 "pe" + std::to_string(i));
+                 lane(i) + "pe" + std::to_string(i));
     }
     for (unsigned i = 0; i < topology_.numVaults; ++i) {
         emitMeta(trackPid(TraceComponent::Png, uint16_t(i)),
-                 "png" + std::to_string(i));
+                 lane(i) + "png" + std::to_string(i));
         emitMeta(trackPid(TraceComponent::Vault, uint16_t(i)),
-                 "vault" + std::to_string(i));
+                 lane(i) + "vault" + std::to_string(i));
     }
 }
 
@@ -228,6 +236,15 @@ ChromeTraceExporter::handle(const TraceEvent &event)
         bumpCounter(pid, "issued/win", AggMode::Sum,
                     double(event.value));
         break;
+      case TraceEventType::LaneDone: {
+        // One slice per (lane, pass) on the sim track: the lane's
+        // active span within the shared cycle loop.
+        std::string name = "lane" + std::to_string(event.instance);
+        emitSlice(trackPid(TraceComponent::Sim, 0), name.c_str(),
+                  event.tick - event.value, event.value,
+                  "\"pass\":" + std::to_string(event.arg));
+        break;
+      }
       case TraceEventType::DramQueueDepth:
         bumpCounter(pid, event.arg ? "writeQ" : "readQ",
                     AggMode::Last, double(event.value));

@@ -73,6 +73,10 @@ enum class TraceEventType : uint8_t
     /** Element reads issued this tick. value=count. */
     PngIssue,
 
+    // --- Batched execution (instance = batch lane index).
+    /** Lane finished a pass. arg=pass index, value=lane pass ticks. */
+    LaneDone,
+
     // --- DRAM channel (instance = channel index).
     /** Request queued. arg=0 read / 1 write, value=queue depth after. */
     DramQueueDepth,

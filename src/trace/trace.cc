@@ -64,6 +64,8 @@ traceEventTypeName(TraceEventType type)
         return "pngInjectStall";
       case TraceEventType::PngIssue:
         return "pngIssue";
+      case TraceEventType::LaneDone:
+        return "laneDone";
       case TraceEventType::DramQueueDepth:
         return "dramQueueDepth";
       case TraceEventType::DramWord:

@@ -170,6 +170,12 @@ struct TraceTopology
     unsigned numPes = 16;
     /** Vaults / memory channels (== PNGs). */
     unsigned numVaults = 16;
+    /**
+     * Node -> batch lane assignment (empty = unbatched). When set,
+     * exporters prefix per-node track names with "laneN." so each
+     * vault group reads as its own machine.
+     */
+    std::vector<uint16_t> laneOf;
 };
 
 /**

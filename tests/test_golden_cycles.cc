@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Golden cycle-count regression for the fig12_inference workload.
+ *
+ * The simulator is deterministic, so the per-layer cycle counts of
+ * the scene-labeling network (on a reduced 64x48 input, same seeds as
+ * bench/bench_common.hh) are locked in tests/golden/fig12_cycles.txt.
+ * Any timing-model change shows up here as an exact diff instead of a
+ * silent drift in EXPERIMENTS.md numbers.
+ *
+ * To regenerate after an intentional timing change:
+ *   NEUROCUBE_UPDATE_GOLDEN=1 ./tests/test_golden_cycles
+ * and commit the rewritten golden file with the change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/neurocube.hh"
+#include "nn/network.hh"
+
+namespace neurocube
+{
+namespace
+{
+
+constexpr char kGoldenPath[] =
+    NEUROCUBE_TEST_DATA_DIR "/golden/fig12_cycles.txt";
+
+/** Per-layer cycles of the reduced fig12 workload (seed 1). */
+std::vector<std::pair<std::string, Tick>>
+measuredCycles()
+{
+    NetworkDesc net = sceneLabelingNetwork(64, 48);
+    NetworkData data = NetworkData::randomized(net, 1);
+    Tensor input(net.inputMaps(), net.inputHeight(),
+                 net.inputWidth());
+    Rng rng(2);
+    input.randomize(rng);
+
+    Neurocube cube(NeurocubeConfig{});
+    cube.loadNetwork(net, data);
+    cube.setInput(input);
+    RunResult run = cube.runForward();
+
+    std::vector<std::pair<std::string, Tick>> rows;
+    for (const LayerResult &l : run.layers)
+        rows.emplace_back(l.name, l.cycles);
+    return rows;
+}
+
+std::vector<std::pair<std::string, Tick>>
+loadGolden()
+{
+    std::ifstream in(kGoldenPath);
+    EXPECT_TRUE(in.good()) << "missing golden file " << kGoldenPath;
+    std::vector<std::pair<std::string, Tick>> rows;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string name;
+        unsigned long long cycles = 0;
+        fields >> name >> cycles;
+        rows.emplace_back(name, Tick(cycles));
+    }
+    return rows;
+}
+
+TEST(GoldenCycles, Fig12LayerCyclesAreLocked)
+{
+    auto measured = measuredCycles();
+
+    if (std::getenv("NEUROCUBE_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(kGoldenPath);
+        ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+        out << "# Per-layer cycle counts of fig12_inference's "
+               "scene-labeling network\n"
+            << "# (64x48 input, seeds 1/2, default NeurocubeConfig). "
+               "Regenerate with\n"
+            << "# NEUROCUBE_UPDATE_GOLDEN=1 ./tests/"
+               "test_golden_cycles\n";
+        for (const auto &[name, cycles] : measured)
+            out << name << " " << cycles << "\n";
+        GTEST_SKIP() << "golden file regenerated";
+    }
+
+    auto golden = loadGolden();
+    ASSERT_EQ(golden.size(), measured.size());
+    ASSERT_EQ(golden.size(), 7u) << "fig12 network has 7 layers";
+    for (size_t i = 0; i < golden.size(); ++i) {
+        EXPECT_EQ(measured[i].first, golden[i].first) << "layer " << i;
+        EXPECT_EQ(measured[i].second, golden[i].second)
+            << "layer " << golden[i].first
+            << " cycle count drifted; if the timing change is "
+               "intentional, regenerate with NEUROCUBE_UPDATE_GOLDEN=1";
+    }
+}
+
+} // namespace
+} // namespace neurocube

@@ -187,6 +187,43 @@ TEST(Mapping, NetworkFootprintMatchesFig1Scale)
     EXPECT_LT(small, bytes);
 }
 
+TEST(Mapping, LanePartitionTilesTheMesh)
+{
+    // 1 lane = whole 4x4 mesh; 2 lanes = 4x2 halves; 4 lanes = 2x2
+    // quadrants. Lanes must partition the node set exactly and each
+    // lane must be a contiguous axis-aligned rectangle (the property
+    // that makes X-Y routing stay inside the lane).
+    for (unsigned lanes : {1u, 2u, 4u}) {
+        auto partition = buildLanePartition(16, lanes);
+        ASSERT_EQ(partition.size(), lanes);
+        std::vector<bool> covered(16, false);
+        for (const LaneSpec &lane : partition) {
+            EXPECT_EQ(lane.nodes.size(), 16 / lanes);
+            EXPECT_EQ(lane.meshW * lane.meshH, lane.nodes.size());
+            // Row-major rectangle: node (y, x) of the lane sits at
+            // origin + y * 4 + x in the global mesh.
+            unsigned origin = lane.nodes.front();
+            for (unsigned y = 0; y < lane.meshH; ++y) {
+                for (unsigned x = 0; x < lane.meshW; ++x) {
+                    unsigned node = lane.nodes[y * lane.meshW + x];
+                    EXPECT_EQ(node, origin + y * 4 + x);
+                    ASSERT_LT(node, 16u);
+                    EXPECT_FALSE(covered[node]);
+                    covered[node] = true;
+                }
+            }
+        }
+        for (unsigned n = 0; n < 16; ++n)
+            EXPECT_TRUE(covered[n]) << "node " << n << " unassigned";
+    }
+
+    // 2 lanes on a 4x4 mesh split into two 4-wide, 2-tall halves.
+    auto halves = buildLanePartition(16, 2);
+    EXPECT_EQ(halves[0].meshW, 4u);
+    EXPECT_EQ(halves[0].meshH, 2u);
+    EXPECT_EQ(halves[1].nodes.front(), 8u);
+}
+
 TEST(Mapping, TrainingDuplicationOverheadBand)
 {
     // Fig. 13d reports ~48% duplication overhead for training at

@@ -399,5 +399,116 @@ TEST(Determinism, RepeatedRunsAreBitIdentical)
     EXPECT_TRUE(tensorsBitEqual(o1, o2));
 }
 
+// ---------------------------------------------------------------
+// Batched lanes: the vault-group partition must isolate lanes on the
+// NoC (rectangular sub-meshes are closed under X-Y routing) and keep
+// every lane's timing independent of what the other lanes compute.
+
+TEST(BatchLaneProperty, NoPacketEverLeavesItsVaultGroup)
+{
+    // Randomized layer shapes across both lane widths; the fabric's
+    // lane checker counts any injection or link traversal that
+    // disagrees with the node -> lane map.
+    Rng shapes(4242);
+    for (unsigned lanes : {2u, 4u}) {
+        for (unsigned trial = 0; trial < 4; ++trial) {
+            NetworkDesc net;
+            net.name = "lane-iso";
+            LayerDesc conv;
+            conv.type = LayerType::Conv2D;
+            conv.name = "conv";
+            conv.inWidth = 12 + unsigned(shapes.next() % 12);
+            conv.inHeight = 8 + unsigned(shapes.next() % 12);
+            conv.inMaps = 1 + unsigned(shapes.next() % 3);
+            conv.outMaps = conv.inMaps + unsigned(shapes.next() % 3);
+            conv.kernel = 3;
+            conv.channelwise = true;
+            conv.activation = ActivationKind::Tanh;
+            net.layers.push_back(conv);
+
+            LayerDesc fc = nextLayerTemplate(conv);
+            fc.type = LayerType::FullyConnected;
+            fc.name = "fc";
+            fc.outMaps = 4 + unsigned(shapes.next() % 28);
+            fc.activation = ActivationKind::Sigmoid;
+            net.layers.push_back(fc);
+            net.validate();
+
+            NetworkData data =
+                NetworkData::randomized(net, 600 + trial);
+            std::vector<Tensor> inputs;
+            for (unsigned l = 0; l < lanes; ++l) {
+                Tensor in(net.inputMaps(), net.inputHeight(),
+                          net.inputWidth());
+                Rng rng(700 + 10 * trial + l);
+                in.randomize(rng);
+                inputs.push_back(std::move(in));
+            }
+
+            NeurocubeConfig config;
+            config.batch.lanes = lanes;
+            // Partitioned FC input maximizes lateral traffic, the
+            // hardest case for lane confinement.
+            config.mapping.duplicateFcInput = (trial % 2 == 0);
+            Neurocube cube(config);
+            cube.loadNetwork(net, data);
+            cube.runForwardBatch(inputs);
+            EXPECT_EQ(cube.fabric().crossLanePackets(), 0u)
+                << lanes << " lanes, trial " << trial;
+            EXPECT_TRUE(cube.fabric().idle());
+        }
+    }
+}
+
+TEST(BatchLaneProperty, LaneCyclesIndependentOfOtherLanesInputs)
+{
+    // Timing is data independent per lane: changing what the other
+    // lanes compute must not move a lane's per-layer cycle counts.
+    NetworkDesc net;
+    net.name = "lane-indep";
+    LayerDesc conv;
+    conv.type = LayerType::Conv2D;
+    conv.name = "conv";
+    conv.inWidth = 16;
+    conv.inHeight = 12;
+    conv.inMaps = 2;
+    conv.outMaps = 3;
+    conv.kernel = 3;
+    conv.channelwise = true;
+    conv.activation = ActivationKind::Tanh;
+    net.layers.push_back(conv);
+    LayerDesc fc = nextLayerTemplate(conv);
+    fc.type = LayerType::FullyConnected;
+    fc.name = "fc";
+    fc.outMaps = 24;
+    fc.activation = ActivationKind::Sigmoid;
+    net.layers.push_back(fc);
+    net.validate();
+    NetworkData data = NetworkData::randomized(net, 81);
+
+    auto lane0_cycles = [&](uint64_t other_seed) {
+        std::vector<Tensor> inputs;
+        for (unsigned l = 0; l < 4; ++l) {
+            Tensor in(net.inputMaps(), net.inputHeight(),
+                      net.inputWidth());
+            // Lane 0 keeps its input; the others get fresh ones.
+            Rng rng(l == 0 ? 900 : other_seed + l);
+            in.randomize(rng);
+            inputs.push_back(std::move(in));
+        }
+        NeurocubeConfig config;
+        config.batch.lanes = 4;
+        Neurocube cube(config);
+        cube.loadNetwork(net, data);
+        BatchRunResult run = cube.runForwardBatch(inputs);
+        std::vector<Tick> cycles;
+        for (const LayerResult &l : run.lanes[0].layers)
+            cycles.push_back(l.cycles);
+        return cycles;
+    };
+
+    EXPECT_EQ(lane0_cycles(1000), lane0_cycles(2000));
+}
+
 } // namespace
 } // namespace neurocube
