@@ -13,12 +13,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/stats.hh"
 #include "core/neurocube.hh"
 #include "core/results.hh"
 #include "nn/network.hh"
+#include "trace/metrics.hh"
 
 namespace neurocube::bench
 {
@@ -54,10 +58,44 @@ runForward(const NeurocubeConfig &config, const NetworkDesc &net,
                  net.inputWidth());
     Rng rng(seed + 1);
     input.randomize(rng);
-    Neurocube cube(config);
+    NeurocubeConfig cfg = config;
+#if NEUROCUBE_TRACE_ENABLED
+    // Metrics-only trace session (no event sinks): every bench run
+    // attributes its cycles so the panels and BENCH_*.json carry
+    // bottleneck labels. Observational only — cycle counts match a
+    // tracing-off run (tests/test_golden_cycles.cc).
+    if (!cfg.trace.enabled) {
+        cfg.trace.enabled = true;
+        cfg.trace.metrics = true;
+    }
+#endif
+    Neurocube cube(cfg);
     cube.loadNetwork(net, data);
     cube.setInput(input);
     return cube.runForward();
+}
+
+/** Short table-cell annotation for a layer's bottleneck report. */
+inline std::string
+bottleneckCell(const BottleneckReport &b)
+{
+    if (!b.valid)
+        return "-";
+    // The stall class the label blames, for the headline fraction.
+    StallClass cls = StallClass::Idle;
+    std::string label(b.label);
+    if (label == "mac")
+        cls = StallClass::Busy;
+    else if (label == "cache")
+        cls = StallClass::StallCache;
+    else if (label == "noc")
+        cls = StallClass::StallNocCredit;
+    else if (label == "inject")
+        cls = StallClass::StallInject;
+    else if (label == "dram")
+        cls = StallClass::StallDram;
+    return label + " "
+           + formatDouble(100.0 * b.fractions[size_t(cls)], 0) + "%";
 }
 
 /** Print one standard per-layer result block (Fig. 12/13 panels). */
@@ -66,9 +104,11 @@ printLayerPanels(const RunResult &run, const char *title)
 {
     std::printf("\n--- %s ---\n", title);
     TextTable table({"layer", "ops (M)", "cycles (K)", "GOPs/s@5GHz",
-                     "memory (MB)", "dup overhead (MB)",
-                     "lateral %"});
+                     "memory (MB)", "dup overhead (MB)", "lateral %",
+                     "bottleneck"});
+    bool any_metrics = false;
     for (const LayerResult &l : run.layers) {
+        any_metrics = any_metrics || l.bottleneck.valid;
         table.addRow({l.name, formatDouble(double(l.ops) / 1e6, 2),
                       formatDouble(double(l.cycles) / 1e3, 1),
                       formatDouble(l.gopsPerSecond(), 1),
@@ -77,7 +117,8 @@ printLayerPanels(const RunResult &run, const char *title)
                       formatDouble(double(l.duplicationBytes)
                                        / (1 << 20),
                                    3),
-                      formatDouble(100.0 * l.lateralFraction(), 1)});
+                      formatDouble(100.0 * l.lateralFraction(), 1),
+                      bottleneckCell(l.bottleneck)});
     }
     std::printf("%s", table.str().c_str());
     std::printf("total: %.1f MOp, %.1f Kcycles, %.1f GOPs/s @5GHz "
@@ -85,6 +126,65 @@ printLayerPanels(const RunResult &run, const char *title)
                 double(run.totalOps()) / 1e6,
                 double(run.totalCycles()) / 1e3,
                 run.gopsPerSecond(), run.gopsPerSecond(0.3));
+
+    if (!any_metrics)
+        return;
+    std::printf("stall attribution (machine-cycle fractions; each row "
+                "sums to 1.0):\n");
+    for (const LayerResult &l : run.layers) {
+        const BottleneckReport &b = l.bottleneck;
+        if (!b.valid)
+            continue;
+        std::printf("  %-10s", l.name.c_str());
+        for (size_t s = 0; s < numStallClasses; ++s) {
+            std::printf(" %s=%.3f", stallClassName(StallClass(s)),
+                        b.fractions[s]);
+        }
+        std::printf("\n");
+    }
+}
+
+/** Where BENCH_*.json files go (NEUROCUBE_BENCH_DIR or the cwd). */
+inline std::string
+benchOutputPath(const std::string &filename)
+{
+    const char *dir = std::getenv("NEUROCUBE_BENCH_DIR");
+    if (dir != nullptr && dir[0] != '\0')
+        return std::string(dir) + "/" + filename;
+    return filename;
+}
+
+/**
+ * Write a machine-readable bench result file: one JSON object with a
+ * per-layer metrics document (RunResult::metricsJson) per named run.
+ * scripts/bench.sh collects these.
+ */
+inline void
+writeBenchJson(
+    const std::string &filename,
+    const std::vector<std::pair<std::string, const RunResult *>> &runs)
+{
+    std::string path = benchOutputPath(filename);
+    std::ofstream out(path);
+    if (!out.is_open()) {
+        std::fprintf(stderr, "warning: cannot write bench json '%s'\n",
+                     path.c_str());
+        return;
+    }
+    out << "{\n\"quick\": " << (quickMode() ? "true" : "false")
+        << ",\n\"runs\": {\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+        // metricsJson() ends with a newline; splice the object in.
+        std::string doc = runs[i].second->metricsJson();
+        while (!doc.empty()
+               && (doc.back() == '\n' || doc.back() == ' ')) {
+            doc.pop_back();
+        }
+        out << "\"" << runs[i].first << "\": " << doc
+            << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "}\n}\n";
+    std::printf("wrote %s\n", path.c_str());
 }
 
 /**

@@ -78,6 +78,10 @@ printFigure()
     RunResult without = runForward(nodup, net);
     printLayerPanels(without, "without data duplication (gray bars)");
 
+    writeBenchJson("BENCH_fig12.json",
+                   {{"duplicated", &with_dup},
+                    {"no_duplication", &without}});
+
     PowerModel m28(TechNode::Nm28), m15(TechNode::Nm15);
     std::printf("\nimage throughput (frames/s): 28nm %.2f, 15nm "
                 "%.2f  (paper: 17.52 / 292.14)\n",

@@ -29,14 +29,23 @@ convWorkload()
     return singleConvNetwork(w, w * 3 / 4, 7, 1);
 }
 
-LayerResult
+/** Named runs collected for BENCH_fig15.json. */
+std::vector<std::pair<std::string, RunResult>> g_runs;
+
+RunResult &
+recordRun(const std::string &name, RunResult run)
+{
+    g_runs.emplace_back(name, std::move(run));
+    return g_runs.back().second;
+}
+
+RunResult
 runMemoryConfig(const DramParams &dram, bool duplicate)
 {
     NeurocubeConfig config;
     config.dram = dram;
     config.mapping.duplicateConvHalo = duplicate;
-    RunResult run = runForward(config, convWorkload(), 3);
-    return run.layers[0];
+    return runForward(config, convWorkload(), 3);
 }
 
 /** A hypothetical memory with the given channel count at fixed
@@ -56,10 +65,11 @@ BM_MemoryTechnology(benchmark::State &state)
 {
     bool ddr = state.range(0) != 0;
     for (auto _ : state) {
-        LayerResult r = runMemoryConfig(
+        RunResult run = runMemoryConfig(
             ddr ? DramParams::ddr3() : DramParams::hmcInternal(),
             true);
-        state.counters["GOPs/s@5GHz"] = r.gopsPerSecond();
+        state.counters["GOPs/s@5GHz"] =
+            run.layers[0].gopsPerSecond();
     }
 }
 BENCHMARK(BM_MemoryTechnology)->Arg(0)->Arg(1)
@@ -71,18 +81,23 @@ printPanelA()
     std::printf("\n--- Fig. 15(a): HMC-Int vs DDR3 (7x7 conv layer) "
                 "---\n");
     TextTable table({"memory", "channels", "BW/ch (GB/s)",
-                     "dup", "GOPs/s@5GHz", "lateral %"});
+                     "dup", "GOPs/s@5GHz", "lateral %",
+                     "bottleneck"});
     for (bool dup : {true, false}) {
         for (bool ddr : {false, true}) {
             DramParams p = ddr ? DramParams::ddr3()
                                : DramParams::hmcInternal();
-            LayerResult r = runMemoryConfig(p, dup);
+            RunResult &run = recordRun(
+                p.name + (dup ? "_dup" : "_nodup"),
+                runMemoryConfig(p, dup));
+            const LayerResult &r = run.layers[0];
             table.addRow({p.name, std::to_string(p.numChannels),
                           formatDouble(p.peakBandwidthGBps, 1),
                           dup ? "yes" : "no",
                           formatDouble(r.gopsPerSecond(), 1),
                           formatDouble(100.0 * r.lateralFraction(),
-                                       1)});
+                                       1),
+                          bottleneckCell(r.bottleneck)});
         }
     }
     std::printf("%s", table.str().c_str());
@@ -90,15 +105,18 @@ printPanelA()
     std::printf("\nequal aggregate bandwidth, varying channel count "
                 "(duplication on):\n");
     TextTable sweep({"channels", "BW/ch (GB/s)", "GOPs/s@5GHz",
-                     "lateral %"});
+                     "lateral %", "bottleneck"});
     const double total = 64.0; // GB/s aggregate
     for (unsigned ch : {2u, 4u, 8u, 16u}) {
         DramParams p = equalBandwidthChannels(ch, total);
-        LayerResult r = runMemoryConfig(p, true);
+        RunResult &run =
+            recordRun(p.name + "_equal_bw", runMemoryConfig(p, true));
+        const LayerResult &r = run.layers[0];
         sweep.addRow({std::to_string(ch),
                       formatDouble(p.peakBandwidthGBps, 1),
                       formatDouble(r.gopsPerSecond(), 1),
-                      formatDouble(100.0 * r.lateralFraction(), 1)});
+                      formatDouble(100.0 * r.lateralFraction(), 1),
+                      bottleneckCell(r.bottleneck)});
     }
     std::printf("%s", sweep.str().c_str());
     std::printf("paper shape: DDR3 far below HMC despite higher "
@@ -111,7 +129,7 @@ printPanelB()
 {
     std::printf("\n--- Fig. 15(b): mesh vs fully connected NoC ---\n");
     TextTable table({"NoC", "layer", "dup", "GOPs/s@5GHz",
-                     "lateral %"});
+                     "lateral %", "bottleneck"});
 
     unsigned fc_in = quickMode() ? 512 : 1024;
     for (NocTopology topo :
@@ -123,12 +141,15 @@ printPanelB()
             NeurocubeConfig config;
             config.noc.topology = topo;
             config.mapping.duplicateConvHalo = false;
-            RunResult run = runForward(config, convWorkload(), 5);
+            RunResult &run = recordRun(
+                std::string(name) + "_conv",
+                runForward(config, convWorkload(), 5));
             const LayerResult &r = run.layers[0];
             table.addRow({name, "conv 7x7", "no",
                           formatDouble(r.gopsPerSecond(), 1),
                           formatDouble(100.0 * r.lateralFraction(),
-                                       1)});
+                                       1),
+                          bottleneckCell(r.bottleneck)});
         }
         // Densely connected layer, partitioned input.
         {
@@ -136,12 +157,14 @@ printPanelB()
             config.noc.topology = topo;
             config.mapping.duplicateFcInput = false;
             NetworkDesc net = threeLayerMlp(fc_in, 1024, 16);
-            RunResult run = runForward(config, net, 6);
+            RunResult &run = recordRun(std::string(name) + "_fc",
+                                       runForward(config, net, 6));
             const LayerResult &r = run.layers[0];
             table.addRow({name, "fully conn", "no",
                           formatDouble(r.gopsPerSecond(), 1),
                           formatDouble(100.0 * r.lateralFraction(),
-                                       1)});
+                                       1),
+                          bottleneckCell(r.bottleneck)});
         }
     }
     std::printf("%s", table.str().c_str());
@@ -165,5 +188,9 @@ main(int argc, char **argv)
                 "===\n");
     printPanelA();
     printPanelB();
+    std::vector<std::pair<std::string, const RunResult *>> runs;
+    for (const auto &r : g_runs)
+        runs.emplace_back(r.first, &r.second);
+    writeBenchJson("BENCH_fig15.json", runs);
     return 0;
 }

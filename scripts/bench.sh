@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Run the figure-reproduction bench binaries and collect their
+# machine-readable outputs (BENCH_*.json with per-layer bottleneck
+# reports) into one directory.
+#
+# Usage: scripts/bench.sh [outdir] [bench...]
+#   outdir  where BENCH_*.json and the captured stdout logs land
+#           (default: bench-results)
+#   bench   bench binary names to run (default: fig12_inference
+#           fig15_memory_noc)
+#
+# Environment:
+#   NEUROCUBE_QUICK=1   reduced workloads for fast iteration
+#   NEUROCUBE_BUILD     build directory holding the binaries
+#                       (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+outdir="${1:-bench-results}"
+shift || true
+benches=("$@")
+if [ ${#benches[@]} -eq 0 ]; then
+    benches=(fig12_inference fig15_memory_noc)
+fi
+
+build="${NEUROCUBE_BUILD:-build}"
+if [ ! -d "$build" ]; then
+    echo "error: build directory '$build' not found;" \
+         "run: cmake --preset default && cmake --build --preset default" >&2
+    exit 1
+fi
+
+mkdir -p "$outdir"
+export NEUROCUBE_BENCH_DIR="$outdir"
+
+for bench in "${benches[@]}"; do
+    bin="$build/bench/$bench"
+    if [ ! -x "$bin" ]; then
+        echo "error: bench binary '$bin' not built" >&2
+        exit 1
+    fi
+    echo "=== $bench ==="
+    "$bin" | tee "$outdir/$bench.log"
+done
+
+echo
+echo "bench outputs in $outdir:"
+ls -l "$outdir"

@@ -3,15 +3,17 @@
 #   default  - RelWithDebInfo with trace instrumentation compiled in
 #   asan     - address + undefined-behaviour sanitizers
 #   notrace  - NC_TRACE compiled out (the zero-overhead configuration)
+#   tsan     - thread sanitizer over the trace-ring consumer thread
+#              (runs only test_trace/test_metrics; see CMakePresets)
 #
-# Usage: scripts/check.sh [preset...]   (default: all three)
+# Usage: scripts/check.sh [preset...]   (default: all four)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-    presets=(default asan notrace)
+    presets=(default asan notrace tsan)
 fi
 
 for preset in "${presets[@]}"; do

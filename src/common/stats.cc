@@ -21,9 +21,8 @@ Histogram::Histogram(StatGroup *parent, std::string name,
                      std::string desc)
     : name_(std::move(name)), desc_(std::move(desc))
 {
-    nc_assert(parent != nullptr, "histogram '%s' needs a group",
-              name_.c_str());
-    parent->addHistogram(this);
+    if (parent)
+        parent->addHistogram(this);
 }
 
 unsigned
@@ -50,6 +49,24 @@ Histogram::sample(uint64_t value)
     ++buckets_[bucketOf(value)];
     ++count_;
     sum_ += double(value);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    for (unsigned b = 0; b < numBuckets; ++b)
+        buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
 }
 
 double

@@ -79,7 +79,9 @@ class Histogram
     /**
      * Create a histogram and register it with its owning group.
      *
-     * @param parent group the histogram belongs to
+     * @param parent group the histogram belongs to, or nullptr for a
+     *        free-standing histogram (temporary aggregation targets
+     *        that never appear in dumps)
      * @param name short identifier, unique within the group
      * @param desc human-readable description for dumps
      */
@@ -87,6 +89,12 @@ class Histogram
 
     /** Record one sample. */
     void sample(uint64_t value);
+
+    /**
+     * Fold another histogram's samples into this one (bucket-wise;
+     * percentiles of the merge are as approximate as the inputs').
+     */
+    void merge(const Histogram &other);
 
     /** Number of recorded samples. */
     uint64_t count() const { return count_; }

@@ -1,9 +1,32 @@
 #include "core/neurocube.hh"
 
 #include "common/logging.hh"
+#include "trace/metrics.hh"
 
 namespace neurocube
 {
+
+namespace
+{
+
+/** Five-number summary of a histogram for the bottleneck report. */
+HistogramSummary
+summarize(const Histogram &h)
+{
+    return {h.count(), h.mean(), h.p50(), h.p99(), h.max()};
+}
+
+/** True when @p nodes is null or contains @p node. */
+bool
+nodeSelected(const std::vector<unsigned> *nodes, unsigned node)
+{
+    if (nodes == nullptr)
+        return true;
+    return std::find(nodes->begin(), nodes->end(), node)
+        != nodes->end();
+}
+
+} // namespace
 
 Neurocube::Neurocube(const NeurocubeConfig &config)
     : config_(config), statGroup_(nullptr, "neurocube"),
@@ -145,6 +168,32 @@ Neurocube::runPass(const CompiledPass &pass)
     return now_ - start;
 }
 
+void
+Neurocube::fillHistogramSummaries(BottleneckReport &report,
+                                  const std::vector<unsigned> *nodes)
+{
+    report.nocLatency = summarize(fabric_->latencyHistogram());
+
+    // Free-standing aggregation targets (never registered/dumped).
+    Histogram dram(nullptr, "", "");
+    Histogram pe_cache(nullptr, "", "");
+    Histogram png_queue(nullptr, "", "");
+    std::vector<unsigned> mem_nodes = config_.resolvedMemoryNodes();
+    for (unsigned ch = 0; ch < channels_.size(); ++ch) {
+        if (nodeSelected(nodes, mem_nodes[ch]))
+            dram.merge(channels_[ch]->queueResidencyHistogram());
+        if (nodeSelected(nodes, unsigned(pngs_[ch]->id())))
+            png_queue.merge(pngs_[ch]->outQueueDepthHistogram());
+    }
+    for (unsigned p = 0; p < pes_.size(); ++p) {
+        if (nodeSelected(nodes, p))
+            pe_cache.merge(pes_[p]->cacheOccupancyHistogram());
+    }
+    report.dramQueueResidency = summarize(dram);
+    report.peCacheOccupancy = summarize(pe_cache);
+    report.pngOutQueueDepth = summarize(png_queue);
+}
+
 LayerResult
 Neurocube::runSingleLayer(const LayerDesc &layer,
                           const std::vector<Fixed> &weights,
@@ -172,6 +221,11 @@ Neurocube::runSingleLayer(const LayerDesc &layer,
     for (const auto &channel : channels_)
         bits_before += channel->bitsTransferred();
 
+    MetricsRegistry *metrics = metricsRegistry();
+    MetricsSnapshot metrics_before;
+    if (metrics)
+        metrics_before = metrics->snapshot();
+
     Tick cycles = 0;
     for (const CompiledPass &pass : compiled.passes) {
         cycles += config_.configTicksPerPass;
@@ -196,6 +250,12 @@ Neurocube::runSingleLayer(const LayerDesc &layer,
                                        config_.dram.numChannels);
     result.memoryBytes = fp.totalBytes();
     result.duplicationBytes = fp.duplicationBytes;
+
+    if (metrics) {
+        result.bottleneck = buildBottleneckReport(
+            metrics->snapshot().delta(metrics_before));
+        fillHistogramSummaries(result.bottleneck, nullptr);
+    }
 
     statLayerCycles_ += cycles;
 
@@ -353,6 +413,11 @@ Neurocube::runForwardBatch(const std::vector<Tensor> &inputs)
             }
         }
 
+        MetricsRegistry *metrics = metricsRegistry();
+        MetricsSnapshot metrics_before;
+        if (metrics)
+            metrics_before = metrics->snapshot();
+
         for (size_t p = 0; p < num_passes; ++p) {
             NC_TRACE_TICK(now_);
             now_ += config_.configTicksPerPass;
@@ -415,6 +480,10 @@ Neurocube::runForwardBatch(const std::vector<Tensor> &inputs)
             }
         }
 
+        MetricsSnapshot metrics_delta;
+        if (metrics)
+            metrics_delta = metrics->snapshot().delta(metrics_before);
+
         for (unsigned l = 0; l < active; ++l) {
             const LaneSpec &lane = lanePartition_[l];
             uint64_t macs = 0, bits = 0, lateral = 0, local = 0;
@@ -437,6 +506,16 @@ Neurocube::runForwardBatch(const std::vector<Tensor> &inputs)
                 layer, config_.mapping, unsigned(lane.nodes.size()));
             lr[l].memoryBytes = fp.totalBytes();
             lr[l].duplicationBytes = fp.duplicationBytes;
+
+            if (metrics) {
+                // Per-lane attribution: every component instance is
+                // node-indexed and batching requires the identity
+                // vault attachment, so the lane's node list selects
+                // its routers, PEs, PNGs, and channels alike.
+                lr[l].bottleneck =
+                    buildBottleneckReport(metrics_delta, &lane.nodes);
+                fillHistogramSummaries(lr[l].bottleneck, &lane.nodes);
+            }
 
             result.lanes[l].layers.push_back(lr[l]);
             batchActivations_[l][li] =

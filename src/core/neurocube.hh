@@ -112,6 +112,16 @@ class Neurocube
     /** Current simulation time in reference ticks. */
     Tick now() const { return now_; }
 
+    /**
+     * The stall-attribution counters of the active trace session, or
+     * nullptr (no session / metrics disabled / tracing compiled out).
+     */
+    MetricsRegistry *
+    metricsRegistry()
+    {
+        return traceSession_ ? traceSession_->metrics() : nullptr;
+    }
+
     /** Total operand-cache spills beyond sub-bank capacity. */
     uint64_t
     totalCacheOverflows() const
@@ -131,6 +141,13 @@ class Neurocube
     bool laneDone(const LaneSpec &lane) const;
     /** Validate the batch preconditions and build lanePartition_. */
     void buildBatchLanes();
+    /**
+     * Fill a report's histogram summaries from the machine's
+     * distribution stats (cumulative; node-filtered when nodes is
+     * non-null).
+     */
+    void fillHistogramSummaries(BottleneckReport &report,
+                                const std::vector<unsigned> *nodes);
 
     NeurocubeConfig config_;
     StatGroup statGroup_;

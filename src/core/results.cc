@@ -1,0 +1,131 @@
+#include "core/results.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace neurocube
+{
+
+namespace
+{
+
+/** JSON-format a double (plain decimal; NaN/inf become 0). */
+std::string
+jsonNumber(double value)
+{
+    if (!(value == value) || value > 1e300 || value < -1e300)
+        return "0";
+    std::ostringstream os;
+    // Enough digits that per-class fractions re-sum to ~1.0 exactly.
+    os << std::setprecision(12) << value;
+    return os.str();
+}
+
+/** Escape a string for a JSON literal (our names are tame). */
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+appendFractions(std::ostringstream &os,
+                const std::array<double, numStallClasses> &fractions)
+{
+    os << "{";
+    for (size_t s = 0; s < numStallClasses; ++s) {
+        if (s)
+            os << ", ";
+        os << "\"" << stallClassName(StallClass(s))
+           << "\": " << jsonNumber(fractions[s]);
+    }
+    os << "}";
+}
+
+void
+appendHistogram(std::ostringstream &os, const char *name,
+                const HistogramSummary &h)
+{
+    os << "\"" << name << "\": {\"count\": " << h.count
+       << ", \"mean\": " << jsonNumber(h.mean)
+       << ", \"p50\": " << jsonNumber(h.p50)
+       << ", \"p99\": " << jsonNumber(h.p99) << ", \"max\": " << h.max
+       << "}";
+}
+
+void
+appendBottleneck(std::ostringstream &os, const BottleneckReport &b)
+{
+    if (!b.valid) {
+        os << "null";
+        return;
+    }
+    os << "{\"label\": \"" << b.label << "\", \"counted_ticks\": "
+       << b.countedTicks << ", \"fractions\": ";
+    appendFractions(os, b.fractions);
+
+    os << ", \"components\": {";
+    // Sim has no per-cycle accounting; report the ticked components.
+    static constexpr TraceComponent ticked[] = {
+        TraceComponent::Router, TraceComponent::Pe,
+        TraceComponent::Png, TraceComponent::Vault};
+    bool first = true;
+    for (TraceComponent c : ticked) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << traceComponentName(c) << "\": ";
+        appendFractions(os, b.componentFractions[size_t(c)]);
+    }
+    os << "}";
+
+    os << ", \"signals\": {\"pe_busy\": " << jsonNumber(b.peBusy)
+       << ", \"pe_stall_cache\": " << jsonNumber(b.peStallCache)
+       << ", \"router_blocked\": " << jsonNumber(b.routerBlocked)
+       << ", \"png_inject_stall\": " << jsonNumber(b.pngInjectStall)
+       << ", \"dram_pressure\": " << jsonNumber(b.dramPressure)
+       << ", \"vault_backpressure\": "
+       << jsonNumber(b.vaultBackpressure) << "}";
+
+    os << ", \"histograms\": {";
+    appendHistogram(os, "noc_latency", b.nocLatency);
+    os << ", ";
+    appendHistogram(os, "dram_queue_residency", b.dramQueueResidency);
+    os << ", ";
+    appendHistogram(os, "pe_cache_occupancy", b.peCacheOccupancy);
+    os << ", ";
+    appendHistogram(os, "png_out_queue_depth", b.pngOutQueueDepth);
+    os << "}}";
+}
+
+} // namespace
+
+std::string
+RunResult::metricsJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"total_cycles\": " << totalCycles()
+       << ",\n  \"total_ops\": " << totalOps()
+       << ",\n  \"layers\": [\n";
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const LayerResult &l = layers[i];
+        os << "    {\"name\": " << jsonString(l.name)
+           << ", \"cycles\": " << l.cycles << ", \"ops\": " << l.ops
+           << ", \"passes\": " << l.passes
+           << ", \"lateral_fraction\": "
+           << jsonNumber(l.lateralFraction()) << ", \"bottleneck\": ";
+        appendBottleneck(os, l.bottleneck);
+        os << "}" << (i + 1 < layers.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+} // namespace neurocube

@@ -19,6 +19,7 @@
 
 #include "common/types.hh"
 #include "dram/dram_params.hh"
+#include "trace/metrics.hh"
 
 namespace neurocube
 {
@@ -43,6 +44,12 @@ struct LayerResult
     uint64_t memoryBytes = 0;
     /** Duplication overhead within memoryBytes. */
     uint64_t duplicationBytes = 0;
+    /**
+     * Stall-attribution bottleneck report for this layer. valid only
+     * when a metrics-enabled trace session was active for the run
+     * (config.trace.enabled && config.trace.metrics).
+     */
+    BottleneckReport bottleneck;
 
     /** Throughput at a given logic clock (GHz). */
     double
@@ -118,6 +125,14 @@ struct RunResult
             return 0.0;
         return clock_ghz * 1e9 / double(cycles);
     }
+
+    /**
+     * Machine-readable per-layer metrics as a JSON document: cycles,
+     * ops, and each layer's bottleneck label, stall fractions, and
+     * histogram summaries. Layers without a valid bottleneck report
+     * (metrics disabled) carry "bottleneck": null.
+     */
+    std::string metricsJson() const;
 };
 
 /** Statistics for one batched multi-lane forward execution. */

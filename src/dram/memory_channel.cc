@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "trace/metrics.hh"
 
 namespace neurocube
 {
@@ -31,7 +32,9 @@ MemoryChannel::MemoryChannel(const DramParams &params, StatGroup *parent,
       statBusyTicks_(&statGroup_, "busyTicks", "ticks transferring data"),
       statStallTicks_(&statGroup_, "stallTicks",
                       "ticks stalled on activation/gap with work queued"),
-      statIdleTicks_(&statGroup_, "idleTicks", "ticks with empty queue")
+      statIdleTicks_(&statGroup_, "idleTicks", "ticks with empty queue"),
+      histQueueResidency_(&statGroup_, "queueResidency",
+                          "ticks a request waited before service")
 {
     nc_assert(params_.banksPerChannel > 0, "channel needs >= 1 bank");
     nc_assert(params_.burstLength > 0, "burst length must be positive");
@@ -41,8 +44,10 @@ void
 MemoryChannel::enqueue(const MemRequest &req)
 {
     nc_assert(canAccept(), "enqueue on a full channel queue");
+    MemRequest stamped = req;
+    stamped.enqueueTick = now_;
     if (req.write) {
-        writeQueue_.push_back(req);
+        writeQueue_.push_back(stamped);
         ++bufferedWrites_[req.addr];
         NC_TRACE(TraceComponent::Vault, traceId_,
                  TraceEventType::DramQueueDepth, 1,
@@ -53,7 +58,7 @@ MemoryChannel::enqueue(const MemRequest &req)
             // buffer before any further reads are serviced.
             hazardDrain_ = true;
         }
-        queue_.push_back(req);
+        queue_.push_back(stamped);
         NC_TRACE(TraceComponent::Vault, traceId_,
                  TraceEventType::DramQueueDepth, 0, queue_.size());
     }
@@ -62,6 +67,7 @@ MemoryChannel::enqueue(const MemRequest &req)
 void
 MemoryChannel::resetTiming()
 {
+    now_ = 0;
     credit_ = 0.0;
     burstWords_ = 0;
     gapRemaining_ = 0;
@@ -124,7 +130,7 @@ MemoryChannel::pickServeIndex(Tick now) const
 }
 
 void
-MemoryChannel::serveWord(Tick /* now */, std::deque<MemRequest> &queue,
+MemoryChannel::serveWord(Tick now, std::deque<MemRequest> &queue,
                          size_t idx)
 {
     const uint64_t row = rowOf(queue[idx].addr);
@@ -146,6 +152,8 @@ MemoryChannel::serveWord(Tick /* now */, std::deque<MemRequest> &queue,
                       && req.addr == prev_addr;
         if (!duplicate && packed >= params_.elementsPerWord())
             break;
+        histQueueResidency_.sample(
+            now >= req.enqueueTick ? now - req.enqueueTick : 0);
         if (is_write) {
             store_.write(req.addr, req.data);
             auto it = bufferedWrites_.find(req.addr);
@@ -189,6 +197,8 @@ MemoryChannel::serveWord(Tick /* now */, std::deque<MemRequest> &queue,
 void
 MemoryChannel::tick(Tick now)
 {
+    now_ = now;
+
     // Promote completed activations to open rows.
     for (unsigned b = 0; b < params_.banksPerChannel; ++b) {
         if (pendingRow_[b] != noRow && now >= bankReady_[b]) {
@@ -207,6 +217,8 @@ MemoryChannel::tick(Tick now)
         lookaheadArmed_ = true;
         if (gapRemaining_ > 0)
             --gapRemaining_;
+        NC_METRIC_CYCLE(TraceComponent::Vault, traceId_,
+                        StallClass::Idle);
         return;
     }
 
@@ -244,6 +256,8 @@ MemoryChannel::tick(Tick now)
         NC_TRACE(TraceComponent::Vault, traceId_,
                  TraceEventType::DramStall,
                  uint32_t(DramStallReason::BurstGap), gapRemaining_);
+        NC_METRIC_CYCLE(TraceComponent::Vault, traceId_,
+                        StallClass::StallDram);
         return;
     }
 
@@ -252,6 +266,8 @@ MemoryChannel::tick(Tick now)
         NC_TRACE(TraceComponent::Vault, traceId_,
                  TraceEventType::DramStall,
                  uint32_t(DramStallReason::Bandwidth), 0);
+        NC_METRIC_CYCLE(TraceComponent::Vault, traceId_,
+                        StallClass::StallDram);
         return;
     }
 
@@ -261,11 +277,15 @@ MemoryChannel::tick(Tick now)
         unsigned bank = bankOf(writeQueue_.front().addr);
         if (now >= bankReady_[bank] && openRow_[bank] == row) {
             serveWord(now, writeQueue_, 0);
+            NC_METRIC_CYCLE(TraceComponent::Vault, traceId_,
+                            StallClass::Busy);
         } else {
             statStallTicks_ += 1;
             NC_TRACE(TraceComponent::Vault, traceId_,
                      TraceEventType::DramStall,
                      uint32_t(DramStallReason::RowConflict), bank);
+            NC_METRIC_CYCLE(TraceComponent::Vault, traceId_,
+                            StallClass::StallDram);
             lookaheadArmed_ = true;
         }
         return;
@@ -279,6 +299,8 @@ MemoryChannel::tick(Tick now)
                  TraceEventType::DramStall,
                  uint32_t(DramStallReason::Backpressure),
                  responses_.size());
+        NC_METRIC_CYCLE(TraceComponent::Vault, traceId_,
+                        StallClass::StallNocCredit);
         lookaheadArmed_ = true;
         return;
     }
@@ -289,9 +311,13 @@ MemoryChannel::tick(Tick now)
                  TraceEventType::DramStall,
                  uint32_t(DramStallReason::RowConflict),
                  queue_.size());
+        NC_METRIC_CYCLE(TraceComponent::Vault, traceId_,
+                        StallClass::StallDram);
         lookaheadArmed_ = true; // stalled: re-scan next tick
     } else {
         serveWord(now, queue_, idx);
+        NC_METRIC_CYCLE(TraceComponent::Vault, traceId_,
+                        StallClass::Busy);
     }
 }
 

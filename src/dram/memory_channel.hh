@@ -42,6 +42,8 @@ struct MemRequest
     Fixed data{};
     /** Opaque tag the issuer uses to match responses. */
     uint64_t tag = 0;
+    /** Tick the channel accepted the request (set by enqueue). */
+    Tick enqueueTick = 0;
 };
 
 /** Completion record for one serviced read. */
@@ -108,6 +110,13 @@ class MemoryChannel
 
     /** Total data moved, in bits (for the energy model). */
     uint64_t bitsTransferred() const { return statBits_.count(); }
+
+    /** Queue residency distribution (ticks enqueue -> service). */
+    const Histogram &
+    queueResidencyHistogram() const
+    {
+        return histQueueResidency_;
+    }
 
     /** Access energy consumed so far, in joules. */
     double
@@ -194,6 +203,13 @@ class MemoryChannel
     bool hazardDrain_ = false;
     std::deque<MemResponse> responses_;
 
+    /**
+     * Tick of the last tick() call; stamps requests accepted between
+     * channel ticks for the residency histogram (at most one tick
+     * stale, which is noise at histogram granularity).
+     */
+    Tick now_ = 0;
+
     /** Fractional word credit accumulated from the channel rate. */
     double credit_ = 0.0;
     /** Words already emitted in the current burst. */
@@ -222,6 +238,8 @@ class MemoryChannel
     Stat statBusyTicks_;
     Stat statStallTicks_;
     Stat statIdleTicks_;
+    /** Ticks a request waited in the queue before service. */
+    Histogram histQueueResidency_;
 };
 
 } // namespace neurocube

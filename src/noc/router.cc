@@ -1,6 +1,7 @@
 #include "noc/router.hh"
 
 #include "common/logging.hh"
+#include "trace/metrics.hh"
 
 namespace neurocube
 {
@@ -62,7 +63,11 @@ Router::tick()
     const unsigned nports = config_.numPorts;
 
     if (bufferedInputs_ == 0) {
-        // Nothing to switch; just rotate the daisy chain.
+        // Nothing to switch; just rotate the daisy chain. Output
+        // FIFOs may still hold packets waiting for link slots, but
+        // that wait is the link's cycle, not this crossbar's.
+        NC_METRIC_CYCLE(TraceComponent::Router, traceId_,
+                        idle() ? StallClass::Idle : StallClass::Busy);
         priority_ = (priority_ + 1) % nports;
         return;
     }
@@ -76,6 +81,7 @@ Router::tick()
     }
 
     // Visit inputs in rotating daisy-chain priority order.
+    bool blocked = false;
     for (unsigned i = 0; i < nports; ++i) {
         unsigned in = (priority_ + i) % nports;
         unsigned in_budget = portWidth(in);
@@ -92,6 +98,7 @@ Router::tick()
                 // Head-of-line blocked; wormhole switching cannot
                 // reorder behind the blocked head.
                 statBlocked_ += 1;
+                blocked = true;
                 NC_TRACE(TraceComponent::Router, traceId_,
                          TraceEventType::FlitBlocked, in);
                 break;
@@ -107,6 +114,14 @@ Router::tick()
                      outputQueue_[out].size());
         }
     }
+
+    // Head-of-line blocking dominates the classification: a cycle
+    // where any input sat behind a full output is the congestion
+    // signal, even if other inputs still made progress. With no
+    // block, a buffered input always switched (wormhole invariant).
+    NC_METRIC_CYCLE(TraceComponent::Router, traceId_,
+                    blocked ? StallClass::StallNocCredit
+                            : StallClass::Busy);
 
     // Rotate the daisy chain (priorities update every clock cycle).
     priority_ = (priority_ + 1) % nports;

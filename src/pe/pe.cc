@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "trace/metrics.hh"
 
 namespace neurocube
 {
@@ -20,7 +21,9 @@ Pe::Pe(PeId id, const PeParams &params, StatGroup *parent)
       statWriteBacks_(&statGroup_, "writeBacks",
                       "write-back packets injected"),
       statSearchStallTicks_(&statGroup_, "searchStallTicks",
-                            "extra ticks spent on sub-bank searches")
+                            "extra ticks spent on sub-bank searches"),
+      histCacheOccupancy_(&statGroup_, "cacheOccupancy",
+                          "operand-cache entries buffered per tick")
 {
 }
 
@@ -31,6 +34,7 @@ Pe::configurePass(const PePassConfig &config)
     group_ = 0;
     opCounter_ = 0;
     nextFlushAt_ = 0;
+    macBusyUntil_ = 0;
     temporal_.flush();
     cache_.clear();
     for (MacUnit &mac : macs_)
@@ -163,6 +167,7 @@ Pe::flush(Tick now)
 
     // MACs run at f_PE / numMacs: they are busy for numMacs ticks.
     nextFlushAt_ = now + params_.numMacs;
+    macBusyUntil_ = nextFlushAt_;
 
     ++opCounter_;
     if (opCounter_ >= pass_.connections) {
@@ -201,8 +206,11 @@ Pe::completeGroup()
 void
 Pe::tick(Tick now, NocFabric &fabric)
 {
-    if (!pass_.enabled)
+    if (!pass_.enabled) {
+        NC_METRIC_CYCLE(TraceComponent::Pe, id_, StallClass::Idle);
         return;
+    }
+    histCacheOccupancy_.sample(cache_.totalEntries());
 
     // 1. Accept operand packets from the NoC delivery queue.
     auto &delivery = fabric.peDelivery(id_);
@@ -242,6 +250,28 @@ Pe::tick(Tick now, NocFabric &fabric)
         NC_TRACE(TraceComponent::Pe, id_,
                  TraceEventType::WriteBackOut, 0, outbox_.size());
     }
+
+    // Attribute the cycle, most-specific cause first. A flush this
+    // tick lands in the MAC-busy window, so it reads as busy.
+    StallClass cls;
+    if (now < macBusyUntil_) {
+        cls = StallClass::Busy;
+    } else if (!passComplete_ && now < nextFlushAt_) {
+        // The sub-bank search ran past the MAC execution window.
+        cls = StallClass::StallCache;
+    } else if (passComplete_) {
+        cls = injected > 0       ? StallClass::Busy
+              : outbox_.empty()  ? StallClass::Idle
+                                 : StallClass::StallNocCredit;
+    } else if (outbox_.size() + params_.numMacs
+               > params_.outboxLimit) {
+        // Neuron-group flushes gated on write-back backpressure.
+        cls = StallClass::StallNocCredit;
+    } else {
+        // Ready to flush but operands have not arrived yet.
+        cls = StallClass::StallInject;
+    }
+    NC_METRIC_CYCLE(TraceComponent::Pe, id_, cls);
 }
 
 bool

@@ -124,6 +124,13 @@ class Pe
     /** Operand-cache entries spilled beyond sub-bank capacity. */
     uint64_t cacheOverflows() const { return cache_.overflows(); }
 
+    /** Operand-cache occupancy distribution (entries, per tick). */
+    const Histogram &
+    cacheOccupancyHistogram() const
+    {
+        return histCacheOccupancy_;
+    }
+
     /** Structural parameters. */
     const PeParams &params() const { return params_; }
 
@@ -159,6 +166,12 @@ class Pe
     OpId opCounter_ = 0;
     /** Earliest tick the next flush may happen (MAC/search timing). */
     Tick nextFlushAt_ = 0;
+    /**
+     * Tick until which the MAC array is executing the last flush.
+     * Distinguishes MAC-busy cycles from sub-bank-search delays:
+     * nextFlushAt_ beyond this point is search cost (stall_cache).
+     */
+    Tick macBusyUntil_ = 0;
     bool passComplete_ = true;
 
     std::deque<Packet> outbox_;
@@ -168,6 +181,8 @@ class Pe
     Stat statGroupsDone_;
     Stat statWriteBacks_;
     Stat statSearchStallTicks_;
+    /** Operand-cache entries buffered, sampled once per tick. */
+    Histogram histCacheOccupancy_;
 };
 
 } // namespace neurocube

@@ -1,6 +1,7 @@
 #include "png/png.hh"
 
 #include "common/logging.hh"
+#include "trace/metrics.hh"
 
 namespace neurocube
 {
@@ -15,7 +16,9 @@ Png::Png(VaultId id, const PngParams &params, MemoryChannel &channel,
       statWriteBacks_(&statGroup_, "writeBacks",
                       "write-back packets absorbed"),
       statInjectStallTicks_(&statGroup_, "injectStallTicks",
-                            "ticks with packets blocked on the router")
+                            "ticks with packets blocked on the router"),
+      histOutQueueDepth_(&statGroup_, "outQueueDepth",
+                         "packets awaiting router injection per tick")
 {
 }
 
@@ -53,8 +56,11 @@ Png::configure(const PngProgram &program)
 void
 Png::tick(Tick now)
 {
-    if (!program_.enabled)
+    if (!program_.enabled) {
+        NC_METRIC_CYCLE(TraceComponent::Png, id_, StallClass::Idle);
         return;
+    }
+    histOutQueueDepth_.sample(outQueue_.size());
 
     // 1. Generate operand addresses and issue reads to the vault.
     // The plane loop is throttled against this vault's own
@@ -168,6 +174,28 @@ Png::tick(Tick now)
         ++wbReceived_;
         statWriteBacks_ += 1;
     }
+
+    // Attribute the cycle. Injection backpressure first: packets
+    // sitting in the out-queue with zero injected is the signal the
+    // paper's memory-port sizing is about, and it subsumes whatever
+    // else the PNG did this tick. A plane-throttled generator is
+    // idle by choice (waiting for PEs, not for a resource).
+    StallClass cls;
+    if (!outQueue_.empty() && injected == 0) {
+        cls = StallClass::StallInject;
+    } else if (issued > 0 || injected > 0 || absorbed > 0) {
+        cls = StallClass::Busy;
+    } else if (!generator_.done()
+               && generator_.currentPlane() >= allowed_plane) {
+        cls = StallClass::Idle;
+    } else if (!generator_.done() || !pending_.empty()) {
+        // Wants to issue (or has reads in flight) but the vault
+        // controller is not accepting / has not responded.
+        cls = StallClass::StallDram;
+    } else {
+        cls = StallClass::Idle;
+    }
+    NC_METRIC_CYCLE(TraceComponent::Png, id_, cls);
 
 #if NEUROCUBE_TRACE_ENABLED
     // Counter-FSM phase for the trace: generating while addresses

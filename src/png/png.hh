@@ -92,6 +92,13 @@ class Png
     /** Output planes the generator may run ahead of write-backs. */
     static constexpr unsigned planeWindow = 4;
 
+    /** Out-queue depth distribution (packets, per enabled tick). */
+    const Histogram &
+    outQueueDepthHistogram() const
+    {
+        return histOutQueueDepth_;
+    }
+
   private:
     /** Publish a PngPhase event when the FSM phase/plane changes. */
     void tracePhase(PngFsmPhase phase, unsigned plane);
@@ -133,6 +140,8 @@ class Png
     Stat statInjected_;
     Stat statWriteBacks_;
     Stat statInjectStallTicks_;
+    /** Packets waiting for router injection, sampled per tick. */
+    Histogram histOutQueueDepth_;
 };
 
 } // namespace neurocube

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Stall-attribution metrics: cheap per-component cycle accounting.
+ *
+ * Every ticked component (router, PE, PNG, memory channel) classifies
+ * each of its cycles into one StallClass through the NC_METRIC_CYCLE
+ * macro. The counters live in a MetricsRegistry owned by the active
+ * TraceSession; with no session (or with -DNEUROCUBE_TRACE=OFF, which
+ * compiles the macro away) the accounting costs nothing.
+ *
+ * Unlike the event bus in trace/trace.hh, which records *what
+ * happened*, this layer answers *where the cycles went*: snapshots
+ * taken around a layer yield a per-layer (or per-lane) delta, and
+ * buildBottleneckReport() turns that delta into a top-down bottleneck
+ * classification — the paper's Fig. 12/15 question of whether a layer
+ * is bound by MAC throughput, PNG injection, DRAM service, or NoC
+ * saturation.
+ *
+ * The accounting is observational only: classifying a cycle never
+ * alters component behaviour, so enabling metrics cannot change
+ * simulated cycle counts (tests/test_golden_cycles.cc asserts this).
+ */
+
+#ifndef NEUROCUBE_TRACE_METRICS_HH
+#define NEUROCUBE_TRACE_METRICS_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/events.hh"
+
+#ifndef NEUROCUBE_TRACE_ENABLED
+#define NEUROCUBE_TRACE_ENABLED 1
+#endif
+
+namespace neurocube
+{
+
+/**
+ * What one component cycle was spent on. Exactly one class per
+ * component per tick, so per-component class counts always sum to the
+ * number of ticks the component was advanced.
+ */
+enum class StallClass : uint8_t
+{
+    /** Doing useful work (switching, MAC-busy, serving a word...). */
+    Busy = 0,
+    /** Nothing to do (no pass, queues empty, waiting downstream). */
+    Idle,
+    /** Waiting on DRAM service (activation, burst gap, bandwidth). */
+    StallDram,
+    /** Blocked on NoC credits / backpressure from the network side. */
+    StallNocCredit,
+    /**
+     * Starved or blocked at an injection/delivery port: a PNG with
+     * packets ready but no port capacity, or a PE waiting for
+     * operands to arrive.
+     */
+    StallInject,
+    /** Delayed by an operand-cache sub-bank search. */
+    StallCache,
+    StallClassCount,
+};
+
+/** Number of stall classes (array dimension). */
+constexpr size_t numStallClasses = size_t(StallClass::StallClassCount);
+
+/** Snake-case label of a stall class ("busy", "stall_dram", ...). */
+const char *stallClassName(StallClass cls);
+
+/** Per-component cycle counts, one slot per stall class. */
+struct StallBreakdown
+{
+    std::array<uint64_t, numStallClasses> ticks{};
+
+    /** Total classified cycles. */
+    uint64_t
+    total() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t t : ticks)
+            sum += t;
+        return sum;
+    }
+
+    /** Cycles spent in one class. */
+    uint64_t
+    operator[](StallClass cls) const
+    {
+        return ticks[size_t(cls)];
+    }
+
+    StallBreakdown &
+    operator+=(const StallBreakdown &other)
+    {
+        for (size_t i = 0; i < numStallClasses; ++i)
+            ticks[i] += other.ticks[i];
+        return *this;
+    }
+
+    /** Counter delta (counts are monotone, so this never wraps). */
+    StallBreakdown
+    operator-(const StallBreakdown &other) const
+    {
+        StallBreakdown d;
+        for (size_t i = 0; i < numStallClasses; ++i)
+            d.ticks[i] = ticks[i] - other.ticks[i];
+        return d;
+    }
+};
+
+/**
+ * A copy of every component's counters at one point in time. Also the
+ * storage the live MetricsRegistry mutates. Indexed by component
+ * class, then instance.
+ */
+struct MetricsSnapshot
+{
+    std::array<std::vector<StallBreakdown>,
+               size_t(TraceComponent::ComponentCount)>
+        comps;
+
+    /** Counters of one component class. */
+    const std::vector<StallBreakdown> &
+    of(TraceComponent c) const
+    {
+        return comps[size_t(c)];
+    }
+
+    /** Per-instance counter deltas since @p before. */
+    MetricsSnapshot delta(const MetricsSnapshot &before) const;
+};
+
+/**
+ * The live cycle-accounting counters, owned by the TraceSession and
+ * fed by NC_METRIC_CYCLE. Instances must be sized with configure()
+ * before counting; cycles reported for unknown instances are dropped
+ * (never undefined behaviour).
+ */
+class MetricsRegistry
+{
+  public:
+    /** Size the per-instance counter arrays. */
+    void configure(unsigned routers, unsigned pes, unsigned pngs,
+                   unsigned vaults);
+
+    /** Classify one cycle of one component instance. */
+    void
+    cycle(TraceComponent component, unsigned instance, StallClass cls)
+    {
+        auto &vec = state_.comps[size_t(component)];
+        if (instance < vec.size())
+            ++vec[instance].ticks[size_t(cls)];
+    }
+
+    /** The live counters (read-only view). */
+    const MetricsSnapshot &state() const { return state_; }
+
+    /** Deep copy of the current counters. */
+    MetricsSnapshot snapshot() const { return state_; }
+
+    /** Zero every counter (instance sizing is kept). */
+    void reset();
+
+  private:
+    MetricsSnapshot state_;
+};
+
+namespace metrics
+{
+
+/**
+ * The process-wide registry NC_METRIC_CYCLE publishes to, or nullptr
+ * while metrics are off (mirrors trace::activeRecorder()).
+ */
+MetricsRegistry *activeRegistry();
+
+/** Install (or, with nullptr, remove) the active registry. */
+void setActiveRegistry(MetricsRegistry *registry);
+
+} // namespace metrics
+
+/** Five-number summary of one Histogram (for reports/JSON). */
+struct HistogramSummary
+{
+    uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    uint64_t max = 0;
+};
+
+/**
+ * Per-layer (or per-lane) bottleneck attribution derived from a
+ * metrics delta. `fractions` is the machine-level breakdown over
+ * every classified component-cycle in the delta and sums to 1 (when
+ * countedTicks > 0); `componentFractions` gives the same breakdown
+ * per component class.
+ */
+struct BottleneckReport
+{
+    /** False when no metrics were recorded (report is meaningless). */
+    bool valid = false;
+
+    /**
+     * Dominant bottleneck: "mac" (compute-bound), "cache" (operand
+     * cache searches), "noc" (network saturation), "inject" (PNG
+     * injection port), "dram" (memory service), or "idle".
+     */
+    const char *label = "n/a";
+
+    /** Machine-level cycle fractions per stall class (sum ~ 1.0). */
+    std::array<double, numStallClasses> fractions{};
+
+    /**
+     * Per component class (router/pe/png/vault, indexed by
+     * TraceComponent) cycle fractions per stall class.
+     */
+    std::array<std::array<double, numStallClasses>,
+               size_t(TraceComponent::ComponentCount)>
+        componentFractions{};
+
+    /** Component-cycles classified in this delta. */
+    uint64_t countedTicks = 0;
+
+    // Signals the top-down classifier decided on (for reports).
+    /** PE busy fraction (MAC array utilization). */
+    double peBusy = 0.0;
+    /** PE cycles delayed by sub-bank searches. */
+    double peStallCache = 0.0;
+    /** Router cycles with a head-of-line blocked input. */
+    double routerBlocked = 0.0;
+    /** PNG cycles with packets ready but no injection capacity. */
+    double pngInjectStall = 0.0;
+    /** Vault cycles busy or stalled on DRAM timing. */
+    double dramPressure = 0.0;
+    /** Vault cycles stalled on downstream (NoC-side) backpressure. */
+    double vaultBackpressure = 0.0;
+
+    // Distribution summaries, filled by the machine (cumulative to
+    // the end of the layer; see Neurocube::runSingleLayer).
+    HistogramSummary nocLatency;
+    HistogramSummary dramQueueResidency;
+    HistogramSummary peCacheOccupancy;
+    HistogramSummary pngOutQueueDepth;
+};
+
+/**
+ * Top-down bottleneck classification of a metrics delta.
+ *
+ * The decision order mirrors top-down CPU analysis: compute
+ * saturation first ("mac"), then the operand-cache search penalty
+ * ("cache"), then network congestion ("noc" — head-of-line blocking
+ * inside routers explains downstream injection stalls, so it is
+ * checked before "inject"), then the PNG injection port ("inject"),
+ * then DRAM service ("dram"), falling back to the largest stall
+ * fraction or "idle".
+ *
+ * @param delta counter delta covering the interval of interest
+ * @param nodes when non-null, restrict to these node indices (per-
+ *        lane attribution; router/PE/PNG/vault instances are node-
+ *        indexed)
+ */
+BottleneckReport
+buildBottleneckReport(const MetricsSnapshot &delta,
+                      const std::vector<unsigned> *nodes = nullptr);
+
+} // namespace neurocube
+
+#if NEUROCUBE_TRACE_ENABLED
+
+/**
+ * Classify one component cycle: NC_METRIC_CYCLE(component, instance,
+ * stallClass). Compiles to a null-check while metrics are inactive
+ * and to nothing with -DNEUROCUBE_TRACE=OFF.
+ */
+#define NC_METRIC_CYCLE(component, instance, cls) \
+    do { \
+        if (::neurocube::MetricsRegistry *nc_metric_r_ = \
+                ::neurocube::metrics::activeRegistry()) { \
+            nc_metric_r_->cycle((component), unsigned(instance), \
+                                (cls)); \
+        } \
+    } while (0)
+
+#else
+
+namespace neurocube::metrics::detail
+{
+/** Marks macro arguments as used in NEUROCUBE_TRACE=OFF builds. */
+template <typename... Args>
+inline void
+ignore(Args &&...)
+{
+}
+} // namespace neurocube::metrics::detail
+
+#define NC_METRIC_CYCLE(component, instance, cls) \
+    do { \
+        if (false) { \
+            ::neurocube::metrics::detail::ignore( \
+                (component), (instance), (cls)); \
+        } \
+    } while (0)
+
+#endif // NEUROCUBE_TRACE_ENABLED
+
+#endif // NEUROCUBE_TRACE_METRICS_HH

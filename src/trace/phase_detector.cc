@@ -1,0 +1,193 @@
+#include "trace/phase_detector.hh"
+
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+
+namespace neurocube
+{
+
+const char *
+phaseKindName(PhaseKind kind)
+{
+    switch (kind) {
+      case PhaseKind::Quiescent:
+        return "quiescent";
+      case PhaseKind::Compute:
+        return "compute";
+      case PhaseKind::InjectBound:
+        return "inject-bound";
+      case PhaseKind::DramBound:
+        return "dram-bound";
+      case PhaseKind::NocBound:
+        return "noc-bound";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Split one CSV line (no quoting in our format). */
+std::vector<std::string>
+splitCsv(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream ss(line);
+    while (std::getline(ss, cell, ','))
+        cells.push_back(cell);
+    return cells;
+}
+
+/** Index of @p name in @p header, or -1. */
+int
+columnOf(const std::vector<std::string> &header,
+         const std::string &name)
+{
+    for (size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == name)
+            return int(i);
+    }
+    return -1;
+}
+
+/** Cell as double; missing/short rows read as 0. */
+double
+cellAt(const std::vector<std::string> &cells, int column)
+{
+    if (column < 0 || size_t(column) >= cells.size())
+        return 0.0;
+    return std::strtod(cells[size_t(column)].c_str(), nullptr);
+}
+
+/** Classify one CSV window. */
+PhaseKind
+classifyWindow(double peUtilPct, double nocFrac, double injectFrac,
+               double dramFrac, double activity,
+               const PhaseDetectorConfig &config)
+{
+    if (peUtilPct >= config.computeUtilPct)
+        return PhaseKind::Compute;
+
+    // Pick the dominant stall signal; ties resolve in top-down
+    // order (NoC blocking explains downstream injection stalls,
+    // which in turn mask DRAM behaviour).
+    double best = nocFrac;
+    PhaseKind kind = PhaseKind::NocBound;
+    if (injectFrac > best) {
+        best = injectFrac;
+        kind = PhaseKind::InjectBound;
+    }
+    if (dramFrac > best) {
+        best = dramFrac;
+        kind = PhaseKind::DramBound;
+    }
+    if (best >= config.stallFloor)
+        return kind;
+
+    // No stall signal above the noise floor: the machine is either
+    // doing (light) compute or nothing at all.
+    if (peUtilPct > 100.0 * config.stallFloor || activity > 0.0)
+        return PhaseKind::Compute;
+    return PhaseKind::Quiescent;
+}
+
+/** Append a window to the segment list, merging when possible. */
+void
+appendWindow(std::vector<PhaseSegment> &segments, Tick start,
+             Tick window, PhaseKind kind)
+{
+    if (!segments.empty() && segments.back().kind == kind
+        && segments.back().endTick == start) {
+        segments.back().endTick = start + window;
+        ++segments.back().windows;
+        return;
+    }
+    segments.push_back({start, start + window, kind, 1});
+}
+
+} // namespace
+
+std::vector<PhaseSegment>
+detectPhases(std::istream &csv, const PhaseDetectorConfig &config)
+{
+    std::vector<PhaseSegment> segments;
+
+    std::string line;
+    if (!std::getline(csv, line))
+        return segments;
+    const auto header = splitCsv(line);
+
+    const int colStart = columnOf(header, "window_start");
+    const int colFlits = columnOf(header, "noc_flits_per_cycle");
+    const int colPeUtil = columnOf(header, "pe_util_pct");
+    const int colPngStall = columnOf(header, "png_stall_ticks");
+    const int colNocBlocked = columnOf(header, "noc_blocked_ticks");
+    const int colDramStall = columnOf(header, "dram_stall_ticks");
+    const int colDramBytes = columnOf(header, "dram_bytes_per_cycle");
+    if (colStart < 0 || colPeUtil < 0 || colPngStall < 0
+        || colDramStall < 0) {
+        return segments; // not a time-series CSV we understand
+    }
+
+    const Tick window = config.windowTicks > 0 ? config.windowTicks : 1;
+    const double windowD = double(window);
+    bool first = true;
+    Tick expected = 0;
+
+    while (std::getline(csv, line)) {
+        if (line.empty())
+            continue;
+        const auto cells = splitCsv(line);
+        const Tick start = Tick(cellAt(cells, colStart));
+
+        // The exporter skips empty windows entirely; reinstate them
+        // as quiescent segments so phases stay contiguous.
+        if (!first) {
+            for (Tick gap = expected; gap < start; gap += window)
+                appendWindow(segments, gap, window,
+                             PhaseKind::Quiescent);
+        }
+        first = false;
+        expected = start + window;
+
+        const double injectFrac =
+            config.numPngs
+                ? cellAt(cells, colPngStall)
+                      / (windowD * double(config.numPngs))
+                : 0.0;
+        const double nocFrac =
+            config.numRouters
+                ? cellAt(cells, colNocBlocked)
+                      / (windowD * double(config.numRouters))
+                : 0.0;
+        const double dramFrac =
+            config.numVaults
+                ? cellAt(cells, colDramStall)
+                      / (windowD * double(config.numVaults))
+                : 0.0;
+        const double activity = cellAt(cells, colFlits)
+                              + cellAt(cells, colDramBytes);
+
+        appendWindow(segments, start, window,
+                     classifyWindow(cellAt(cells, colPeUtil), nocFrac,
+                                    injectFrac, dramFrac, activity,
+                                    config));
+    }
+    return segments;
+}
+
+std::string
+phaseReport(const std::vector<PhaseSegment> &segments)
+{
+    std::ostringstream os;
+    for (const PhaseSegment &s : segments) {
+        os << "  [" << s.startTick << ", " << s.endTick << ") "
+           << phaseKindName(s.kind) << " (" << s.windows
+           << (s.windows == 1 ? " window)" : " windows)") << "\n";
+    }
+    return os.str();
+}
+
+} // namespace neurocube

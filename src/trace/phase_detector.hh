@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Windowed phase detection over the time-series CSV.
+ *
+ * Reads the CSV written by TimeSeriesCsvExporter and segments the run
+ * into execution phases: compute-bound stretches (high PE
+ * utilization), inject-bound stretches (PNG packets ready but the
+ * router memory port full), DRAM-bound stretches (channels stalled on
+ * activation/bandwidth), NoC-bound stretches (head-of-line blocking
+ * inside routers), and quiescent gaps (windows the exporter skipped
+ * because no event fell into them). Adjacent windows of the same kind
+ * merge into one segment, so a typical layer reads as a handful of
+ * phases instead of thousands of rows.
+ *
+ * Columns are located by header name, so the detector tolerates
+ * column reordering and additions in the exporter.
+ */
+
+#ifndef NEUROCUBE_TRACE_PHASE_DETECTOR_HH
+#define NEUROCUBE_TRACE_PHASE_DETECTOR_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace neurocube
+{
+
+/** What dominated one stretch of the run. */
+enum class PhaseKind : uint8_t
+{
+    /** No events at all (between layers, parked lanes). */
+    Quiescent = 0,
+    /** PE MAC arrays busy above the utilization threshold. */
+    Compute,
+    /** PNG injection stalls dominate. */
+    InjectBound,
+    /** DRAM service stalls dominate. */
+    DramBound,
+    /** Router head-of-line blocking dominates. */
+    NocBound,
+};
+
+/** Short label of a phase kind ("compute", "dram-bound", ...). */
+const char *phaseKindName(PhaseKind kind);
+
+/** One detected phase covering [startTick, endTick). */
+struct PhaseSegment
+{
+    Tick startTick = 0;
+    Tick endTick = 0;
+    PhaseKind kind = PhaseKind::Quiescent;
+    /** Aggregation windows merged into this segment. */
+    unsigned windows = 0;
+};
+
+/** Detection knobs. */
+struct PhaseDetectorConfig
+{
+    /**
+     * Aggregation window of the CSV in reference ticks; must match
+     * the TraceConfig::windowTicks the CSV was produced with.
+     */
+    Tick windowTicks = 1024;
+    /** PE MAC instances (scales pe_util; topology default). */
+    unsigned numPes = 16;
+    /** PNG instances (scales png_stall_ticks). */
+    unsigned numPngs = 16;
+    /** Router instances (scales noc_blocked_ticks). */
+    unsigned numRouters = 16;
+    /** Vault instances (scales dram_stall_ticks). */
+    unsigned numVaults = 16;
+    /** PE utilization (%) above which a window is compute-bound. */
+    double computeUtilPct = 45.0;
+    /**
+     * Per-instance stall fraction below which a stall signal is
+     * noise; a window where every signal is below this (and PE
+     * utilization is negligible) is quiescent.
+     */
+    double stallFloor = 0.05;
+};
+
+/**
+ * Segment a time-series CSV into phases.
+ *
+ * @param csv the CSV stream (header row first)
+ * @param config detection knobs; windowTicks must match the CSV
+ * @return segments in time order, covering [firstWindow, lastWindow)
+ *         with quiescent segments filling exporter gaps; empty when
+ *         the CSV has no data rows or the header is missing required
+ *         columns
+ */
+std::vector<PhaseSegment>
+detectPhases(std::istream &csv, const PhaseDetectorConfig &config);
+
+/** Render segments as one human-readable line each. */
+std::string phaseReport(const std::vector<PhaseSegment> &segments);
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_TRACE_PHASE_DETECTOR_HH

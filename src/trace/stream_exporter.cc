@@ -1,0 +1,57 @@
+#include "trace/stream_exporter.hh"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace neurocube
+{
+
+TraceStreamWriter::TraceStreamWriter(std::ostream &os,
+                                     const TraceTopology &topology)
+    : os_(os)
+{
+    TraceStreamHeader header;
+    header.numRouters = topology.numRouters;
+    header.numPes = topology.numPes;
+    header.numVaults = topology.numVaults;
+    os_.write(reinterpret_cast<const char *>(&header),
+              sizeof(header));
+    os_.flush(); // let an attached viewer validate immediately
+}
+
+void
+TraceStreamWriter::consume(const TraceEvent *events, size_t count)
+{
+    os_.write(reinterpret_cast<const char *>(events),
+              std::streamsize(count * sizeof(TraceEvent)));
+    // Flush per batch: the point of the stream is liveness, and
+    // batches are already amortized by the ring drain.
+    os_.flush();
+}
+
+void
+TraceStreamWriter::finish()
+{
+    os_.flush();
+}
+
+TraceStreamReader::TraceStreamReader(std::istream &is) : is_(is)
+{
+    is_.read(reinterpret_cast<char *>(&header_), sizeof(header_));
+    valid_ = is_.gcount() == sizeof(header_)
+          && std::memcmp(header_.magic, "NCTS", 4) == 0
+          && header_.version == 1
+          && header_.eventBytes == sizeof(TraceEvent);
+}
+
+bool
+TraceStreamReader::next(TraceEvent &event)
+{
+    if (!valid_)
+        return false;
+    is_.read(reinterpret_cast<char *>(&event), sizeof(event));
+    return is_.gcount() == sizeof(event);
+}
+
+} // namespace neurocube

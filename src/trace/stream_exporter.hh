@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Live trace stream: a compact binary sink for attaching a viewer to
+ * a running simulation, plus the matching reader.
+ *
+ * The writer emits one fixed-size header followed by raw TraceEvent
+ * records (24 bytes each, host byte order — the stream is meant for
+ * a viewer on the same machine, typically the other end of a FIFO).
+ * Pointed at a named pipe via TraceConfig::streamPath, the events are
+ * drained continuously by the recorder's consumer thread, so a viewer
+ * sees them while the simulation is still running instead of after
+ * finish().
+ */
+
+#ifndef NEUROCUBE_TRACE_STREAM_EXPORTER_HH
+#define NEUROCUBE_TRACE_STREAM_EXPORTER_HH
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "trace/trace.hh"
+
+namespace neurocube
+{
+
+/** Fixed-size preamble of a binary trace stream. */
+struct TraceStreamHeader
+{
+    /** "NCTS" (Neurocube trace stream). */
+    char magic[4] = {'N', 'C', 'T', 'S'};
+    /** Format version; bumped on any layout change. */
+    uint32_t version = 1;
+    /** sizeof(TraceEvent) at the writer (reader sanity check). */
+    uint32_t eventBytes = uint32_t(sizeof(TraceEvent));
+    /** Machine shape, so a viewer can lay out tracks. */
+    uint32_t numRouters = 0;
+    uint32_t numPes = 0;
+    uint32_t numVaults = 0;
+};
+
+static_assert(sizeof(TraceStreamHeader) == 24,
+              "keep the stream header compact and padding-free");
+
+/** Sink writing the binary live-stream format. */
+class TraceStreamWriter : public TraceSink
+{
+  public:
+    /**
+     * Writes the header immediately.
+     *
+     * @param os destination stream (regular file or FIFO)
+     * @param topology machine shape recorded in the header
+     */
+    TraceStreamWriter(std::ostream &os,
+                      const TraceTopology &topology);
+
+    void consume(const TraceEvent *events, size_t count) override;
+    void finish() override;
+
+  private:
+    std::ostream &os_;
+};
+
+/** Incremental reader of the binary live-stream format. */
+class TraceStreamReader
+{
+  public:
+    /** Reads and validates the header. */
+    explicit TraceStreamReader(std::istream &is);
+
+    /** True when the header was well formed. */
+    bool valid() const { return valid_; }
+
+    /** The stream header (meaningful only when valid()). */
+    const TraceStreamHeader &header() const { return header_; }
+
+    /**
+     * Read the next event; returns false at end of stream.
+     *
+     * @param event receives the record
+     */
+    bool next(TraceEvent &event);
+
+  private:
+    std::istream &is_;
+    TraceStreamHeader header_;
+    bool valid_ = false;
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_TRACE_STREAM_EXPORTER_HH

@@ -15,7 +15,7 @@ TimeSeriesCsvExporter::TimeSeriesCsvExporter(
 {
     os_ << "window_start,noc_flits_per_cycle,ejected_per_cycle,"
            "mean_eject_latency,pe_util_pct,png_stall_ticks,"
-           "dram_stall_ticks,dram_bytes_per_cycle";
+           "noc_blocked_ticks,dram_stall_ticks,dram_bytes_per_cycle";
     for (unsigned v = 0; v < topology_.numVaults; ++v)
         os_ << ",vault" << v << "_bytes";
     os_ << "\n";
@@ -29,6 +29,7 @@ TimeSeriesCsvExporter::resetAccumulators()
     ejectLatencySum_ = 0;
     macBusyTicks_ = 0;
     pngStallTicks_ = 0;
+    nocBlockedTicks_ = 0;
     dramStallTicks_ = 0;
     vaultBits_.assign(topology_.numVaults, 0);
     sawEvent_ = false;
@@ -53,8 +54,8 @@ TimeSeriesCsvExporter::flushWindow()
         << double(ejected_) / w << ',' << mean_latency << ','
         << (pe_ticks > 0.0 ? 100.0 * double(macBusyTicks_) / pe_ticks
                            : 0.0)
-        << ',' << pngStallTicks_ << ',' << dramStallTicks_ << ','
-        << double(total_bits) / 8.0 / w;
+        << ',' << pngStallTicks_ << ',' << nocBlockedTicks_ << ','
+        << dramStallTicks_ << ',' << double(total_bits) / 8.0 / w;
     for (uint64_t bits : vaultBits_)
         os_ << ',' << bits / 8;
     os_ << "\n";
@@ -90,6 +91,9 @@ TimeSeriesCsvExporter::handle(const TraceEvent &event)
         break;
       case TraceEventType::PngInjectStall:
         ++pngStallTicks_;
+        break;
+      case TraceEventType::FlitBlocked:
+        ++nocBlockedTicks_;
         break;
       case TraceEventType::DramStall:
         ++dramStallTicks_;

@@ -6,8 +6,10 @@
  * reference cycles and writes one row per window with the headline
  * utilization metrics of the machine: NoC flits per cycle, packets
  * ejected per cycle and their mean latency, MAC-array utilization,
- * PNG inject-stall ticks, DRAM bytes per cycle, and per-vault byte
- * counts. Ready for plotting with any spreadsheet/pandas/gnuplot.
+ * PNG inject-stall ticks, router head-of-line blocked ticks, DRAM
+ * bytes per cycle, and per-vault byte counts. Ready for plotting with
+ * any spreadsheet/pandas/gnuplot, and consumed by the phase detector
+ * (trace/phase_detector.hh) to segment a run into bottleneck phases.
  */
 
 #ifndef NEUROCUBE_TRACE_TIMESERIES_EXPORTER_HH
@@ -56,6 +58,7 @@ class TimeSeriesCsvExporter : public TraceSink
     uint64_t ejectLatencySum_ = 0;
     uint64_t macBusyTicks_ = 0;
     uint64_t pngStallTicks_ = 0;
+    uint64_t nocBlockedTicks_ = 0;
     uint64_t dramStallTicks_ = 0;
     std::vector<uint64_t> vaultBits_;
 };

@@ -1,10 +1,13 @@
 #include "trace/trace.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 
 #include "common/logging.hh"
 #include "trace/chrome_exporter.hh"
+#include "trace/metrics.hh"
+#include "trace/stream_exporter.hh"
 #include "trace/timeseries_exporter.hh"
 
 namespace neurocube
@@ -137,6 +140,11 @@ TraceRecorder::TraceRecorder(size_t capacity)
 {
 }
 
+TraceRecorder::~TraceRecorder()
+{
+    stopConsumerThread();
+}
+
 void
 TraceRecorder::addSink(TraceSink *sink)
 {
@@ -158,9 +166,21 @@ TraceRecorder::push(const TraceEvent &event)
     uint64_t head = head_.load(std::memory_order_relaxed);
     uint64_t tail = tail_.load(std::memory_order_acquire);
     if (head - tail == ring_.size()) {
-        // Ring full: consume inline so nothing is lost. (With a
-        // threaded consumer this would become a bounded wait.)
-        drain();
+        if (consumerRunning()) {
+            // Ring full: wait for the consumer to free a slot so
+            // nothing is lost and sinks stay single-threaded. The
+            // consumer always makes progress (it never blocks on
+            // the producer), so the wait is bounded.
+            do {
+                std::this_thread::yield();
+                tail = tail_.load(std::memory_order_acquire);
+            } while (head - tail == ring_.size()
+                     && consumerRunning());
+        }
+        if (head - tail == ring_.size()) {
+            // No consumer (or it stopped mid-wait): drain inline.
+            drain();
+        }
     }
     ring_[head & mask_] = event;
     head_.store(head + 1, std::memory_order_release);
@@ -187,9 +207,38 @@ TraceRecorder::drain()
 void
 TraceRecorder::finish()
 {
+    stopConsumerThread();
     drain();
     for (TraceSink *sink : sinks_)
         sink->finish();
+}
+
+void
+TraceRecorder::startConsumerThread()
+{
+    if (consumerRunning())
+        return;
+    consumerRun_.store(true, std::memory_order_release);
+    consumer_ = std::thread([this] {
+        while (consumerRun_.load(std::memory_order_acquire)) {
+            drain();
+            if (pending() == 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+            }
+        }
+    });
+}
+
+void
+TraceRecorder::stopConsumerThread()
+{
+    if (!consumer_.joinable())
+        return;
+    consumerRun_.store(false, std::memory_order_release);
+    consumer_.join();
+    // Anything pushed after the consumer's last drain.
+    drain();
 }
 
 TraceSession::TraceSession(const TraceConfig &config,
@@ -217,13 +266,48 @@ TraceSession::TraceSession(const TraceConfig &config,
             open(config.timeseriesCsvPath), topology,
             config.windowTicks));
     }
+    const bool streaming = !config.streamPath.empty();
+    if (streaming) {
+        // Binary ostream; works for regular files and named pipes.
+        auto stream = std::make_unique<std::ofstream>(
+            config.streamPath, std::ios::binary);
+        if (!stream->is_open()) {
+            nc_fatal("cannot open trace stream '%s'",
+                     config.streamPath.c_str());
+        }
+        streams_.push_back(std::move(stream));
+        sinks_.push_back(std::make_unique<TraceStreamWriter>(
+            *streams_.back(), topology));
+    }
     for (auto &sink : sinks_)
         recorder_.addSink(sink.get());
 
-    if (trace::activeRecorder() != nullptr) {
-        nc_warn("a trace session is already active; replacing it");
+    if (config.metrics) {
+        metrics_ = std::make_unique<MetricsRegistry>();
+        // PNG instances publish their node index (the mesh node the
+        // channel attaches to), so size them like the node-indexed
+        // components; vault channels publish the channel index.
+        metrics_->configure(topology.numRouters, topology.numPes,
+                            topology.numRouters, topology.numVaults);
+        if (metrics::activeRegistry() != nullptr)
+            nc_warn("a metrics registry is already active; replacing");
+        metrics::setActiveRegistry(metrics_.get());
     }
-    trace::setActiveRecorder(&recorder_);
+
+    // Only pay for event recording when someone consumes the events;
+    // a metrics-only session leaves NC_TRACE sites at a null-check.
+    if (!sinks_.empty()) {
+        if (trace::activeRecorder() != nullptr) {
+            nc_warn(
+                "a trace session is already active; replacing it");
+        }
+        trace::setActiveRecorder(&recorder_);
+    }
+
+    // Liveness is the point of the stream: drain on a dedicated
+    // thread instead of waiting for ring pressure or finish().
+    if (streaming)
+        recorder_.startConsumerThread();
 }
 
 TraceSession::~TraceSession()
@@ -231,6 +315,8 @@ TraceSession::~TraceSession()
     recorder_.finish();
     if (trace::activeRecorder() == &recorder_)
         trace::setActiveRecorder(nullptr);
+    if (metrics_ && metrics::activeRegistry() == metrics_.get())
+        metrics::setActiveRegistry(nullptr);
 }
 
 } // namespace neurocube

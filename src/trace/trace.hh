@@ -12,11 +12,15 @@
  *
  * The recorder is a single-producer/single-consumer ring: the
  * simulation loop produces, drain() consumes and hands contiguous
- * batches to the registered sinks. The simulator itself is single
- * threaded, but the index protocol is the standard acquire/release
- * SPSC one so a future threaded consumer (live streaming) needs no
- * changes; when the ring fills, the producer drains inline so no
- * event is ever dropped inside the recording window.
+ * batches to the registered sinks. By default draining happens inline
+ * (same thread) when the ring fills and at finish(); with
+ * startConsumerThread() a dedicated consumer drains continuously
+ * instead — used for live streaming (TraceConfig::streamPath), where
+ * a viewer should see events while the run is in flight. The index
+ * protocol is the standard acquire/release SPSC one either way, and
+ * no event is ever dropped inside the recording window: with a
+ * running consumer a full ring makes the producer wait for space
+ * rather than drain inline (sinks stay single-threaded).
  */
 
 #ifndef NEUROCUBE_TRACE_TRACE_HH
@@ -26,6 +30,7 @@
 #include <cstddef>
 #include <iosfwd>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/types.hh"
@@ -38,6 +43,8 @@
 
 namespace neurocube
 {
+
+class MetricsRegistry;
 
 /** Consumer of recorded event batches (exporters derive from this). */
 class TraceSink
@@ -67,6 +74,8 @@ class TraceRecorder
      *        power of two (minimum 64)
      */
     explicit TraceRecorder(size_t capacity = size_t(1) << 16);
+
+    ~TraceRecorder();
 
     TraceRecorder(const TraceRecorder &) = delete;
     TraceRecorder &operator=(const TraceRecorder &) = delete;
@@ -108,11 +117,38 @@ class TraceRecorder
     /** Append a fully formed event (tests, replay tools). */
     void push(const TraceEvent &event);
 
-    /** Deliver all pending events to the sinks. */
+    /**
+     * Deliver all pending events to the sinks. Producer-side calls
+     * are only legal while no consumer thread runs; the consumer
+     * thread calls this itself.
+     */
     void drain();
 
-    /** Drain and notify every sink that the trace is complete. */
+    /**
+     * Drain and notify every sink that the trace is complete. Stops
+     * the consumer thread first when one is running.
+     */
     void finish();
+
+    /**
+     * Start the dedicated consumer thread. From now on sinks run on
+     * that thread and a full ring makes the producer wait instead of
+     * draining inline. No-op when already running.
+     */
+    void startConsumerThread();
+
+    /**
+     * Stop and join the consumer thread, then drain whatever is
+     * left inline. No-op when not running.
+     */
+    void stopConsumerThread();
+
+    /** True while the dedicated consumer thread runs. */
+    bool
+    consumerRunning() const
+    {
+        return consumerRun_.load(std::memory_order_acquire);
+    }
 
     /** Events accepted so far (excluding window/mask rejects). */
     uint64_t recorded() const { return recorded_; }
@@ -143,6 +179,10 @@ class TraceRecorder
     uint64_t recorded_ = 0;
 
     std::vector<TraceSink *> sinks_;
+
+    /** Dedicated consumer (live streaming); joinable while running. */
+    std::thread consumer_;
+    std::atomic<bool> consumerRun_{false};
 };
 
 namespace trace
@@ -183,6 +223,14 @@ struct TraceTopology
  * TraceConfig, activated on construction and finished/deactivated on
  * destruction. Owned by the Neurocube top level when config.trace
  * .enabled is set; only one session can be active at a time.
+ *
+ * Also owns the stall-attribution MetricsRegistry (when
+ * config.metrics is set) and installs it as the process-wide active
+ * registry for NC_METRIC_CYCLE. The event recorder is activated only
+ * when at least one sink exists, so a metrics-only session (no
+ * output paths) costs nothing at NC_TRACE sites. When
+ * config.streamPath is set, a consumer thread drains the ring into
+ * the binary live stream continuously.
  */
 class TraceSession
 {
@@ -202,8 +250,12 @@ class TraceSession
     /** The session's recorder. */
     TraceRecorder &recorder() { return recorder_; }
 
+    /** The session's metrics registry, or nullptr (metrics off). */
+    MetricsRegistry *metrics() { return metrics_.get(); }
+
   private:
     TraceRecorder recorder_;
+    std::unique_ptr<MetricsRegistry> metrics_;
     std::vector<std::unique_ptr<TraceSink>> sinks_;
     /** File streams backing the exporters (destroyed after sinks). */
     std::vector<std::unique_ptr<std::ofstream>> streams_;

@@ -33,6 +33,21 @@ struct TraceConfig
     std::string timeseriesCsvPath;
 
     /**
+     * Live binary stream output path (typically a named pipe); empty
+     * = no live stream. Unlike the exporters above, events written
+     * here are drained continuously by a consumer thread so a viewer
+     * on the other end sees them while the run is in flight.
+     */
+    std::string streamPath;
+
+    /**
+     * Stall-attribution cycle accounting (trace/metrics.hh). On by
+     * default: the counters are cheap, and per-layer bottleneck
+     * reports need them. Only honoured while `enabled` is true.
+     */
+    bool metrics = true;
+
+    /**
      * Aggregation window, in reference ticks, for the CSV exporter
      * and for the counter tracks of the Chrome exporter.
      */

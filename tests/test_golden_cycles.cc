@@ -35,7 +35,7 @@ constexpr char kGoldenPath[] =
 
 /** Per-layer cycles of the reduced fig12 workload (seed 1). */
 std::vector<std::pair<std::string, Tick>>
-measuredCycles()
+measuredCycles(const NeurocubeConfig &config = NeurocubeConfig{})
 {
     NetworkDesc net = sceneLabelingNetwork(64, 48);
     NetworkData data = NetworkData::randomized(net, 1);
@@ -44,7 +44,7 @@ measuredCycles()
     Rng rng(2);
     input.randomize(rng);
 
-    Neurocube cube(NeurocubeConfig{});
+    Neurocube cube(config);
     cube.loadNetwork(net, data);
     cube.setInput(input);
     RunResult run = cube.runForward();
@@ -101,6 +101,33 @@ TEST(GoldenCycles, Fig12LayerCyclesAreLocked)
             << "layer " << golden[i].first
             << " cycle count drifted; if the timing change is "
                "intentional, regenerate with NEUROCUBE_UPDATE_GOLDEN=1";
+    }
+}
+
+/**
+ * Stall-attribution metrics are observational: a metrics-enabled run
+ * must reproduce the golden per-layer cycle counts exactly. Catches
+ * any NC_METRIC_CYCLE classification that accidentally perturbs
+ * component behaviour.
+ */
+TEST(GoldenCycles, MetricsDoNotChangeCycleCounts)
+{
+    if (std::getenv("NEUROCUBE_UPDATE_GOLDEN") != nullptr)
+        GTEST_SKIP() << "regeneration run";
+
+    NeurocubeConfig with_metrics;
+    with_metrics.trace.enabled = true;
+    with_metrics.trace.metrics = true;
+    auto measured = measuredCycles(with_metrics);
+
+    auto golden = loadGolden();
+    ASSERT_EQ(golden.size(), measured.size());
+    for (size_t i = 0; i < golden.size(); ++i) {
+        EXPECT_EQ(measured[i].first, golden[i].first) << "layer " << i;
+        EXPECT_EQ(measured[i].second, golden[i].second)
+            << "layer " << golden[i].first
+            << ": enabling metrics changed the cycle count; the "
+               "accounting must stay observational";
     }
 }
 

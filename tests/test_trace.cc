@@ -13,6 +13,7 @@
 #include <cctype>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -20,6 +21,7 @@
 
 #include "core/neurocube.hh"
 #include "trace/chrome_exporter.hh"
+#include "trace/stream_exporter.hh"
 #include "trace/timeseries_exporter.hh"
 #include "trace/trace.hh"
 
@@ -423,6 +425,88 @@ TEST(ChromeExporter, TrackPidsAreDisjointPerComponent)
               4009u);
 }
 
+TEST(TraceRecorder, ThreadedConsumerDrainsConcurrently)
+{
+    // Many more events than the ring holds: the producer must wait
+    // for the consumer thread instead of losing or reordering events
+    // (run under the tsan preset to check the handoff).
+    TraceRecorder recorder(64);
+    CollectingSink sink;
+    recorder.addSink(&sink);
+    recorder.startConsumerThread();
+
+    constexpr uint64_t total = 50000;
+    for (uint64_t i = 0; i < total; ++i) {
+        recorder.setNow(Tick(i));
+        recorder.record(TraceComponent::Pe, uint16_t(i % 16),
+                        TraceEventType::MacBusy, uint32_t(i), i);
+    }
+    recorder.finish();
+
+    ASSERT_EQ(sink.events.size(), total);
+    EXPECT_TRUE(sink.finished);
+    for (uint64_t i = 0; i < total; ++i) {
+        ASSERT_EQ(sink.events[i].value, i);
+        ASSERT_EQ(sink.events[i].tick, Tick(i));
+    }
+}
+
+TEST(TraceRecorder, ConsumerThreadStopIsIdempotent)
+{
+    TraceRecorder recorder(64);
+    CollectingSink sink;
+    recorder.addSink(&sink);
+    recorder.startConsumerThread();
+    recorder.startConsumerThread(); // second start is a no-op
+    recorder.record(TraceComponent::Pe, 0, TraceEventType::MacBusy);
+    recorder.stopConsumerThread();
+    recorder.stopConsumerThread(); // second stop is a no-op
+    recorder.finish();
+    EXPECT_EQ(sink.events.size(), 1u);
+}
+
+TEST(StreamExporter, RoundTripPreservesEvents)
+{
+    std::stringstream buffer(std::ios::in | std::ios::out
+                             | std::ios::binary);
+    TraceTopology topology;
+    topology.numRouters = 16;
+    topology.numPes = 16;
+    topology.numVaults = 16;
+    TraceStreamWriter writer(buffer, topology);
+
+    for (Tick t = 0; t < 100; ++t) {
+        feed(writer, t, TraceComponent::Router, uint16_t(t % 16),
+             TraceEventType::LinkFlit, uint32_t(t), t * 3);
+    }
+    writer.finish();
+
+    TraceStreamReader reader(buffer);
+    ASSERT_TRUE(reader.valid());
+    EXPECT_EQ(reader.header().version, 1u);
+    EXPECT_EQ(reader.header().eventBytes, sizeof(TraceEvent));
+    EXPECT_EQ(reader.header().numPes, 16u);
+
+    TraceEvent event;
+    size_t n = 0;
+    while (reader.next(event)) {
+        EXPECT_EQ(event.tick, Tick(n));
+        EXPECT_EQ(event.component, TraceComponent::Router);
+        EXPECT_EQ(event.value, n * 3);
+        ++n;
+    }
+    EXPECT_EQ(n, 100u);
+}
+
+TEST(StreamExporter, ReaderRejectsForeignStream)
+{
+    std::stringstream garbage("this is not a trace stream at all");
+    TraceStreamReader reader(garbage);
+    EXPECT_FALSE(reader.valid());
+    TraceEvent event;
+    EXPECT_FALSE(reader.next(event));
+}
+
 TEST(TimeSeriesExporter, OneRowPerActiveWindow)
 {
     std::ostringstream os;
@@ -446,6 +530,77 @@ TEST(TimeSeriesExporter, OneRowPerActiveWindow)
     // Window [0,10) and window [20,30): the empty middle window is
     // skipped.
     EXPECT_EQ(data_rows, 2u);
+}
+
+/** Parse the window_start values of every CSV data row. */
+std::vector<Tick>
+windowStarts(const std::string &csv)
+{
+    std::istringstream rows(csv);
+    std::string line;
+    std::vector<Tick> starts;
+    std::getline(rows, line); // header
+    while (std::getline(rows, line)) {
+        starts.push_back(
+            Tick(std::strtoull(line.c_str(), nullptr, 10)));
+    }
+    return starts;
+}
+
+TEST(TimeSeriesExporter, WindowBoundaryAtLayerEnd)
+{
+    // A layer whose last event lands exactly on a window boundary:
+    // tick 10 must open window [10,20), not extend [0,10), and the
+    // final partial window must still be flushed by finish().
+    std::ostringstream os;
+    TraceTopology topology;
+    TimeSeriesCsvExporter exporter(os, topology, 10);
+
+    feed(exporter, 9, TraceComponent::Router, 0,
+         TraceEventType::LinkFlit, 1, 0);
+    feed(exporter, 10, TraceComponent::Router, 0,
+         TraceEventType::LinkFlit, 1, 0);
+    exporter.finish();
+
+    std::vector<Tick> starts = windowStarts(os.str());
+    ASSERT_EQ(starts.size(), 2u);
+    EXPECT_EQ(starts[0], Tick(0));
+    EXPECT_EQ(starts[1], Tick(10));
+}
+
+TEST(TimeSeriesExporter, QuiescentLaneWindowsAreSkippedNotZeroFilled)
+{
+    // A lane that finishes early goes quiet for many windows; the
+    // exporter must emit no rows for the gap (the phase detector
+    // reinstates it as a quiescent segment) and resume with a clean
+    // accumulator, not values carried over from before the gap.
+    std::ostringstream os;
+    TraceTopology topology;
+    TimeSeriesCsvExporter exporter(os, topology, 10);
+
+    feed(exporter, 0, TraceComponent::Router, 0,
+         TraceEventType::LinkFlit, 1, 0);
+    feed(exporter, 5, TraceComponent::Router, 0,
+         TraceEventType::LinkFlit, 1, 0);
+    // 9 empty windows, then one late event.
+    feed(exporter, 104, TraceComponent::Router, 0,
+         TraceEventType::LinkFlit, 1, 0);
+    exporter.finish();
+
+    std::string csv = os.str();
+    std::vector<Tick> starts = windowStarts(csv);
+    ASSERT_EQ(starts.size(), 2u);
+    EXPECT_EQ(starts[0], Tick(0));
+    EXPECT_EQ(starts[1], Tick(100));
+
+    // The resumed window counts only its own flit (0.1 flits/cycle),
+    // not the two from before the gap.
+    std::istringstream rows(csv);
+    std::string line;
+    std::getline(rows, line);
+    std::getline(rows, line);
+    std::getline(rows, line);
+    EXPECT_EQ(line.substr(0, 8), "100,0.1,");
 }
 
 /** One tiny conv layer on the real machine with tracing on. */
@@ -517,6 +672,63 @@ TEST(TraceIntegration, MachineEmitsLoadableTraceFiles)
     std::remove(json_path.c_str());
     std::remove(csv_path.c_str());
 }
+
+#if NEUROCUBE_TRACE_ENABLED
+/** The live stream end to end: machine -> consumer thread -> file. */
+TEST(TraceIntegration, StreamPathProducesReadableBinaryStream)
+{
+    const std::string stream_path = "test_trace_stream.bin";
+
+    NetworkDesc net;
+    net.name = "stream-test";
+    LayerDesc conv;
+    conv.type = LayerType::Conv2D;
+    conv.name = "conv";
+    conv.inWidth = 20;
+    conv.inHeight = 16;
+    conv.inMaps = 2;
+    conv.outMaps = 4;
+    conv.kernel = 3;
+    conv.channelwise = true;
+    conv.activation = ActivationKind::Tanh;
+    net.layers.push_back(conv);
+    net.validate();
+
+    NetworkData data = NetworkData::randomized(net, 7);
+    Tensor input(conv.inMaps, conv.inHeight, conv.inWidth);
+    Rng rng(8);
+    input.randomize(rng);
+
+    {
+        NeurocubeConfig config;
+        config.trace.enabled = true;
+        config.trace.streamPath = stream_path;
+        Neurocube cube(config);
+        cube.loadNetwork(net, data);
+        cube.setInput(input);
+        cube.runForward();
+    }
+
+    std::ifstream in(stream_path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    TraceStreamReader reader(in);
+    ASSERT_TRUE(reader.valid());
+    EXPECT_EQ(reader.header().numPes, 16u);
+    EXPECT_EQ(reader.header().numVaults, 16u);
+
+    TraceEvent event;
+    size_t events = 0;
+    Tick last = 0;
+    while (reader.next(event)) {
+        EXPECT_GE(event.tick, last); // ring order is time order
+        last = event.tick;
+        ++events;
+    }
+    EXPECT_GT(events, 100u);
+
+    std::remove(stream_path.c_str());
+}
+#endif
 
 } // namespace
 } // namespace neurocube
