@@ -22,6 +22,7 @@
 #include "core/neurocube.hh"
 #include "core/results.hh"
 #include "nn/network.hh"
+#include "power/activity_energy.hh"
 #include "trace/metrics.hh"
 
 namespace neurocube::bench
@@ -144,6 +145,39 @@ printLayerPanels(const RunResult &run, const char *title)
     }
 }
 
+/**
+ * Print the activity-based energy block for a run: per-component
+ * joules, average power, GOPS/W, and the analytic cross-check. Quiet
+ * when the run carried no energy accounting (notrace builds).
+ */
+inline void
+printEnergyPanel(const RunResult &run, const char *title)
+{
+    if (!run.energyCounts().valid)
+        return;
+    ActivityEnergyModel model;
+    EnergyBreakdown b = model.price(run);
+    double total_j = b.totalJ();
+    double seconds = double(run.totalCycles()) / referenceClockHz;
+    std::printf("energy (%s, activity @%s): %.3f mJ, avg %.2f W, "
+                "%.1f GOPS/W\n",
+                title, techNodeName(model.node()), total_j * 1e3,
+                seconds > 0.0 ? total_j / seconds : 0.0,
+                total_j > 0.0 ? double(run.totalOps()) / 1e9 / total_j
+                              : 0.0);
+    std::printf(" ");
+    for (const EnergyComponentView &c : energyComponents(b)) {
+        std::printf(" %s=%.3fmJ", c.name, c.joules * 1e3);
+    }
+    std::printf("\n");
+    EnergyComparison cmp =
+        compareWithAnalytic(run, PowerModel(TechNode::Nm15));
+    std::printf("  vs analytic accountEnergy: %.3f mJ "
+                "(activity factor %.2f; dram %.3f vs %.3f mJ)\n",
+                cmp.analyticJ * 1e3, cmp.ratio,
+                cmp.activity.dramJ * 1e3, cmp.analyticDramJ * 1e3);
+}
+
 /** Where BENCH_*.json files go (NEUROCUBE_BENCH_DIR or the cwd). */
 inline std::string
 benchOutputPath(const std::string &filename)
@@ -155,9 +189,11 @@ benchOutputPath(const std::string &filename)
 }
 
 /**
- * Write a machine-readable bench result file: one JSON object with a
- * per-layer metrics document (RunResult::metricsJson) per named run.
- * scripts/bench.sh collects these.
+ * Write a machine-readable bench result file: one JSON object per
+ * named run carrying its per-layer metrics document
+ * (RunResult::metricsJson) and its activity energy document
+ * (RunResult::energyJson). scripts/bench.sh collects these and
+ * `bench.sh --compare` diffs them against bench/baselines/.
  */
 inline void
 writeBenchJson(
@@ -171,16 +207,20 @@ writeBenchJson(
                      path.c_str());
         return;
     }
-    out << "{\n\"quick\": " << (quickMode() ? "true" : "false")
-        << ",\n\"runs\": {\n";
-    for (size_t i = 0; i < runs.size(); ++i) {
-        // metricsJson() ends with a newline; splice the object in.
-        std::string doc = runs[i].second->metricsJson();
+    auto trimmed = [](std::string doc) {
         while (!doc.empty()
                && (doc.back() == '\n' || doc.back() == ' ')) {
             doc.pop_back();
         }
-        out << "\"" << runs[i].first << "\": " << doc
+        return doc;
+    };
+    out << "{\n\"quick\": " << (quickMode() ? "true" : "false")
+        << ",\n\"runs\": {\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+        out << "\"" << runs[i].first << "\": {\"metrics\": "
+            << trimmed(runs[i].second->metricsJson())
+            << ",\n\"energy\": "
+            << trimmed(runs[i].second->energyJson()) << "}"
             << (i + 1 < runs.size() ? "," : "") << "\n";
     }
     out << "}\n}\n";

@@ -71,12 +71,14 @@ printFigure()
     NeurocubeConfig dup;
     RunResult with_dup = runForward(dup, net);
     printLayerPanels(with_dup, "with data duplication (black bars)");
+    printEnergyPanel(with_dup, "with data duplication");
 
     NeurocubeConfig nodup;
     nodup.mapping.duplicateConvHalo = false;
     nodup.mapping.duplicateFcInput = false;
     RunResult without = runForward(nodup, net);
     printLayerPanels(without, "without data duplication (gray bars)");
+    printEnergyPanel(without, "without data duplication");
 
     writeBenchJson("BENCH_fig12.json",
                    {{"duplicated", &with_dup},

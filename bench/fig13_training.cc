@@ -31,6 +31,13 @@ runTraining(bool include_gradient)
     input.randomize(rng);
 
     NeurocubeConfig config;
+#if NEUROCUBE_TRACE_ENABLED
+    // Metrics + energy trace session so the panels and
+    // BENCH_fig13.json carry bottleneck and pJ attribution
+    // (observational only; see tests/test_golden_cycles.cc).
+    config.trace.enabled = true;
+    config.trace.metrics = true;
+#endif
     Neurocube cube(config);
     TrainingOptions opts;
     opts.includeWeightGradient = include_gradient;
@@ -57,6 +64,7 @@ printFigure()
     RunResult run = runTraining(false);
     printLayerPanels(run,
                      "forward + backward-delta passes (paper model)");
+    printEnergyPanel(run, "training iteration");
 
     PowerModel m28(TechNode::Nm28), m15(TechNode::Nm15);
     std::printf("\ntraining throughput (iterations/s): 28nm %.2f, "
@@ -80,6 +88,9 @@ printFigure()
                 "passes): %.1f MOp, %.1f GOPs/s @5GHz\n",
                 double(full.totalOps()) / 1e6, full.gopsPerSecond());
     std::printf("paper anchor: 126.8 GOPs/s at the 15nm point\n");
+
+    writeBenchJson("BENCH_fig13.json",
+                   {{"training", &run}, {"full_backprop", &full}});
 }
 
 } // namespace

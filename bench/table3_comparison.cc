@@ -22,21 +22,21 @@ namespace
 using namespace neurocube;
 using namespace neurocube::bench;
 
-double
-measureInferenceGops()
+RunResult
+measureInference()
 {
     unsigned w, h;
     inferenceInputSize(w, h);
     NetworkDesc net = sceneLabelingNetwork(w, h);
     NeurocubeConfig config;
-    return runForward(config, net).gopsPerSecond();
+    return runForward(config, net);
 }
 
 void
 BM_SimulatedThroughput(benchmark::State &state)
 {
     for (auto _ : state) {
-        double gops = measureInferenceGops();
+        double gops = measureInference().gopsPerSecond();
         state.counters["GOPs/s@5GHz"] = gops;
     }
 }
@@ -49,7 +49,8 @@ printTable()
     std::printf("\n=== Table III: platforms for neuro-inspired "
                 "algorithms ===\n");
 
-    double gops_15 = measureInferenceGops();
+    RunResult run = measureInference();
+    double gops_15 = run.gopsPerSecond();
     PowerModel m28(TechNode::Nm28), m15(TechNode::Nm15);
     double gops_28 = gops_15 * m28.activityFactor();
 
@@ -93,6 +94,25 @@ printTable()
                 "%.1f @28nm (paper: 132.4 / 8.0)%s\n",
                 gops_15, gops_28,
                 quickMode() ? " [reduced input]" : "");
+
+    // Activity-based efficiency: the table's GOPs/s/W rows divide by
+    // the analytic full-activity compute power; the event-counted
+    // energy gives the same metric from what the machine actually
+    // switched. The same counts are priced at both nodes.
+    if (run.energyCounts().valid) {
+        double ops = double(run.totalOps());
+        for (const PowerModel *m : {&m15, &m28}) {
+            ActivityEnergyModel model(*m);
+            double joules = model.price(run).totalJ();
+            std::printf("activity-based efficiency @%s: %.2f "
+                        "GOPs/s/W (analytic table row: %.2f)\n",
+                        techNodeName(m->node()),
+                        joules > 0.0 ? ops / 1e9 / joules : 0.0,
+                        (m == &m15 ? nc15 : nc28).efficiency());
+        }
+    }
+
+    writeBenchJson("BENCH_table3.json", {{"inference", &run}});
 }
 
 } // namespace

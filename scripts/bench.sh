@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
 # Run the figure-reproduction bench binaries and collect their
 # machine-readable outputs (BENCH_*.json with per-layer bottleneck
-# reports) into one directory.
+# and activity-energy reports) into one directory.
 #
 # Usage: scripts/bench.sh [outdir] [bench...]
+#        scripts/bench.sh --compare <baseline-dir> [outdir] [bench...]
 #   outdir  where BENCH_*.json and the captured stdout logs land
 #           (default: bench-results)
 #   bench   bench binary names to run (default: fig12_inference
-#           fig15_memory_noc)
+#           fig13_training fig15_memory_noc)
+#
+# --compare diffs the fresh BENCH_*.json against the committed
+# baselines in <baseline-dir> (see bench/baselines/): for every
+# "total_cycles" value present in both, a regression of more than 5%
+# fails the script. Baselines record their "quick" flag; comparing a
+# quick run against a full baseline (or vice versa) is an error.
 #
 # Environment:
 #   NEUROCUBE_QUICK=1   reduced workloads for fast iteration
@@ -17,11 +24,18 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+baseline_dir=""
+if [ "${1:-}" = "--compare" ]; then
+    shift
+    baseline_dir="${1:?--compare needs a baseline directory}"
+    shift
+fi
+
 outdir="${1:-bench-results}"
 shift || true
 benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
-    benches=(fig12_inference fig15_memory_noc)
+    benches=(fig12_inference fig13_training fig15_memory_noc)
 fi
 
 build="${NEUROCUBE_BUILD:-build}"
@@ -47,3 +61,68 @@ done
 echo
 echo "bench outputs in $outdir:"
 ls -l "$outdir"
+
+[ -n "$baseline_dir" ] || exit 0
+
+# --compare: ordered "total_cycles" extraction is stable because
+# writeBenchJson emits runs and layers in a fixed order.
+echo
+echo "=== comparing against baselines in $baseline_dir ==="
+extract_cycles() {
+    grep -o '"total_cycles": *[0-9]*' "$1" | grep -o '[0-9]*$'
+}
+extract_quick() {
+    grep -o '"quick": *\(true\|false\)' "$1" | head -1 \
+        | grep -o '\(true\|false\)$'
+}
+
+fail=0
+compared=0
+for fresh in "$outdir"/BENCH_*.json; do
+    name="$(basename "$fresh")"
+    base="$baseline_dir/$name"
+    if [ ! -f "$base" ]; then
+        echo "  $name: no baseline, skipped"
+        continue
+    fi
+    fresh_quick="$(extract_quick "$fresh")"
+    base_quick="$(extract_quick "$base")"
+    if [ "$fresh_quick" != "$base_quick" ]; then
+        echo "  $name: quick flag mismatch (fresh=$fresh_quick," \
+             "baseline=$base_quick) — rerun with matching" \
+             "NEUROCUBE_QUICK" >&2
+        fail=1
+        continue
+    fi
+    # Pair up the ordered cycle counts and flag >5% regressions.
+    verdict="$(paste -d' ' <(extract_cycles "$base") \
+                           <(extract_cycles "$fresh") \
+        | awk -v name="$name" '
+            NF == 2 && $1 > 0 {
+                ratio = $2 / $1
+                if (ratio > 1.05) {
+                    printf "  %s: cycle regression %d -> %d (+%.1f%%)\n",
+                           name, $1, $2, 100 * (ratio - 1)
+                    bad = 1
+                }
+                n += 1
+            }
+            END {
+                if (!bad)
+                    printf "  %s: %d cycle counts within 5%%\n", name, n
+                exit bad
+            }')" || fail=1
+    echo "$verdict"
+    compared=$((compared + 1))
+done
+
+if [ "$compared" -eq 0 ]; then
+    echo "error: no BENCH_*.json had a baseline in $baseline_dir" >&2
+    exit 1
+fi
+if [ "$fail" -ne 0 ]; then
+    echo "bench comparison FAILED (>5% cycle regression or flag" \
+         "mismatch)" >&2
+    exit 1
+fi
+echo "bench comparison OK"

@@ -20,6 +20,10 @@ namespace neurocube
  */
 using Tick = uint64_t;
 
+/** Reference clock frequency in Hz (HMC vault I/O clock). One Tick
+ *  is one period of this clock. */
+constexpr double referenceClockHz = 5.0e9;
+
 /** A byte address within the cube's physical address space. */
 using Addr = uint64_t;
 

@@ -1,6 +1,7 @@
 #include "core/neurocube.hh"
 
 #include "common/logging.hh"
+#include "trace/energy.hh"
 #include "trace/metrics.hh"
 
 namespace neurocube
@@ -226,6 +227,13 @@ Neurocube::runSingleLayer(const LayerDesc &layer,
     if (metrics)
         metrics_before = metrics->snapshot();
 
+#if NEUROCUBE_TRACE_ENABLED
+    EnergyRegistry *energy = energyRegistry();
+    EnergySnapshot energy_before;
+    if (energy)
+        energy_before = energy->snapshot();
+#endif
+
     Tick cycles = 0;
     for (const CompiledPass &pass : compiled.passes) {
         cycles += config_.configTicksPerPass;
@@ -256,6 +264,11 @@ Neurocube::runSingleLayer(const LayerDesc &layer,
             metrics->snapshot().delta(metrics_before));
         fillHistogramSummaries(result.bottleneck, nullptr);
     }
+
+#if NEUROCUBE_TRACE_ENABLED
+    if (energy)
+        result.energy = energy->snapshot().delta(energy_before).sum();
+#endif
 
     statLayerCycles_ += cycles;
 
@@ -418,6 +431,13 @@ Neurocube::runForwardBatch(const std::vector<Tensor> &inputs)
         if (metrics)
             metrics_before = metrics->snapshot();
 
+#if NEUROCUBE_TRACE_ENABLED
+        EnergyRegistry *energy = energyRegistry();
+        EnergySnapshot energy_before;
+        if (energy)
+            energy_before = energy->snapshot();
+#endif
+
         for (size_t p = 0; p < num_passes; ++p) {
             NC_TRACE_TICK(now_);
             now_ += config_.configTicksPerPass;
@@ -484,6 +504,12 @@ Neurocube::runForwardBatch(const std::vector<Tensor> &inputs)
         if (metrics)
             metrics_delta = metrics->snapshot().delta(metrics_before);
 
+#if NEUROCUBE_TRACE_ENABLED
+        EnergySnapshot energy_delta;
+        if (energy)
+            energy_delta = energy->snapshot().delta(energy_before);
+#endif
+
         for (unsigned l = 0; l < active; ++l) {
             const LaneSpec &lane = lanePartition_[l];
             uint64_t macs = 0, bits = 0, lateral = 0, local = 0;
@@ -516,6 +542,12 @@ Neurocube::runForwardBatch(const std::vector<Tensor> &inputs)
                     buildBottleneckReport(metrics_delta, &lane.nodes);
                 fillHistogramSummaries(lr[l].bottleneck, &lane.nodes);
             }
+
+#if NEUROCUBE_TRACE_ENABLED
+            // Same node-indexed identity as the metrics attribution.
+            if (energy)
+                lr[l].energy = energy_delta.sum(&lane.nodes);
+#endif
 
             result.lanes[l].layers.push_back(lr[l]);
             batchActivations_[l][li] =

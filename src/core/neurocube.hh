@@ -122,6 +122,20 @@ class Neurocube
         return traceSession_ ? traceSession_->metrics() : nullptr;
     }
 
+#if NEUROCUBE_TRACE_ENABLED
+    /**
+     * The activity energy counters of the active trace session, or
+     * nullptr (no session / energy disabled). Like
+     * TraceSession::energy(), only compiled in NEUROCUBE_TRACE=ON
+     * builds, so notrace builds never reference EnergyRegistry.
+     */
+    EnergyRegistry *
+    energyRegistry()
+    {
+        return traceSession_ ? traceSession_->energy() : nullptr;
+    }
+#endif
+
     /** Total operand-cache spills beyond sub-bank capacity. */
     uint64_t
     totalCacheOverflows() const

@@ -19,6 +19,7 @@
 
 #include "common/types.hh"
 #include "dram/dram_params.hh"
+#include "trace/energy.hh"
 #include "trace/metrics.hh"
 
 namespace neurocube
@@ -50,6 +51,13 @@ struct LayerResult
      * (config.trace.enabled && config.trace.metrics).
      */
     BottleneckReport bottleneck;
+    /**
+     * Activity counts for this layer's interval (energy accounting).
+     * valid only when an energy-enabled trace session was active
+     * (config.trace.enabled && config.trace.energy in a
+     * NEUROCUBE_TRACE=ON build); price with ActivityEnergyModel.
+     */
+    EnergyCounts energy;
 
     /** Throughput at a given logic clock (GHz). */
     double
@@ -133,6 +141,27 @@ struct RunResult
      * (metrics disabled) carry "bottleneck": null.
      */
     std::string metricsJson() const;
+
+    /** Sum of the per-layer activity counts. */
+    EnergyCounts
+    energyCounts() const
+    {
+        EnergyCounts total;
+        for (const LayerResult &l : layers)
+            total += l.energy;
+        return total;
+    }
+
+    /**
+     * Activity-based energy accounting as a JSON document: total
+     * joules, average power, GOPS/W, per-component breakdown, and a
+     * per-layer breakdown with the raw event counts. Priced at the
+     * 15 nm node (the node whose clocks the cycle model times);
+     * "valid": false when the run carried no energy accounting.
+     * Defined in src/power/activity_energy.cc — callers link
+     * nc_power.
+     */
+    std::string energyJson() const;
 };
 
 /** Statistics for one batched multi-lane forward execution. */
@@ -177,6 +206,20 @@ struct BatchRunResult
         return double(lanes.size()) * clock_ghz * 1e9
              / double(cycles);
     }
+
+    /**
+     * Activity-based energy of the whole batch in joules, summed
+     * over lanes and priced at 15 nm. 0 when the run carried no
+     * energy accounting. Defined in src/power/activity_energy.cc —
+     * callers link nc_power.
+     */
+    double totalEnergyJ() const;
+
+    /** Activity-based efficiency, GOPS/W ( = GOPs per joule). */
+    double gopsPerWatt() const;
+
+    /** Activity-based energy per completed input, joules. */
+    double energyPerInferenceJ() const;
 };
 
 } // namespace neurocube

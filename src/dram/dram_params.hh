@@ -20,9 +20,6 @@
 namespace neurocube
 {
 
-/** Reference clock frequency in Hz (HMC vault I/O clock). */
-constexpr double referenceClockHz = 5.0e9;
-
 /** Bytes per stored element (16-bit Q1.7.8 state or weight). */
 constexpr unsigned bytesPerElement = 2;
 

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "trace/energy.hh"
 #include "trace/metrics.hh"
 
 namespace neurocube
@@ -176,6 +177,11 @@ MemoryChannel::serveWord(Tick now, std::deque<MemRequest> &queue,
     queue.erase(queue.begin() + long(idx),
                 queue.begin() + long(idx + taken));
 
+    // One controller transaction moved `packed` elements' bits over
+    // the DRAM interface (duplicates ride the broadcast for free).
+    NC_ENERGY_EVENT(EnergyEventKind::VaultXact, traceId_, 1);
+    NC_ENERGY_EVENT(EnergyEventKind::DramBit, traceId_,
+                    uint64_t(packed) * 8 * bytesPerElement);
     NC_TRACE(TraceComponent::Vault, traceId_,
              TraceEventType::DramWord, is_write ? 1 : 0,
              uint64_t(packed) * 8 * bytesPerElement);

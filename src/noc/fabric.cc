@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "trace/energy.hh"
 
 namespace neurocube
 {
@@ -237,6 +238,8 @@ NocFabric::tick(Tick now)
             out.pop_front();
             --budget;
             statLinkFlits_ += 1;
+            NC_ENERGY_EVENT(EnergyEventKind::NocLink, link.srcRouter,
+                            1);
             NC_TRACE(TraceComponent::Router, link.srcRouter,
                      TraceEventType::LinkFlit, link.dstRouter);
         }

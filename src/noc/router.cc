@@ -1,6 +1,7 @@
 #include "noc/router.hh"
 
 #include "common/logging.hh"
+#include "trace/energy.hh"
 #include "trace/metrics.hh"
 
 namespace neurocube
@@ -109,6 +110,7 @@ Router::tick()
             --outBudget_[out];
             --in_budget;
             statSwitched_ += 1;
+            NC_ENERGY_EVENT(EnergyEventKind::NocHop, traceId_, 1);
             NC_TRACE(TraceComponent::Router, traceId_,
                      TraceEventType::FlitSwitch, out,
                      outputQueue_[out].size());

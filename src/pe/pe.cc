@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "trace/energy.hh"
 #include "trace/metrics.hh"
 
 namespace neurocube
@@ -85,6 +86,7 @@ Pe::stageOperand(const Packet &packet)
     if (packet.kind == PacketKind::State) {
         temporal_.putState(packet.mac, packet.data, packet.neuron,
                            packet.homeVault);
+        NC_ENERGY_EVENT(EnergyEventKind::BufferAccess, id_, 1);
         if (!pass_.localWeights.empty()) {
             // Weight supplied by the PE weight memory, shared across
             // neurons and indexed by the OP-ID (Section III-B2);
@@ -102,12 +104,15 @@ Pe::stageOperand(const Packet &packet)
             }
             temporal_.putWeight(packet.mac, pass_.localWeights[idx],
                                 packet.neuron, packet.homeVault);
+            NC_ENERGY_EVENT(EnergyEventKind::WeightRegRead, id_, 1);
+            NC_ENERGY_EVENT(EnergyEventKind::BufferAccess, id_, 1);
         }
     } else {
         nc_assert(packet.kind == PacketKind::Weight,
                   "unexpected packet kind at PE %u", unsigned(id_));
         temporal_.putWeight(packet.mac, packet.data, packet.neuron,
                             packet.homeVault);
+        NC_ENERGY_EVENT(EnergyEventKind::BufferAccess, id_, 1);
     }
 }
 
@@ -118,6 +123,7 @@ Pe::drainCache(Tick now)
         return;
     std::vector<Packet> matches;
     unsigned scanned = cache_.extract(group_, opCounter_, matches);
+    NC_ENERGY_EVENT(EnergyEventKind::CacheRead, id_, scanned);
     if (matches.empty()) {
         NC_TRACE(TraceComponent::Pe, id_, TraceEventType::CacheMiss,
                  opCounter_, scanned);
@@ -161,6 +167,7 @@ Pe::flush(Tick now)
     }
     statMacOps_ += active;
     statFlushes_ += 1;
+    NC_ENERGY_EVENT(EnergyEventKind::MacOp, id_, active);
     NC_TRACE(TraceComponent::Pe, id_, TraceEventType::MacBusy,
              active, params_.numMacs);
     temporal_.flush();
@@ -224,10 +231,12 @@ Pe::tick(Tick now, NocFabric &fabric)
                   "late packet at PE %u: group %u op %u vs %u/%u",
                   unsigned(id_), packet.group, packet.opId, group_,
                   opCounter_);
-        if (packet.group == group_ && packet.opId == opCounter_)
+        if (packet.group == group_ && packet.opId == opCounter_) {
             stageOperand(packet);
-        else
+        } else {
             cache_.insert(packet.group, packet);
+            NC_ENERGY_EVENT(EnergyEventKind::CacheWrite, id_, 1);
+        }
         delivery.pop_front();
         ++accepted;
     }

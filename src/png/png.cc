@@ -1,6 +1,7 @@
 #include "png/png.hh"
 
 #include "common/logging.hh"
+#include "trace/energy.hh"
 #include "trace/metrics.hh"
 
 namespace neurocube
@@ -95,6 +96,7 @@ Png::tick(Tick now)
         statIssued_ += 1;
     }
     if (issued > 0) {
+        NC_ENERGY_EVENT(EnergyEventKind::PngOp, id_, issued);
         NC_TRACE(TraceComponent::Png, id_, TraceEventType::PngIssue,
                  0, issued);
     }
@@ -174,6 +176,8 @@ Png::tick(Tick now)
         ++wbReceived_;
         statWriteBacks_ += 1;
     }
+    if (absorbed > 0)
+        NC_ENERGY_EVENT(EnergyEventKind::PngOp, id_, absorbed);
 
     // Attribute the cycle. Injection backpressure first: packets
     // sitting in the out-queue with zero injected is the signal the

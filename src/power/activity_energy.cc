@@ -1,0 +1,247 @@
+#include "power/activity_energy.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/types.hh"
+#include "power/energy_model.hh"
+
+namespace neurocube
+{
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &other)
+{
+    macJ += other.macJ;
+    sramJ += other.sramJ;
+    buffersJ += other.buffersJ;
+    nocJ += other.nocJ;
+    pngJ += other.pngJ;
+    vaultLogicJ += other.vaultLogicJ;
+    dramJ += other.dramJ;
+    return *this;
+}
+
+std::array<EnergyComponentView, 7>
+energyComponents(const EnergyBreakdown &b)
+{
+    return {{
+        {"mac", b.macJ},
+        {"sram", b.sramJ},
+        {"buffers", b.buffersJ},
+        {"noc", b.nocJ},
+        {"png", b.pngJ},
+        {"vault_logic", b.vaultLogicJ},
+        {"dram", b.dramJ},
+    }};
+}
+
+namespace
+{
+
+/**
+ * A block's energy per event: its Table II dynamic power divided by
+ * its clock. Table II reports power at full activity — one event per
+ * cycle — so P/f is exactly the per-event switching energy.
+ */
+double
+pjPerEvent(const BlockPower &block)
+{
+    return block.freqMhz > 0.0
+        ? block.dynamicPowerW / (block.freqMhz * 1e6) * 1e12
+        : 0.0;
+}
+
+/** Fraction of a router flit's energy spent in the crossbar; the
+ *  remainder drives the inter-router link. */
+constexpr double routerHopFraction = 0.7;
+
+/** Bits in a vault command/address word (the 32-bit HMC word). */
+constexpr double vaultXactBits = 32.0;
+
+} // namespace
+
+ActivityEnergyModel::ActivityEnergyModel(const PowerModel &model)
+    : node_(model.node())
+{
+    for (const BlockPower &block : model.blocks()) {
+        double pj = pjPerEvent(block);
+        if (block.name.rfind("MAC", 0) == 0) {
+            prices_.macOpPj = pj;
+        } else if (block.name.rfind("SRAM", 0) == 0) {
+            prices_.cacheAccessPj = pj;
+        } else if (block.name.rfind("Temporal", 0) == 0) {
+            prices_.bufferAccessPj = pj;
+        } else if (block.name.rfind("PMC", 0) == 0) {
+            prices_.pngOpPj = pj;
+        } else if (block.name.rfind("Weight", 0) == 0) {
+            prices_.weightRegPj = pj;
+        } else if (block.name.rfind("Router", 0) == 0) {
+            prices_.nocHopPj = routerHopFraction * pj;
+            prices_.nocLinkPj = (1.0 - routerHopFraction) * pj;
+        }
+    }
+    prices_.vaultLogicPjPerBit = model.logicDiePjPerBit();
+    prices_.vaultXactPj = prices_.vaultLogicPjPerBit * vaultXactBits;
+    prices_.dramPjPerBit = PowerModel::dramPjPerBit();
+}
+
+EnergyBreakdown
+ActivityEnergyModel::price(const EnergyCounts &counts) const
+{
+    auto joules = [&counts](EnergyEventKind kind, double pj) {
+        return double(counts[kind]) * pj * 1e-12;
+    };
+    EnergyBreakdown out;
+    out.macJ = joules(EnergyEventKind::MacOp, prices_.macOpPj);
+    out.sramJ = joules(EnergyEventKind::CacheRead,
+                       prices_.cacheAccessPj)
+              + joules(EnergyEventKind::CacheWrite,
+                       prices_.cacheAccessPj);
+    out.buffersJ = joules(EnergyEventKind::BufferAccess,
+                          prices_.bufferAccessPj)
+                 + joules(EnergyEventKind::WeightRegRead,
+                          prices_.weightRegPj);
+    out.nocJ = joules(EnergyEventKind::NocHop, prices_.nocHopPj)
+             + joules(EnergyEventKind::NocLink, prices_.nocLinkPj);
+    out.pngJ = joules(EnergyEventKind::PngOp, prices_.pngOpPj);
+    out.vaultLogicJ = joules(EnergyEventKind::VaultXact,
+                             prices_.vaultXactPj)
+                    + joules(EnergyEventKind::DramBit,
+                             prices_.vaultLogicPjPerBit);
+    out.dramJ = joules(EnergyEventKind::DramBit, prices_.dramPjPerBit);
+    return out;
+}
+
+EnergyBreakdown
+ActivityEnergyModel::price(const RunResult &run) const
+{
+    EnergyBreakdown total;
+    for (const LayerResult &layer : run.layers)
+        total += price(layer.energy);
+    return total;
+}
+
+EnergyComparison
+compareWithAnalytic(const RunResult &run, const PowerModel &model)
+{
+    EnergyComparison cmp;
+    ActivityEnergyModel activity(model);
+    cmp.activity = activity.price(run);
+    cmp.activityJ = cmp.activity.totalJ();
+    EnergyReport analytic =
+        accountEnergy(run, model, PowerModel::dramPjPerBit());
+    cmp.analyticJ = analytic.totalJ();
+    cmp.analyticDramJ = analytic.dramJ;
+    cmp.ratio = cmp.analyticJ > 0.0 ? cmp.activityJ / cmp.analyticJ
+                                    : 0.0;
+    return cmp;
+}
+
+namespace
+{
+
+std::string
+jsonNumber(double value)
+{
+    if (std::isnan(value) || std::isinf(value))
+        value = 0.0;
+    std::ostringstream os;
+    os << std::setprecision(12) << value;
+    return os.str();
+}
+
+void
+appendComponents(std::ostringstream &os, const EnergyBreakdown &b)
+{
+    os << "{";
+    bool first = true;
+    for (const EnergyComponentView &c : energyComponents(b)) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << c.name << "\":" << jsonNumber(c.joules);
+    }
+    os << "}";
+}
+
+void
+appendCounts(std::ostringstream &os, const EnergyCounts &counts)
+{
+    os << "{";
+    for (size_t k = 0; k < numEnergyEventKinds; ++k) {
+        if (k)
+            os << ",";
+        os << "\"" << energyEventKindName(EnergyEventKind(k))
+           << "\":" << counts.n[k];
+    }
+    os << "}";
+}
+
+} // namespace
+
+std::string
+RunResult::energyJson() const
+{
+    ActivityEnergyModel model;
+    EnergyBreakdown total = model.price(*this);
+    EnergyCounts counts = energyCounts();
+    double seconds = double(totalCycles()) / referenceClockHz;
+    double totalJ = total.totalJ();
+
+    std::ostringstream os;
+    os << "{\"model\":\"activity\",\"node\":\""
+       << techNodeName(model.node()) << "\"";
+    os << ",\"valid\":" << (counts.valid ? "true" : "false");
+    os << ",\"total_j\":" << jsonNumber(totalJ);
+    os << ",\"avg_power_w\":"
+       << jsonNumber(seconds > 0.0 ? totalJ / seconds : 0.0);
+    os << ",\"gops_per_watt\":"
+       << jsonNumber(totalJ > 0.0 ? double(totalOps()) / 1e9 / totalJ
+                                  : 0.0);
+    os << ",\"components\":";
+    appendComponents(os, total);
+    os << ",\"layers\":[";
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const LayerResult &layer = layers[i];
+        EnergyBreakdown lb = model.price(layer.energy);
+        if (i)
+            os << ",";
+        os << "{\"name\":\"" << layer.name << "\"";
+        os << ",\"total_j\":" << jsonNumber(lb.totalJ());
+        os << ",\"components\":";
+        appendComponents(os, lb);
+        os << ",\"counts\":";
+        appendCounts(os, layer.energy);
+        os << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+double
+BatchRunResult::totalEnergyJ() const
+{
+    ActivityEnergyModel model;
+    double total = 0.0;
+    for (const RunResult &lane : lanes)
+        total += model.price(lane).totalJ();
+    return total;
+}
+
+double
+BatchRunResult::gopsPerWatt() const
+{
+    double joules = totalEnergyJ();
+    return joules > 0.0 ? double(totalOps()) / 1e9 / joules : 0.0;
+}
+
+double
+BatchRunResult::energyPerInferenceJ() const
+{
+    return lanes.empty() ? 0.0
+                         : totalEnergyJ() / double(lanes.size());
+}
+
+} // namespace neurocube

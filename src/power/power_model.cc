@@ -16,9 +16,9 @@ namespace
 {
 
 /** HMC logic-die access energy, pJ/bit (Jeddeloh & Keeth 2012). */
-constexpr double logicDiePjPerBit = 6.78;
+constexpr double baseLogicDiePjPerBit = 6.78;
 /** HMC DRAM access energy, pJ/bit. */
-constexpr double dramPjPerBit = 3.7;
+constexpr double baseDramPjPerBit = 3.7;
 /** Logic-die energy scaling from 28 nm to 15 nm (ITRS factors). */
 constexpr double logicEnergyScale15 = 0.5;
 
@@ -107,7 +107,7 @@ PowerModel::hmcLogicDiePowerW() const
     // 6.78 pJ/bit x 32 bit x 16 vaults x 5 GHz = 17.35 W at full
     // activity, scaled by the node's activity factor and the logic
     // energy scaling into 15 nm.
-    double full = logicDiePjPerBit * 1e-12 * 32.0 * 16.0
+    double full = baseLogicDiePjPerBit * 1e-12 * 32.0 * 16.0
                 * referenceClockHz;
     if (node_ == TechNode::Nm28)
         return full * activityFactor();
@@ -117,9 +117,25 @@ PowerModel::hmcLogicDiePowerW() const
 double
 PowerModel::dramPowerW() const
 {
-    double full = dramPjPerBit * 1e-12 * 32.0 * 16.0
+    double full = baseDramPjPerBit * 1e-12 * 32.0 * 16.0
                 * referenceClockHz;
     return full * activityFactor();
+}
+
+double
+PowerModel::logicDiePjPerBit() const
+{
+    // 28 nm pays the published HMC figure; the 15 nm design halves
+    // the logic-die energy per bit (ITRS scaling, Section VII).
+    return node_ == TechNode::Nm28
+        ? baseLogicDiePjPerBit
+        : baseLogicDiePjPerBit * logicEnergyScale15;
+}
+
+double
+PowerModel::dramPjPerBit()
+{
+    return baseDramPjPerBit;
 }
 
 std::vector<PlatformRow>

@@ -117,6 +117,13 @@ class PowerModel
     /** Activity factor relative to the 5 GHz vault I/O clock. */
     double activityFactor() const;
 
+    /** Logic-die access energy at this node, pJ/bit (Table I,
+     *  halved by the 15 nm logic energy scaling). */
+    double logicDiePjPerBit() const;
+
+    /** DRAM access energy, pJ/bit (technology-independent here). */
+    static double dramPjPerBit();
+
   private:
     TechNode node_;
     unsigned numPes_;

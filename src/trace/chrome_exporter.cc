@@ -32,9 +32,10 @@ ChromeTraceExporter::trackPid(TraceComponent component,
 
 ChromeTraceExporter::ChromeTraceExporter(std::ostream &os,
                                          const TraceTopology &topology,
-                                         Tick windowTicks)
+                                         Tick windowTicks,
+                                         EnergyPrices prices)
     : os_(os), topology_(topology),
-      window_(windowTicks > 0 ? windowTicks : 1),
+      window_(windowTicks > 0 ? windowTicks : 1), prices_(prices),
       pngPhase_(topology.numVaults)
 {
     emitPrelude();
@@ -53,6 +54,7 @@ ChromeTraceExporter::emitPrelude()
                    : std::string();
     };
     emitMeta(trackPid(TraceComponent::Sim, 0), "sim");
+    emitMeta(phasesPid, "phases");
     for (unsigned i = 0; i < topology_.numRouters; ++i) {
         emitMeta(trackPid(TraceComponent::Router, uint16_t(i)),
                  lane(i) + "router" + std::to_string(i));
@@ -139,6 +141,16 @@ ChromeTraceExporter::bumpCounter(uint32_t pid, const std::string &name,
 void
 ChromeTraceExporter::flushWindow()
 {
+    if (sawEnergy_) {
+        // Window energy over window wall-clock: pJ x 1e-12 / (ticks
+        // / refclock). An estimate from the event stream — exact
+        // per-layer numbers come from the EnergyRegistry.
+        double watts =
+            windowPj_ * 1e-12 * referenceClockHz / double(window_);
+        emitCounter(trackPid(TraceComponent::Sim, 0), "power.W",
+                    windowStart_, watts);
+        windowPj_ = 0.0;
+    }
     for (auto &[key, agg] : counters_) {
         if (!agg.dirty)
             continue;
@@ -167,6 +179,12 @@ ChromeTraceExporter::handle(const TraceEvent &event)
 {
     advanceWindow(event.tick);
     lastTick_ = std::max(lastTick_, event.tick);
+
+    double pj = tracePjOf(event, prices_);
+    if (pj > 0.0) {
+        windowPj_ += pj;
+        sawEnergy_ = true;
+    }
 
     const uint32_t pid = trackPid(event.component, event.instance);
     switch (event.type) {
@@ -270,6 +288,19 @@ ChromeTraceExporter::consume(const TraceEvent *events, size_t count)
 {
     for (size_t i = 0; i < count; ++i)
         handle(events[i]);
+}
+
+void
+ChromeTraceExporter::emitPhases(const std::vector<PhaseSegment> &segments)
+{
+    for (const PhaseSegment &segment : segments) {
+        if (segment.endTick <= segment.startTick)
+            continue;
+        emitSlice(phasesPid, phaseKindName(segment.kind),
+                  segment.startTick,
+                  segment.endTick - segment.startTick,
+                  "\"windows\":" + std::to_string(segment.windows));
+    }
 }
 
 void

@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "trace/energy.hh"
+#include "trace/phase_detector.hh"
 #include "trace/trace.hh"
 
 namespace neurocube
@@ -38,17 +40,31 @@ class ChromeTraceExporter : public TraceSink
      * @param os destination stream (kept open until finish())
      * @param topology machine shape (track pre-registration)
      * @param windowTicks counter-track sampling period
+     * @param prices per-event energies backing the power.W track
      */
     ChromeTraceExporter(std::ostream &os,
                         const TraceTopology &topology,
-                        Tick windowTicks);
+                        Tick windowTicks,
+                        EnergyPrices prices = EnergyPrices{});
 
     void consume(const TraceEvent *events, size_t count) override;
     void finish() override;
 
+    /**
+     * Write detected run phases as a top-level "phases" annotation
+     * track: one named slice per segment. Call after the run's
+     * events are consumed and before finish() (the TraceSession
+     * destructor does this with the segments detectPhases() finds
+     * in the finished timeseries CSV).
+     */
+    void emitPhases(const std::vector<PhaseSegment> &segments);
+
     /** Synthetic pid of a component instance's track. */
     static uint32_t trackPid(TraceComponent component,
                              uint16_t instance);
+
+    /** Pid of the top-level phase annotation track. */
+    static constexpr uint32_t phasesPid = 5000;
 
   private:
     /** How a counter series combines events within one window. */
@@ -92,9 +108,15 @@ class ChromeTraceExporter : public TraceSink
     std::ostream &os_;
     TraceTopology topology_;
     Tick window_;
+    EnergyPrices prices_;
     Tick windowStart_ = 0;
     Tick lastTick_ = 0;
     bool firstEvent_ = true;
+    /** Energy priced into the current window, pJ. */
+    double windowPj_ = 0.0;
+    /** True once any event carried energy (enables the power.W
+     *  track, which then reports 0 in quiet windows). */
+    bool sawEnergy_ = false;
 
     std::map<std::pair<uint32_t, std::string>, CounterAgg> counters_;
 

@@ -8,14 +8,16 @@ namespace neurocube
 {
 
 TimeSeriesCsvExporter::TimeSeriesCsvExporter(
-    std::ostream &os, const TraceTopology &topology, Tick windowTicks)
+    std::ostream &os, const TraceTopology &topology, Tick windowTicks,
+    EnergyPrices prices)
     : os_(os), topology_(topology),
-      window_(windowTicks > 0 ? windowTicks : 1),
+      window_(windowTicks > 0 ? windowTicks : 1), prices_(prices),
       vaultBits_(topology.numVaults, 0)
 {
     os_ << "window_start,noc_flits_per_cycle,ejected_per_cycle,"
            "mean_eject_latency,pe_util_pct,png_stall_ticks,"
-           "noc_blocked_ticks,dram_stall_ticks,dram_bytes_per_cycle";
+           "noc_blocked_ticks,dram_stall_ticks,dram_bytes_per_cycle,"
+           "avg_power_w";
     for (unsigned v = 0; v < topology_.numVaults; ++v)
         os_ << ",vault" << v << "_bytes";
     os_ << "\n";
@@ -24,6 +26,7 @@ TimeSeriesCsvExporter::TimeSeriesCsvExporter(
 void
 TimeSeriesCsvExporter::resetAccumulators()
 {
+    windowPj_ = 0.0;
     linkFlits_ = 0;
     ejected_ = 0;
     ejectLatencySum_ = 0;
@@ -55,7 +58,8 @@ TimeSeriesCsvExporter::flushWindow()
         << (pe_ticks > 0.0 ? 100.0 * double(macBusyTicks_) / pe_ticks
                            : 0.0)
         << ',' << pngStallTicks_ << ',' << nocBlockedTicks_ << ','
-        << dramStallTicks_ << ',' << double(total_bits) / 8.0 / w;
+        << dramStallTicks_ << ',' << double(total_bits) / 8.0 / w
+        << ',' << windowPj_ * 1e-12 * referenceClockHz / w;
     for (uint64_t bits : vaultBits_)
         os_ << ',' << bits / 8;
     os_ << "\n";
@@ -76,6 +80,7 @@ void
 TimeSeriesCsvExporter::handle(const TraceEvent &event)
 {
     advanceWindow(event.tick);
+    windowPj_ += tracePjOf(event, prices_);
     switch (event.type) {
       case TraceEventType::LinkFlit:
         ++linkFlits_;

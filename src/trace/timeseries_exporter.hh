@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "trace/energy.hh"
 #include "trace/trace.hh"
 
 namespace neurocube
@@ -31,10 +32,13 @@ class TimeSeriesCsvExporter : public TraceSink
      * @param os destination stream (kept open until finish())
      * @param topology machine shape (per-vault columns, PE count)
      * @param windowTicks aggregation window in reference ticks
+     * @param prices per-event energies backing the avg_power_w
+     *        column (an event-stream estimate; see tracePjOf)
      */
     TimeSeriesCsvExporter(std::ostream &os,
                           const TraceTopology &topology,
-                          Tick windowTicks);
+                          Tick windowTicks,
+                          EnergyPrices prices = EnergyPrices{});
 
     void consume(const TraceEvent *events, size_t count) override;
     void finish() override;
@@ -49,10 +53,12 @@ class TimeSeriesCsvExporter : public TraceSink
     std::ostream &os_;
     TraceTopology topology_;
     Tick window_;
+    EnergyPrices prices_;
     Tick windowStart_ = 0;
     bool sawEvent_ = false;
 
     // Per-window accumulators.
+    double windowPj_ = 0.0;
     uint64_t linkFlits_ = 0;
     uint64_t ejected_ = 0;
     uint64_t ejectLatencySum_ = 0;

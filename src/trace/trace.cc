@@ -6,7 +6,9 @@
 
 #include "common/logging.hh"
 #include "trace/chrome_exporter.hh"
+#include "trace/energy.hh"
 #include "trace/metrics.hh"
+#include "trace/phase_detector.hh"
 #include "trace/stream_exporter.hh"
 #include "trace/timeseries_exporter.hh"
 
@@ -247,6 +249,11 @@ TraceSession::TraceSession(const TraceConfig &config,
 {
     recorder_.setWindow(config.startTick, config.endTick);
     recorder_.setComponentMask(config.componentMask);
+    // Kept for the destructor's phase feedback (the exporters clamp
+    // a zero window to 1; match them so detectPhases sees the same
+    // window size the CSV was written with).
+    windowTicks_ = config.windowTicks > 0 ? config.windowTicks : 1;
+    topology_ = topology;
 
     auto open = [&](const std::string &path) -> std::ostream & {
         auto stream = std::make_unique<std::ofstream>(path);
@@ -257,14 +264,19 @@ TraceSession::TraceSession(const TraceConfig &config,
     };
 
     if (!config.chromeJsonPath.empty()) {
-        sinks_.push_back(std::make_unique<ChromeTraceExporter>(
+        auto chrome = std::make_unique<ChromeTraceExporter>(
             open(config.chromeJsonPath), topology,
-            config.windowTicks));
+            config.windowTicks, config.energyPrices);
+        chrome_ = chrome.get();
+        sinks_.push_back(std::move(chrome));
     }
     if (!config.timeseriesCsvPath.empty()) {
-        sinks_.push_back(std::make_unique<TimeSeriesCsvExporter>(
+        auto csv = std::make_unique<TimeSeriesCsvExporter>(
             open(config.timeseriesCsvPath), topology,
-            config.windowTicks));
+            config.windowTicks, config.energyPrices);
+        csv_ = csv.get();
+        csvPath_ = config.timeseriesCsvPath;
+        sinks_.push_back(std::move(csv));
     }
     const bool streaming = !config.streamPath.empty();
     if (streaming) {
@@ -294,6 +306,20 @@ TraceSession::TraceSession(const TraceConfig &config,
         metrics::setActiveRegistry(metrics_.get());
     }
 
+#if NEUROCUBE_TRACE_ENABLED
+    if (config.energy) {
+        energy_ = std::make_unique<EnergyRegistry>();
+        // One node-indexed instance space covers every publisher
+        // (PEs, routers, PNGs, and vault channels all carry their
+        // mesh-node / channel index).
+        energy_->configure(std::max(
+            {topology.numRouters, topology.numPes, topology.numVaults}));
+        if (energy::activeRegistry() != nullptr)
+            nc_warn("an energy registry is already active; replacing");
+        energy::setActiveRegistry(energy_.get());
+    }
+#endif
+
     // Only pay for event recording when someone consumes the events;
     // a metrics-only session leaves NC_TRACE sites at a null-check.
     if (!sinks_.empty()) {
@@ -312,11 +338,35 @@ TraceSession::TraceSession(const TraceConfig &config,
 
 TraceSession::~TraceSession()
 {
+    // Phase feedback: when both exporters ran, finish the CSV first,
+    // segment it, and write the segments into the Chrome trace as the
+    // top-level "phases" track before the JSON footer goes out.
+    // (recorder_.finish() below calls every sink's finish(); the CSV
+    // exporter's is idempotent, so finishing it early is safe.)
+    if (chrome_ != nullptr && csv_ != nullptr) {
+        recorder_.stopConsumerThread();
+        recorder_.drain();
+        csv_->finish();
+        std::ifstream csv(csvPath_);
+        if (csv.is_open()) {
+            PhaseDetectorConfig detector;
+            detector.windowTicks = windowTicks_;
+            detector.numPes = topology_.numPes;
+            detector.numPngs = topology_.numVaults;
+            detector.numRouters = topology_.numRouters;
+            detector.numVaults = topology_.numVaults;
+            chrome_->emitPhases(detectPhases(csv, detector));
+        }
+    }
     recorder_.finish();
     if (trace::activeRecorder() == &recorder_)
         trace::setActiveRecorder(nullptr);
     if (metrics_ && metrics::activeRegistry() == metrics_.get())
         metrics::setActiveRegistry(nullptr);
+#if NEUROCUBE_TRACE_ENABLED
+    if (energy_ && energy::activeRegistry() == energy_.get())
+        energy::setActiveRegistry(nullptr);
+#endif
 }
 
 } // namespace neurocube

@@ -44,7 +44,10 @@
 namespace neurocube
 {
 
+class ChromeTraceExporter;
+class EnergyRegistry;
 class MetricsRegistry;
+class TimeSeriesCsvExporter;
 
 /** Consumer of recorded event batches (exporters derive from this). */
 class TraceSink
@@ -225,12 +228,19 @@ struct TraceTopology
  * .enabled is set; only one session can be active at a time.
  *
  * Also owns the stall-attribution MetricsRegistry (when
- * config.metrics is set) and installs it as the process-wide active
- * registry for NC_METRIC_CYCLE. The event recorder is activated only
- * when at least one sink exists, so a metrics-only session (no
+ * config.metrics is set) and the activity EnergyRegistry (when
+ * config.energy is set, in NEUROCUBE_TRACE=ON builds only) and
+ * installs both as the process-wide active registries for
+ * NC_METRIC_CYCLE / NC_ENERGY_EVENT. The event recorder is activated
+ * only when at least one sink exists, so a counters-only session (no
  * output paths) costs nothing at NC_TRACE sites. When
  * config.streamPath is set, a consumer thread drains the ring into
  * the binary live stream continuously.
+ *
+ * At destruction, when both the Chrome JSON and the timeseries CSV
+ * exports are configured, the finished CSV is re-read through
+ * detectPhases() and the resulting segments are written into the
+ * Chrome trace as a top-level "phases" annotation track.
  */
 class TraceSession
 {
@@ -253,12 +263,31 @@ class TraceSession
     /** The session's metrics registry, or nullptr (metrics off). */
     MetricsRegistry *metrics() { return metrics_.get(); }
 
+#if NEUROCUBE_TRACE_ENABLED
+    /** The session's energy registry, or nullptr (energy off). The
+     *  accessor only exists in NEUROCUBE_TRACE=ON builds — callers
+     *  must sit behind the same guard, keeping notrace builds free
+     *  of any EnergyRegistry reference. */
+    EnergyRegistry *energy() { return energy_.get(); }
+#endif
+
   private:
     TraceRecorder recorder_;
     std::unique_ptr<MetricsRegistry> metrics_;
+#if NEUROCUBE_TRACE_ENABLED
+    std::unique_ptr<EnergyRegistry> energy_;
+#endif
     std::vector<std::unique_ptr<TraceSink>> sinks_;
     /** File streams backing the exporters (destroyed after sinks). */
     std::vector<std::unique_ptr<std::ofstream>> streams_;
+
+    /** Non-owning views of the exporters, for the phase feedback. */
+    ChromeTraceExporter *chrome_ = nullptr;
+    TimeSeriesCsvExporter *csv_ = nullptr;
+    /** Inputs the phase feedback needs after the run. */
+    std::string csvPath_;
+    Tick windowTicks_ = 1024;
+    TraceTopology topology_;
 };
 
 } // namespace neurocube

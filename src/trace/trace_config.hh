@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/types.hh"
+#include "trace/energy.hh"
 
 namespace neurocube
 {
@@ -46,6 +47,24 @@ struct TraceConfig
      * reports need them. Only honoured while `enabled` is true.
      */
     bool metrics = true;
+
+    /**
+     * Activity-based energy accounting (trace/energy.hh). On by
+     * default for the same reason as metrics: the counters are one
+     * array increment per event, and per-layer EnergyBreakdowns need
+     * them. Only honoured while `enabled` is true, and compiled out
+     * entirely with -DNEUROCUBE_TRACE=OFF.
+     */
+    bool energy = true;
+
+    /**
+     * Per-event prices used by the *exporters* to turn windowed
+     * activity into the CSV avg_power_w column and the Chrome
+     * power.W counter track. Defaults to the 15 nm Table II
+     * derivation; replace with ActivityEnergyModel(model).prices()
+     * to trace power at another node.
+     */
+    EnergyPrices energyPrices;
 
     /**
      * Aggregation window, in reference ticks, for the CSV exporter

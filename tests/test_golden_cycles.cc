@@ -131,5 +131,33 @@ TEST(GoldenCycles, MetricsDoNotChangeCycleCounts)
     }
 }
 
+/**
+ * Activity energy accounting is observational too: an energy-enabled
+ * run must reproduce the golden per-layer cycle counts exactly.
+ * Catches any NC_ENERGY_EVENT site that accidentally perturbs
+ * component behaviour (e.g. by moving work across an early return).
+ */
+TEST(GoldenCycles, EnergyDoesNotChangeCycleCounts)
+{
+    if (std::getenv("NEUROCUBE_UPDATE_GOLDEN") != nullptr)
+        GTEST_SKIP() << "regeneration run";
+
+    NeurocubeConfig with_energy;
+    with_energy.trace.enabled = true;
+    with_energy.trace.metrics = false;
+    with_energy.trace.energy = true;
+    auto measured = measuredCycles(with_energy);
+
+    auto golden = loadGolden();
+    ASSERT_EQ(golden.size(), measured.size());
+    for (size_t i = 0; i < golden.size(); ++i) {
+        EXPECT_EQ(measured[i].first, golden[i].first) << "layer " << i;
+        EXPECT_EQ(measured[i].second, golden[i].second)
+            << "layer " << golden[i].first
+            << ": enabling energy accounting changed the cycle "
+               "count; the accounting must stay observational";
+    }
+}
+
 } // namespace
 } // namespace neurocube

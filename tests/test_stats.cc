@@ -140,5 +140,69 @@ TEST(Histogram, ResetDropsEverything)
     EXPECT_EQ(hist.max(), 3u);
 }
 
+TEST(Histogram, MergeEmptyIntoEmptyStaysEmpty)
+{
+    StatGroup group(nullptr, "g");
+    Histogram a(&group, "a", "test");
+    Histogram b(&group, "b", "test");
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.min(), 0u);
+    EXPECT_EQ(a.max(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.p99(), 0.0);
+}
+
+TEST(Histogram, MergeEmptyOperandsAreNeutral)
+{
+    StatGroup group(nullptr, "g");
+    Histogram a(&group, "a", "test");
+    Histogram empty(&group, "e", "test");
+    a.sample(4);
+    a.sample(8);
+
+    // Merging an empty histogram changes nothing.
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.min(), 4u);
+    EXPECT_EQ(a.max(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 6.0);
+
+    // Merging into an empty histogram copies the distribution —
+    // the empty side's zero min must not survive.
+    Histogram c(&group, "c", "test");
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_EQ(c.min(), 4u);
+    EXPECT_EQ(c.max(), 8u);
+    EXPECT_DOUBLE_EQ(c.mean(), 6.0);
+}
+
+TEST(Histogram, MergeDisjointRangesCoversBoth)
+{
+    StatGroup group(nullptr, "g");
+    Histogram low(&group, "low", "test");
+    Histogram high(&group, "high", "test");
+    for (uint64_t v = 1; v <= 8; ++v)
+        low.sample(v);
+    for (uint64_t v = 100000; v < 100008; ++v)
+        high.sample(v);
+
+    low.merge(high);
+    EXPECT_EQ(low.count(), 16u);
+    EXPECT_EQ(low.min(), 1u);
+    EXPECT_EQ(low.max(), 100007u);
+    double expected_mean = (36.0 + 8.0 * 100000 + 28.0) / 16.0;
+    EXPECT_NEAR(low.mean(), expected_mean, 1e-9);
+    // Half the mass is tiny, half huge: the median sits between the
+    // two clusters and p99 lands in the upper one.
+    EXPECT_GE(low.p50(), 1.0);
+    EXPECT_GT(low.p99(), 50000.0);
+    EXPECT_LE(low.p99(), double(low.max()) * 2.0);
+    // The merged-from histogram is untouched.
+    EXPECT_EQ(high.count(), 8u);
+    EXPECT_EQ(high.min(), 100000u);
+}
+
 } // namespace
 } // namespace neurocube

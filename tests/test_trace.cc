@@ -21,6 +21,8 @@
 
 #include "core/neurocube.hh"
 #include "trace/chrome_exporter.hh"
+#include "trace/energy.hh"
+#include "trace/phase_detector.hh"
 #include "trace/stream_exporter.hh"
 #include "trace/timeseries_exporter.hh"
 #include "trace/trace.hh"
@@ -507,6 +509,66 @@ TEST(StreamExporter, ReaderRejectsForeignStream)
     EXPECT_FALSE(reader.next(event));
 }
 
+/** A complete binary stream with @p events records, as raw bytes. */
+std::string
+wellFormedStream(size_t events)
+{
+    std::stringstream buffer(std::ios::in | std::ios::out
+                             | std::ios::binary);
+    TraceTopology topology;
+    topology.numRouters = 16;
+    topology.numPes = 16;
+    topology.numVaults = 16;
+    TraceStreamWriter writer(buffer, topology);
+    for (Tick t = 0; t < Tick(events); ++t) {
+        feed(writer, t, TraceComponent::Pe, 0,
+             TraceEventType::MacBusy, 1, t);
+    }
+    writer.finish();
+    return buffer.str();
+}
+
+TEST(StreamExporter, ReaderToleratesTruncatedHeader)
+{
+    // A viewer can attach to a FIFO whose writer dies mid-header:
+    // every truncation point must yield invalid, never a crash or a
+    // garbage header accepted as valid.
+    std::string full = wellFormedStream(1);
+    for (size_t len = 0; len < sizeof(TraceStreamHeader); ++len) {
+        std::stringstream cut(full.substr(0, len),
+                              std::ios::in | std::ios::binary);
+        TraceStreamReader reader(cut);
+        EXPECT_FALSE(reader.valid()) << "header cut at " << len;
+        TraceEvent event;
+        EXPECT_FALSE(reader.next(event));
+    }
+}
+
+TEST(StreamExporter, ReaderStopsCleanlyAtTruncatedEvent)
+{
+    // Writer killed mid-record: the reader must deliver every
+    // complete event and stop at the partial tail without returning
+    // a half-filled record.
+    std::string full = wellFormedStream(3);
+    size_t two_and_a_half =
+        sizeof(TraceStreamHeader) + 2 * sizeof(TraceEvent)
+        + sizeof(TraceEvent) / 2;
+    std::stringstream cut(full.substr(0, two_and_a_half),
+                          std::ios::in | std::ios::binary);
+
+    TraceStreamReader reader(cut);
+    ASSERT_TRUE(reader.valid());
+    TraceEvent event;
+    size_t delivered = 0;
+    while (reader.next(event)) {
+        EXPECT_EQ(event.tick, Tick(delivered));
+        EXPECT_EQ(event.value, delivered);
+        ++delivered;
+    }
+    EXPECT_EQ(delivered, 2u);
+    EXPECT_FALSE(reader.next(event)); // stays at end, no crash
+}
+
 TEST(TimeSeriesExporter, OneRowPerActiveWindow)
 {
     std::ostringstream os;
@@ -603,6 +665,113 @@ TEST(TimeSeriesExporter, QuiescentLaneWindowsAreSkippedNotZeroFilled)
     EXPECT_EQ(line.substr(0, 8), "100,0.1,");
 }
 
+TEST(TimeSeriesExporter, EmitsWindowAveragePower)
+{
+    std::ostringstream os;
+    TraceTopology topology;
+    topology.numVaults = 1;
+    TimeSeriesCsvExporter exporter(os, topology, 10);
+
+    // One packed DRAM word of 128 bits in window [0,10).
+    feed(exporter, 1, TraceComponent::Vault, 0,
+         TraceEventType::DramWord, 0, 128);
+    exporter.finish();
+
+    std::istringstream rows(os.str());
+    std::string header, row;
+    ASSERT_TRUE(std::getline(rows, header));
+    ASSERT_TRUE(std::getline(rows, row));
+
+    // Locate the avg_power_w column by name (robust to layout).
+    auto split = [](const std::string &line) {
+        std::vector<std::string> fields;
+        std::istringstream ss(line);
+        std::string f;
+        while (std::getline(ss, f, ','))
+            fields.push_back(f);
+        return fields;
+    };
+    std::vector<std::string> names = split(header);
+    std::vector<std::string> values = split(row);
+    ASSERT_EQ(names.size(), values.size());
+    auto it = std::find(names.begin(), names.end(), "avg_power_w");
+    ASSERT_NE(it, names.end());
+    double watts =
+        std::strtod(values[size_t(it - names.begin())].c_str(),
+                    nullptr);
+
+    // 128 bits pay the DRAM + logic-die tolls plus one transaction;
+    // averaged over the 10-tick window at the 5 GHz reference clock.
+    EnergyPrices p;
+    double expect_pj =
+        128.0 * (p.dramPjPerBit + p.vaultLogicPjPerBit)
+        + p.vaultXactPj;
+    EXPECT_NEAR(watts, expect_pj * 1e-12 * referenceClockHz / 10.0,
+                1e-6);
+    EXPECT_GT(watts, 0.0);
+}
+
+TEST(ChromeExporter, EmitsPowerCounterTrack)
+{
+    std::ostringstream os;
+    TraceTopology topology;
+    topology.numPes = 4;
+    ChromeTraceExporter exporter(os, topology, 16);
+
+    // Energy-bearing activity in window [0,16), then an event in a
+    // later window to flush it.
+    feed(exporter, 2, TraceComponent::Pe, 0, TraceEventType::MacBusy,
+         16, 16);
+    feed(exporter, 40, TraceComponent::Pe, 0, TraceEventType::MacBusy,
+         8, 8);
+    exporter.finish();
+
+    std::string json = os.str();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.parse()) << json.substr(0, 400);
+    EXPECT_NE(json.find("power.W"), std::string::npos);
+}
+
+TEST(ChromeExporter, NoPowerTrackWithoutEnergyBearingEvents)
+{
+    std::ostringstream os;
+    TraceTopology topology;
+    ChromeTraceExporter exporter(os, topology, 16);
+    // Queue-depth samples carry no energy: no power.W counter.
+    feed(exporter, 1, TraceComponent::Vault, 0,
+         TraceEventType::DramQueueDepth, 0, 3);
+    feed(exporter, 40, TraceComponent::Vault, 0,
+         TraceEventType::DramQueueDepth, 0, 1);
+    exporter.finish();
+    EXPECT_EQ(os.str().find("power.W"), std::string::npos);
+}
+
+TEST(ChromeExporter, EmitsPhaseAnnotationTrack)
+{
+    std::ostringstream os;
+    TraceTopology topology;
+    ChromeTraceExporter exporter(os, topology, 16);
+    feed(exporter, 1, TraceComponent::Router, 0,
+         TraceEventType::FlitSwitch, 0, 0);
+
+    std::vector<PhaseSegment> segments;
+    segments.push_back({0, 64, PhaseKind::Compute, 4});
+    segments.push_back({64, 128, PhaseKind::DramBound, 4});
+    segments.push_back({128, 128, PhaseKind::Quiescent, 0}); // empty
+    exporter.emitPhases(segments);
+    exporter.finish();
+
+    std::string json = os.str();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.parse()) << json.substr(0, 400);
+    EXPECT_NE(json.find("\"phases\""), std::string::npos);
+    EXPECT_NE(json.find("\"compute\""), std::string::npos);
+    EXPECT_NE(json.find("\"dram-bound\""), std::string::npos);
+    EXPECT_NE(json.find("\"windows\":4"), std::string::npos);
+    // The empty segment is skipped.
+    EXPECT_EQ(json.find("\"quiescent\""), std::string::npos);
+}
+
 /** One tiny conv layer on the real machine with tracing on. */
 TEST(TraceIntegration, MachineEmitsLoadableTraceFiles)
 {
@@ -650,12 +819,18 @@ TEST(TraceIntegration, MachineEmitsLoadableTraceFiles)
     JsonChecker checker(json_text.str());
     EXPECT_TRUE(checker.parse());
     EXPECT_GT(checker.traceEvents(), 100u);
+    // The machine's activity produced a power-over-time counter
+    // track, and the session fed the detected phases back in as an
+    // annotation track on teardown.
+    EXPECT_NE(json_text.str().find("power.W"), std::string::npos);
+    EXPECT_NE(json_text.str().find("\"phases\""), std::string::npos);
 
     std::ifstream csv_in(csv_path);
     ASSERT_TRUE(csv_in.good());
     std::string header;
     ASSERT_TRUE(std::getline(csv_in, header));
     EXPECT_NE(header.find("pe_util_pct"), std::string::npos);
+    EXPECT_NE(header.find("avg_power_w"), std::string::npos);
     EXPECT_NE(header.find("vault15_bytes"), std::string::npos);
     size_t rows = 0;
     std::string line;
