@@ -8,13 +8,16 @@
 #   outdir  where BENCH_*.json and the captured stdout logs land
 #           (default: bench-results)
 #   bench   bench binary names to run (default: fig12_inference
-#           fig13_training fig15_memory_noc)
+#           fig13_training fig15_memory_noc serve_sweep)
 #
 # --compare diffs the fresh BENCH_*.json against the committed
 # baselines in <baseline-dir> (see bench/baselines/): for every
 # "total_cycles" value present in both, a regression of more than 5%
-# fails the script. Baselines record their "quick" flag; comparing a
-# quick run against a full baseline (or vice versa) is an error.
+# fails the script. BENCH_serve.json is held to a stricter gate: the
+# serving simulator is deterministic, so its "total_cycles" and
+# "served" values must match the baseline EXACTLY. Baselines record
+# their "quick" flag; comparing a quick run against a full baseline
+# (or vice versa) is an error.
 #
 # Environment:
 #   NEUROCUBE_QUICK=1   reduced workloads for fast iteration
@@ -35,7 +38,8 @@ outdir="${1:-bench-results}"
 shift || true
 benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
-    benches=(fig12_inference fig13_training fig15_memory_noc)
+    benches=(fig12_inference fig13_training fig15_memory_noc
+             serve_sweep)
 fi
 
 build="${NEUROCUBE_BUILD:-build}"
@@ -75,6 +79,9 @@ extract_quick() {
     grep -o '"quick": *\(true\|false\)' "$1" | head -1 \
         | grep -o '\(true\|false\)$'
 }
+extract_served() {
+    grep -o '"served": *[0-9]*' "$1" | grep -o '[0-9]*$'
+}
 
 fail=0
 compared=0
@@ -92,6 +99,23 @@ for fresh in "$outdir"/BENCH_*.json; do
              "baseline=$base_quick) — rerun with matching" \
              "NEUROCUBE_QUICK" >&2
         fail=1
+        continue
+    fi
+    if [ "$name" = "BENCH_serve.json" ]; then
+        # The serving simulator is deterministic: cycle counts and
+        # served-request counts must match the baseline exactly.
+        if [ "$(extract_cycles "$fresh")" = "$(extract_cycles "$base")" ] \
+            && [ "$(extract_served "$fresh")" = "$(extract_served "$base")" ]; then
+            echo "  $name: total_cycles and served match exactly"
+        else
+            echo "  $name: deterministic serving results diverged" \
+                 "from baseline (total_cycles/served must match" \
+                 "exactly)" >&2
+            diff <(extract_cycles "$base") <(extract_cycles "$fresh") \
+                | head -5 || true
+            fail=1
+        fi
+        compared=$((compared + 1))
         continue
     fi
     # Pair up the ordered cycle counts and flag >5% regressions.

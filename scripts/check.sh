@@ -25,4 +25,18 @@ for preset in "${presets[@]}"; do
     ctest --preset "$preset"
 done
 
+# Quick-mode serving smoke: run the serve_sweep bench against the
+# committed baseline — the sweep is deterministic, so its cycle and
+# served-request counts must match bench/baselines/BENCH_serve.json
+# exactly (see bench.sh --compare).
+case " ${presets[*]} " in
+*" default "*)
+    echo "=== [default] serve_sweep smoke ==="
+    smoke_dir="$(mktemp -d)"
+    trap 'rm -rf "$smoke_dir"' EXIT
+    NEUROCUBE_QUICK=1 scripts/bench.sh --compare bench/baselines \
+        "$smoke_dir" serve_sweep
+    ;;
+esac
+
 echo "all presets passed: ${presets[*]}"

@@ -117,6 +117,8 @@ class Histogram
     double p50() const { return percentile(50.0); }
     /** 99th percentile. */
     double p99() const { return percentile(99.0); }
+    /** 99.9th percentile (tail-latency SLO reporting). */
+    double p999() const { return percentile(99.9); }
 
     /** The short identifier. */
     const std::string &name() const { return name_; }

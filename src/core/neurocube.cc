@@ -331,6 +331,37 @@ Neurocube::buildBatchLanes()
     lanePartition_ = buildLanePartition(config_.numPes, lanes);
 }
 
+void
+Neurocube::setBatchLanes(unsigned lanes)
+{
+    nc_assert(lanes >= 1, "batch needs at least one lane");
+    if (lanes == config_.batch.lanes && !lanePartition_.empty())
+        return;
+    nc_assert(fabric_->idle(),
+              "setBatchLanes with packets in flight");
+    config_.batch.lanes = lanes;
+    // Drop state tied to the old partition: gathered lane outputs
+    // and the partition itself (rebuilt below against the new lane
+    // count). The fabric lane map is per-run — runForwardBatch arms
+    // it on entry and clears it on exit.
+    lanePartition_.clear();
+    batchActivations_.clear();
+    buildBatchLanes();
+}
+
+void
+Neurocube::advanceIdleTo(Tick when)
+{
+    if (when <= now_)
+        return;
+    nc_assert(fabric_->idle(), "advanceIdleTo with packets in flight");
+    for (const auto &channel : channels_) {
+        nc_assert(channel->idle(),
+                  "advanceIdleTo with DRAM work pending");
+    }
+    now_ = when;
+}
+
 bool
 Neurocube::laneDone(const LaneSpec &lane) const
 {

@@ -81,6 +81,27 @@ class Neurocube
     }
 
     /**
+     * Reconfigure the number of batch lanes for subsequent
+     * runForwardBatch calls (the serving scheduler resizes online as
+     * queue depth shifts). Rebuilds the lane partition, revalidates
+     * the batching preconditions, and drops the gathered outputs of
+     * earlier batch runs. Only legal between runs, when the machine
+     * is quiescent; per-lane tracks in an already-open trace session
+     * keep the lane prefixes of the construction-time partition.
+     */
+    void setBatchLanes(unsigned lanes);
+
+    /**
+     * Fast-forward the simulation clock to @p when without ticking
+     * any component. Only legal while the machine is idle (between
+     * runs): with nothing in flight, skipping the gap is equivalent
+     * to simulating it. Lets an open-loop driver keep request
+     * arrival timestamps and machine time in one clock domain.
+     * A @p when earlier than now() is a no-op.
+     */
+    void advanceIdleTo(Tick when);
+
+    /**
      * Execute an ad-hoc layer outside the loaded network (used by
      * the training sequencer and the parameter sweeps).
      *

@@ -90,7 +90,7 @@ NocFabric::buildMesh()
     // Neighbour links (both directions).
     auto add_link = [&](unsigned a, unsigned ap, unsigned b,
                         unsigned bp) {
-        links_.push_back({a, ap, b, bp, config_.linkWidth});
+        links_.push_back({a, ap, b, bp, config_.linkWidth, 1});
     };
     for (unsigned y = 0; y < meshWidth_; ++y) {
         for (unsigned x = 0; x < meshWidth_; ++x) {
@@ -148,13 +148,24 @@ NocFabric::buildFullyConnected()
         }
     }
 
+    // Direct channels are physical wires on the same floor plan the
+    // mesh uses: lay the n routers on a square grid and price each
+    // channel by the Manhattan distance between its endpoints.
+    const unsigned grid =
+        static_cast<unsigned>(std::lround(std::sqrt(double(n))));
+    auto manhattan = [&](unsigned a, unsigned b) {
+        unsigned ax = a % grid, ay = a / grid;
+        unsigned bx = b % grid, by = b / grid;
+        return (ax > bx ? ax - bx : bx - ax)
+             + (ay > by ? ay - by : by - ay);
+    };
     for (unsigned a = 0; a < n; ++a) {
         for (unsigned b = 0; b < n; ++b) {
             if (a == b)
                 continue;
             links_.push_back({a, neighbour_port(a, b), b,
                               neighbour_port(b, a),
-                              config_.linkWidth});
+                              config_.linkWidth, manhattan(a, b)});
         }
     }
 }
@@ -239,7 +250,7 @@ NocFabric::tick(Tick now)
             --budget;
             statLinkFlits_ += 1;
             NC_ENERGY_EVENT(EnergyEventKind::NocLink, link.srcRouter,
-                            1);
+                            link.distance);
             NC_TRACE(TraceComponent::Router, link.srcRouter,
                      TraceEventType::LinkFlit, link.dstRouter);
         }

@@ -170,6 +170,14 @@ class NocFabric
         unsigned dstRouter;
         unsigned dstPort;
         unsigned width;
+        /**
+         * Physical length in Manhattan grid hops on the chip floor
+         * plan (mesh neighbour links are 1; fully-connected channels
+         * span the grid distance between their endpoints). Scales the
+         * NocLink energy per traversal, so the fully-connected
+         * topology pays for its long global wires.
+         */
+        unsigned distance;
     };
 
     void buildMesh();

@@ -1,0 +1,41 @@
+#include "serving/scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace neurocube
+{
+
+BatchScheduler::BatchScheduler(const ServeSchedulerConfig &config)
+    : config_(config)
+{
+    nc_assert(config_.maxLanes >= 1
+                  && (config_.maxLanes & (config_.maxLanes - 1)) == 0,
+              "maxLanes must be a power of two, got %u",
+              config_.maxLanes);
+}
+
+unsigned
+BatchScheduler::laneCountFor(size_t queueDepth) const
+{
+    nc_assert(queueDepth >= 1, "lane count for an empty queue");
+    unsigned lanes = 1;
+    while (lanes * 2 <= config_.maxLanes && lanes * 2 <= queueDepth)
+        lanes *= 2;
+    return lanes;
+}
+
+unsigned
+BatchScheduler::decide(size_t queueDepth, Tick oldestArrival,
+                       Tick now) const
+{
+    if (queueDepth == 0)
+        return 0;
+    if (queueDepth >= config_.maxLanes)
+        return config_.maxLanes;
+    if (now >= oldestArrival
+        && now - oldestArrival >= config_.maxWaitTicks)
+        return laneCountFor(queueDepth);
+    return 0;
+}
+
+} // namespace neurocube

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Dynamic-batching dispatch policy.
+ *
+ * The scheduler decides *when* to launch a batch and *how many*
+ * vault-group lanes to reconfigure the cube into. The tension is the
+ * classic batching trade-off: waiting fills more lanes (higher
+ * throughput per batch) but ages the queued requests (higher
+ * latency). The policy here:
+ *
+ *  - dispatch immediately once a full batch (maxLanes requests) is
+ *    queued;
+ *  - otherwise dispatch a partial batch when the oldest queued
+ *    request has waited maxWaitTicks;
+ *  - size the partial batch's lane count to the largest power of two
+ *    that the queue can fill, so the lane partitioner's rectangular
+ *    vault groups (1, 2 or 4 on the 4x4 mesh) stay fully utilized.
+ *
+ * The chosen lane count feeds Neurocube::setBatchLanes, so the mesh
+ * is re-partitioned online as the queue depth shifts.
+ */
+
+#ifndef NEUROCUBE_SERVING_SCHEDULER_HH
+#define NEUROCUBE_SERVING_SCHEDULER_HH
+
+#include <cstddef>
+
+#include "common/types.hh"
+
+namespace neurocube
+{
+
+/** Dispatch-policy knobs. */
+struct ServeSchedulerConfig
+{
+    /**
+     * Largest batch the scheduler dispatches; must be a power of two
+     * the lane partitioner supports (1, 2 or 4 on the 4x4 mesh).
+     */
+    unsigned maxLanes = 4;
+    /**
+     * Longest time the oldest queued request may wait before a
+     * partial batch is dispatched anyway (reference ticks).
+     */
+    Tick maxWaitTicks = 50000;
+};
+
+/** Decides batch launch times and lane counts. */
+class BatchScheduler
+{
+  public:
+    explicit BatchScheduler(const ServeSchedulerConfig &config);
+
+    /**
+     * Dispatch decision at time @p now.
+     *
+     * @param queueDepth requests currently queued
+     * @param oldestArrival arrival tick of the oldest queued request
+     *        (ignored when queueDepth is 0)
+     * @return lane count to dispatch with, or 0 to keep waiting
+     */
+    unsigned decide(size_t queueDepth, Tick oldestArrival,
+                    Tick now) const;
+
+    /**
+     * Lane count for a forced dispatch at depth @p queueDepth: the
+     * largest supported power of two <= min(queueDepth, maxLanes).
+     */
+    unsigned laneCountFor(size_t queueDepth) const;
+
+    /** The policy knobs. */
+    const ServeSchedulerConfig &config() const { return config_; }
+
+  private:
+    ServeSchedulerConfig config_;
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_SERVING_SCHEDULER_HH

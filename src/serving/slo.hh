@@ -1,0 +1,85 @@
+/**
+ * @file
+ * SLO reporting: turn a serving run into headline service metrics.
+ *
+ * Condenses a ServingResult into the numbers an inference-serving
+ * evaluation reports: offered load vs goodput (the saturation knee),
+ * tail-latency percentiles (p50/p99/p999) from the latency
+ * histogram, drop rate at admission control, queue-depth statistics,
+ * energy per served request (activity counts priced at 15 nm), and
+ * the dominant stall class of the executed cycles. A JSON serializer
+ * feeds bench/serve_sweep.cc's BENCH_serve.json.
+ */
+
+#ifndef NEUROCUBE_SERVING_SLO_HH
+#define NEUROCUBE_SERVING_SLO_HH
+
+#include <string>
+
+#include "serving/server.hh"
+
+namespace neurocube
+{
+
+/** Headline service metrics of one serving run. */
+struct ServingReport
+{
+    /** Requests offered / served / dropped. */
+    uint64_t offered = 0;
+    uint64_t served = 0;
+    uint64_t dropped = 0;
+    /** Batches dispatched. */
+    uint64_t batches = 0;
+    /** Mean dispatched batch size (served / batches). */
+    double meanBatch = 0.0;
+
+    /** Offered load over the arrival span, requests/s. */
+    double offeredPerSec = 0.0;
+    /** Served requests over the makespan, requests/s. */
+    double goodputPerSec = 0.0;
+    /** dropped / offered. */
+    double dropRate = 0.0;
+
+    /** Latency percentiles of the served requests, ticks. */
+    double p50Ticks = 0.0;
+    double p99Ticks = 0.0;
+    double p999Ticks = 0.0;
+    /** Mean / max served latency, ticks. */
+    double meanTicks = 0.0;
+    uint64_t maxTicks = 0;
+
+    /** Queue depth statistics (sampled at queue transitions). */
+    double meanQueueDepth = 0.0;
+    uint64_t maxQueueDepth = 0;
+
+    /** Run span and the cycles spent executing batches. */
+    Tick makespan = 0;
+    Tick busyCycles = 0;
+    /** busyCycles / makespan. */
+    double utilization = 0.0;
+
+    /** Joules per served request (activity counts at 15 nm);
+     *  negative when the run carried no energy accounting. */
+    double energyPerRequestJ = -1.0;
+
+    /** Dominant stall class of the executed cycles ("n/a" when the
+     *  run carried no metrics). */
+    const char *bottleneckLabel = "n/a";
+};
+
+/** Condense a serving run into its report. */
+ServingReport buildServingReport(const ServingResult &result);
+
+/**
+ * One flat JSON object for the report (no trailing newline). The
+ * keys are stable — scripts/bench.sh greps "total_cycles" and
+ * "served" for the exact-match baseline gate.
+ */
+std::string servingReportJson(const ServingReport &report);
+
+/** Print the report as a human-readable panel (benches, examples). */
+void printServingPanel(const ServingReport &report, const char *title);
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_SERVING_SLO_HH

@@ -55,6 +55,7 @@ ChromeTraceExporter::emitPrelude()
     };
     emitMeta(trackPid(TraceComponent::Sim, 0), "sim");
     emitMeta(phasesPid, "phases");
+    emitMeta(requestsPid, "requests");
     for (unsigned i = 0; i < topology_.numRouters; ++i) {
         emitMeta(trackPid(TraceComponent::Router, uint16_t(i)),
                  lane(i) + "router" + std::to_string(i));
@@ -261,6 +262,30 @@ ChromeTraceExporter::handle(const TraceEvent &event)
         emitSlice(trackPid(TraceComponent::Sim, 0), name.c_str(),
                   event.tick - event.value, event.value,
                   "\"pass\":" + std::to_string(event.arg));
+        break;
+      }
+      case TraceEventType::ServeQueueDepth:
+        bumpCounter(trackPid(TraceComponent::Sim, 0), "serveQueue",
+                    AggMode::Last, double(event.value));
+        if (ServeQueueEvent(event.arg) == ServeQueueEvent::Drop) {
+            bumpCounter(trackPid(TraceComponent::Sim, 0),
+                        "serveDrops/win", AggMode::Sum, 1.0);
+        }
+        break;
+      case TraceEventType::ServeRequestDone: {
+        if (event.value == 0) {
+            emitInstant(requestsPid, "reqDrop", event.tick,
+                        event.arg);
+            break;
+        }
+        // One span per request from arrival to completion. Requests
+        // overlap while batched, so spread them over a few rows.
+        emitComma();
+        os_ << "{\"name\":\"req" << event.arg
+            << "\",\"ph\":\"X\",\"ts\":" << (event.tick - event.value)
+            << ",\"dur\":" << event.value << ",\"pid\":" << requestsPid
+            << ",\"tid\":" << (event.arg % 8)
+            << ",\"args\":{\"latency\":" << event.value << "}}";
         break;
       }
       case TraceEventType::DramQueueDepth:

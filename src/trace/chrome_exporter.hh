@@ -66,6 +66,10 @@ class ChromeTraceExporter : public TraceSink
     /** Pid of the top-level phase annotation track. */
     static constexpr uint32_t phasesPid = 5000;
 
+    /** Pid of the serving request-span track (one slice per served
+     *  request, from arrival to completion). */
+    static constexpr uint32_t requestsPid = 5001;
+
   private:
     /** How a counter series combines events within one window. */
     enum class AggMode

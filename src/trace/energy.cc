@@ -117,6 +117,9 @@ tracePjOf(const TraceEvent &event, const EnergyPrices &prices)
       case TraceComponent::Router:
         if (type == TraceEventType::FlitSwitch)
             return prices.nocHopPj;
+        // Stream estimate: a LinkFlit event carries no link length,
+        // so it prices as one unit-distance segment. Exact distance-
+        // weighted accounting is the EnergyRegistry path.
         if (type == TraceEventType::LinkFlit)
             return prices.nocLinkPj;
         return 0.0;

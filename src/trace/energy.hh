@@ -55,7 +55,10 @@ enum class EnergyEventKind : uint8_t
     WeightRegRead,
     /** Flits switched through a router crossbar. */
     NocHop,
-    /** Flits crossing a router-to-router link. */
+    /** Flit-segments crossing router-to-router links: each traversal
+     *  counts the link's Manhattan length in grid hops, so long
+     *  fully-connected channels cost proportionally more than mesh
+     *  neighbour links (which count 1). */
     NocLink,
     /** PNG transactions: element reads issued + write-backs absorbed. */
     PngOp,
@@ -188,7 +191,10 @@ struct EnergyPrices
     double weightRegPj = 1.44e-4 / 5.12e9 * 1e12;
     /** One crossbar hop (70% of the router row's per-flit energy). */
     double nocHopPj = 0.7 * 3.59e-2 / 5.12e9 * 1e12;
-    /** One link traversal (the remaining 30%: link drivers). */
+    /** One unit-distance link segment (the remaining 30% of the
+     *  router row's per-flit energy: link drivers). Link traversals
+     *  are counted in Manhattan grid hops, so a fully-connected
+     *  channel spanning d grid cells pays d of these. */
     double nocLinkPj = 0.3 * 3.59e-2 / 5.12e9 * 1e12;
     /** One PNG transaction (PMC row). */
     double pngOpPj = 1.39e-3 / 5.12e9 * 1e12;

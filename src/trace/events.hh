@@ -87,6 +87,14 @@ enum class TraceEventType : uint8_t
     /** Tick stalled with work queued. arg=DramStallReason. */
     DramStall,
 
+    // --- Serving frontend (instance = 0, sim track; src/serving/).
+    /** Request queue depth changed. arg=ServeQueueEvent,
+     *  value=queue depth after the transition. */
+    ServeQueueDepth,
+    /** Request left the system. arg=request id,
+     *  value=end-to-end latency in ticks (0 for a dropped request). */
+    ServeRequestDone,
+
     EventTypeCount,
 };
 
@@ -114,6 +122,20 @@ enum class DramStallReason : uint8_t
     RowConflict,
     Backpressure,
 };
+
+/** Request-queue transition a ServeQueueDepth event reports. */
+enum class ServeQueueEvent : uint8_t
+{
+    /** Request admitted into the queue. */
+    Arrive = 0,
+    /** Request left the queue into a dispatched batch. */
+    Dispatch,
+    /** Request rejected at a full queue (admission control). */
+    Drop,
+};
+
+/** Label of a serve queue transition. */
+const char *serveQueueEventName(ServeQueueEvent event);
 
 /** One recorded event (24 bytes, trivially copyable). */
 struct TraceEvent

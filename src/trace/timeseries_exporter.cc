@@ -17,7 +17,7 @@ TimeSeriesCsvExporter::TimeSeriesCsvExporter(
     os_ << "window_start,noc_flits_per_cycle,ejected_per_cycle,"
            "mean_eject_latency,pe_util_pct,png_stall_ticks,"
            "noc_blocked_ticks,dram_stall_ticks,dram_bytes_per_cycle,"
-           "avg_power_w";
+           "avg_power_w,serve_queue_depth";
     for (unsigned v = 0; v < topology_.numVaults; ++v)
         os_ << ",vault" << v << "_bytes";
     os_ << "\n";
@@ -59,7 +59,8 @@ TimeSeriesCsvExporter::flushWindow()
                            : 0.0)
         << ',' << pngStallTicks_ << ',' << nocBlockedTicks_ << ','
         << dramStallTicks_ << ',' << double(total_bits) / 8.0 / w
-        << ',' << windowPj_ * 1e-12 * referenceClockHz / w;
+        << ',' << windowPj_ * 1e-12 * referenceClockHz / w << ','
+        << serveQueueDepth_;
     for (uint64_t bits : vaultBits_)
         os_ << ',' << bits / 8;
     os_ << "\n";
@@ -106,6 +107,9 @@ TimeSeriesCsvExporter::handle(const TraceEvent &event)
       case TraceEventType::DramWord:
         if (event.instance < vaultBits_.size())
             vaultBits_[event.instance] += event.value;
+        break;
+      case TraceEventType::ServeQueueDepth:
+        serveQueueDepth_ = event.value;
         break;
       default:
         break;

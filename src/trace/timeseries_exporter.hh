@@ -67,6 +67,9 @@ class TimeSeriesCsvExporter : public TraceSink
     uint64_t nocBlockedTicks_ = 0;
     uint64_t dramStallTicks_ = 0;
     std::vector<uint64_t> vaultBits_;
+    /** Request-queue depth at window end (level, carried across
+     *  windows rather than reset — the queue persists). */
+    uint64_t serveQueueDepth_ = 0;
 };
 
 } // namespace neurocube

@@ -79,8 +79,26 @@ traceEventTypeName(TraceEventType type)
         return "dramRowActivate";
       case TraceEventType::DramStall:
         return "dramStall";
+      case TraceEventType::ServeQueueDepth:
+        return "serveQueueDepth";
+      case TraceEventType::ServeRequestDone:
+        return "serveRequestDone";
       case TraceEventType::EventTypeCount:
         break;
+    }
+    return "?";
+}
+
+const char *
+serveQueueEventName(ServeQueueEvent event)
+{
+    switch (event) {
+      case ServeQueueEvent::Arrive:
+        return "arrive";
+      case ServeQueueEvent::Dispatch:
+        return "dispatch";
+      case ServeQueueEvent::Drop:
+        return "drop";
     }
     return "?";
 }

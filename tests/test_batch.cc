@@ -235,6 +235,72 @@ TEST(Batch, FourLaneFcThroughputAcceptance)
         << run.cycles;
 }
 
+TEST(Batch, SetBatchLanesReentrantAcrossLaneCounts)
+{
+    // One cube, three consecutive batches with different lane
+    // counts (4 -> 2 -> 1), as the serving scheduler reconfigures
+    // the mesh online. Every run must stay bit-identical to the
+    // reference model and keep packets inside their lanes — no
+    // state from a previous partition may leak into the next run.
+    NetworkDesc net = convFcNet();
+    NetworkData data = NetworkData::randomized(net, 6);
+    std::vector<Tensor> inputs = laneInputs(net, 4, 600);
+
+    Neurocube cube(NeurocubeConfig{});
+    cube.loadNetwork(net, data);
+
+    const unsigned lane_counts[] = {4, 2, 1, 4};
+    for (unsigned lanes : lane_counts) {
+        cube.setBatchLanes(lanes);
+        ASSERT_EQ(cube.lanePartition().size(), lanes);
+        std::vector<Tensor> batch(inputs.begin(),
+                                  inputs.begin() + lanes);
+        BatchRunResult run = cube.runForwardBatch(batch);
+        ASSERT_EQ(run.lanes.size(), lanes);
+        for (unsigned l = 0; l < lanes; ++l) {
+            auto expect = referenceForward(net, data, inputs[l]);
+            for (size_t i = 0; i < net.layers.size(); ++i) {
+                EXPECT_TRUE(tensorsEqual(cube.batchLayerOutput(l, i),
+                                         expect[i]))
+                    << lanes << " lanes, lane " << l << " layer "
+                    << i;
+            }
+        }
+        EXPECT_EQ(cube.fabric().crossLanePackets(), 0u)
+            << lanes << " lanes";
+    }
+}
+
+TEST(Batch, SetBatchLanesTimingIsDeterministic)
+{
+    // Warm machine state (caches, row buffers) may legitimately make
+    // a second run faster than the first, but the whole reconfigure
+    // sequence must be deterministic: two cubes driven through the
+    // same 4 -> 2 -> 2 lane sequence report identical cycle counts,
+    // and the warm steady state is stable run over run.
+    NetworkDesc net = convFcNet();
+    NetworkData data = NetworkData::randomized(net, 7);
+    std::vector<Tensor> inputs = laneInputs(net, 4, 700);
+    std::vector<Tensor> pair(inputs.begin(), inputs.begin() + 2);
+
+    auto sequence = [&]() {
+        Neurocube cube((NeurocubeConfig()));
+        cube.loadNetwork(net, data);
+        cube.setBatchLanes(4);
+        std::vector<Tick> cycles;
+        cycles.push_back(cube.runForwardBatch(inputs).cycles);
+        cube.setBatchLanes(2);
+        cycles.push_back(cube.runForwardBatch(pair).cycles);
+        cycles.push_back(cube.runForwardBatch(pair).cycles);
+        return cycles;
+    };
+    std::vector<Tick> a = sequence();
+    std::vector<Tick> b = sequence();
+    EXPECT_EQ(a, b);
+    for (Tick c : a)
+        EXPECT_GT(c, 0u);
+}
+
 TEST(Batch, PerLaneStatsPartitionTheMachine)
 {
     NetworkDesc net = convFcNet();

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Serving-subsystem tests: arrival generation (Poisson + trace
+ * replay), the bounded request queue's admission accounting, the
+ * dynamic-batching scheduler's dispatch decisions, and the
+ * end-to-end ServingSimulator — including the determinism contract
+ * that one (seed, arrival trace, network) triple always yields
+ * bit-identical per-request latencies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "serving/server.hh"
+#include "serving/slo.hh"
+
+namespace neurocube
+{
+namespace
+{
+
+/** Small FC net so end-to-end serving runs stay fast. */
+NetworkDesc
+servingNet()
+{
+    NetworkDesc net;
+    net.name = "serving-fc";
+    LayerDesc fc;
+    fc.type = LayerType::FullyConnected;
+    fc.name = "fc";
+    fc.inWidth = 64;
+    fc.inHeight = 1;
+    fc.inMaps = 1;
+    fc.outMaps = 16;
+    fc.activation = ActivationKind::Sigmoid;
+    net.layers.push_back(fc);
+    net.validate();
+    return net;
+}
+
+Tensor
+servingInput(const NetworkDesc &net, uint64_t seed)
+{
+    Tensor input(net.inputMaps(), net.inputHeight(),
+                 net.inputWidth());
+    Rng rng(seed);
+    input.randomize(rng);
+    return input;
+}
+
+// --- Arrival generation ---------------------------------------------
+
+TEST(Arrival, PoissonIsDeterministicPerSeed)
+{
+    ArrivalSchedule a = poissonArrivals(200, 1000.0, 42);
+    ArrivalSchedule b = poissonArrivals(200, 1000.0, 42);
+    ArrivalSchedule c = poissonArrivals(200, 1000.0, 43);
+    ASSERT_EQ(a.count(), 200u);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_NE(a.ticks, c.ticks);
+}
+
+TEST(Arrival, PoissonGapsMatchTheMean)
+{
+    // 4000 samples of an exponential with mean 500: the empirical
+    // mean gap lands within a few percent of the target.
+    ArrivalSchedule sched = poissonArrivals(4000, 500.0, 7);
+    ASSERT_EQ(sched.count(), 4000u);
+    for (size_t i = 1; i < sched.ticks.size(); ++i)
+        ASSERT_GE(sched.ticks[i], sched.ticks[i - 1]);
+    double mean_gap =
+        double(sched.span()) / double(sched.count() - 1);
+    EXPECT_NEAR(mean_gap, 500.0, 50.0);
+    EXPECT_NEAR(sched.offeredPerSecond(1e9), 1e9 / mean_gap,
+                1e9 / mean_gap * 0.01);
+}
+
+TEST(Arrival, TraceRoundTripsThroughTheTextFormat)
+{
+    ArrivalSchedule sched = poissonArrivals(50, 700.0, 9);
+    std::ostringstream out;
+    writeArrivalTrace(out, sched);
+    std::istringstream in(out.str());
+    ArrivalSchedule replay = parseArrivalTrace(in);
+    EXPECT_EQ(replay.ticks, sched.ticks);
+}
+
+TEST(Arrival, TraceParserSkipsCommentsAndBlanks)
+{
+    std::istringstream in("# offered load: hand-crafted burst\n"
+                          "\n"
+                          "0\n"
+                          "10\n"
+                          "  10  \n"
+                          "# mid-stream comment\n"
+                          "250\n");
+    ArrivalSchedule sched = parseArrivalTrace(in);
+    ASSERT_EQ(sched.count(), 4u);
+    EXPECT_EQ(sched.ticks, (std::vector<Tick>{0, 10, 10, 250}));
+    EXPECT_EQ(sched.span(), 250u);
+}
+
+// --- Request queue ---------------------------------------------------
+
+TEST(RequestQueue, AdmitsToDepthThenDrops)
+{
+    RequestQueue queue(2);
+    EXPECT_TRUE(queue.offer({0, 10}, 10));
+    EXPECT_TRUE(queue.offer({1, 20}, 20));
+    EXPECT_FALSE(queue.offer({2, 30}, 30));
+    EXPECT_FALSE(queue.offer({3, 40}, 40));
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_EQ(queue.admitted(), 2u);
+    EXPECT_EQ(queue.dropped(), 2u);
+
+    // Dispatching frees a slot; admission resumes, FIFO order holds.
+    Request head = queue.pop(50);
+    EXPECT_EQ(head.id, 0u);
+    EXPECT_EQ(head.arrival, 10u);
+    EXPECT_TRUE(queue.offer({4, 60}, 60));
+    EXPECT_EQ(queue.frontArrival(), 20u);
+    EXPECT_EQ(queue.admitted(), 3u);
+    EXPECT_EQ(queue.dropped(), 2u);
+}
+
+TEST(RequestQueue, DepthHistogramTracksTransitions)
+{
+    RequestQueue queue(4);
+    queue.offer({0, 1}, 1);
+    queue.offer({1, 2}, 2);
+    queue.offer({2, 3}, 3);
+    queue.pop(4);
+    queue.pop(5);
+    // Samples after each transition: 1, 2, 3, 2, 1.
+    const Histogram &depth = queue.depthHistogram();
+    EXPECT_EQ(depth.count(), 5u);
+    EXPECT_EQ(depth.max(), 3u);
+    EXPECT_EQ(depth.min(), 1u);
+}
+
+// --- Scheduler -------------------------------------------------------
+
+TEST(Scheduler, FullBatchDispatchesImmediately)
+{
+    ServeSchedulerConfig config;
+    config.maxLanes = 4;
+    config.maxWaitTicks = 1000;
+    BatchScheduler sched(config);
+    EXPECT_EQ(sched.decide(4, 0, 0), 4u);
+    EXPECT_EQ(sched.decide(9, 0, 0), 4u);
+}
+
+TEST(Scheduler, PartialBatchWaitsForTheDeadline)
+{
+    ServeSchedulerConfig config;
+    config.maxLanes = 4;
+    config.maxWaitTicks = 1000;
+    BatchScheduler sched(config);
+    // Oldest request arrived at 100: hold until 1100, then dispatch
+    // the largest power of two the queue fills.
+    EXPECT_EQ(sched.decide(3, 100, 100), 0u);
+    EXPECT_EQ(sched.decide(3, 100, 1099), 0u);
+    EXPECT_EQ(sched.decide(3, 100, 1100), 2u);
+    EXPECT_EQ(sched.decide(1, 100, 1100), 1u);
+    EXPECT_EQ(sched.decide(0, 0, 99999), 0u);
+}
+
+TEST(Scheduler, LaneCountIsLargestFillablePowerOfTwo)
+{
+    ServeSchedulerConfig config;
+    config.maxLanes = 4;
+    BatchScheduler sched(config);
+    EXPECT_EQ(sched.laneCountFor(1), 1u);
+    EXPECT_EQ(sched.laneCountFor(2), 2u);
+    EXPECT_EQ(sched.laneCountFor(3), 2u);
+    EXPECT_EQ(sched.laneCountFor(4), 4u);
+    EXPECT_EQ(sched.laneCountFor(100), 4u);
+
+    ServeSchedulerConfig narrow;
+    narrow.maxLanes = 2;
+    BatchScheduler two(narrow);
+    EXPECT_EQ(two.laneCountFor(4), 2u);
+}
+
+// --- End-to-end serving ----------------------------------------------
+
+TEST(Serving, AccountsEveryOfferedRequest)
+{
+    NetworkDesc net = servingNet();
+    NetworkData data = NetworkData::randomized(net, 1);
+    Tensor input = servingInput(net, 2);
+
+    Neurocube cube((NeurocubeConfig()));
+    cube.loadNetwork(net, data);
+
+    ArrivalSchedule arrivals = poissonArrivals(16, 2000.0, 11);
+    ServingConfig config;
+    config.queueDepth = 8;
+    config.scheduler.maxLanes = 4;
+    config.scheduler.maxWaitTicks = 4000;
+    ServingSimulator sim(cube, config);
+    ServingResult result = sim.run(arrivals, input);
+
+    ASSERT_EQ(result.requests.size(), 16u);
+    EXPECT_EQ(result.served + result.dropped, 16u);
+    EXPECT_GT(result.served, 0u);
+    EXPECT_GT(result.batches, 0u);
+    EXPECT_GT(result.makespan, 0u);
+    EXPECT_GE(result.makespan, result.busyCycles);
+    EXPECT_EQ(result.latency.count(), result.served);
+
+    uint64_t served = 0, dropped = 0;
+    for (const RequestRecord &r : result.requests) {
+        if (r.dropped) {
+            ++dropped;
+            EXPECT_EQ(r.completion, 0u);
+            EXPECT_EQ(r.lanes, 0u);
+        } else {
+            ++served;
+            EXPECT_GE(r.dispatch, r.arrival);
+            EXPECT_GT(r.completion, r.dispatch);
+            EXPECT_GE(r.lanes, 1u);
+            EXPECT_LE(r.lanes, 4u);
+            EXPECT_EQ(r.latency(), r.completion - r.arrival);
+        }
+    }
+    EXPECT_EQ(served, result.served);
+    EXPECT_EQ(dropped, result.dropped);
+}
+
+TEST(Serving, OverloadDropsAtTheAdmissionBound)
+{
+    NetworkDesc net = servingNet();
+    NetworkData data = NetworkData::randomized(net, 1);
+    Tensor input = servingInput(net, 2);
+
+    Neurocube cube((NeurocubeConfig()));
+    cube.loadNetwork(net, data);
+
+    // Everything arrives at t=0 against a queue of 4: exactly the
+    // overflow is dropped, the rest is served in drain mode.
+    ArrivalSchedule burst;
+    burst.ticks.assign(12, 0);
+    ServingConfig config;
+    config.queueDepth = 4;
+    config.scheduler.maxLanes = 4;
+    ServingSimulator sim(cube, config);
+    ServingResult result = sim.run(burst, input);
+
+    EXPECT_EQ(result.served, 4u);
+    EXPECT_EQ(result.dropped, 8u);
+    EXPECT_EQ(result.batches, 1u);
+    EXPECT_EQ(result.requests[0].lanes, 4u);
+}
+
+TEST(Serving, LoneRequestDispatchesAfterMaxWait)
+{
+    NetworkDesc net = servingNet();
+    NetworkData data = NetworkData::randomized(net, 1);
+    Tensor input = servingInput(net, 2);
+
+    Neurocube cube((NeurocubeConfig()));
+    cube.loadNetwork(net, data);
+
+    ArrivalSchedule lone;
+    lone.ticks = {100};
+    ServingConfig config;
+    config.scheduler.maxLanes = 4;
+    config.scheduler.maxWaitTicks = 5000;
+    ServingSimulator sim(cube, config);
+    ServingResult result = sim.run(lone, input);
+
+    ASSERT_EQ(result.served, 1u);
+    const RequestRecord &r = result.requests[0];
+    EXPECT_EQ(r.lanes, 1u);
+    // Drain mode dispatches immediately once no further arrival can
+    // fill the batch — the lone request never waits out the timer.
+    EXPECT_EQ(r.dispatch, r.arrival);
+}
+
+TEST(Serving, SameSeedAndTraceYieldIdenticalLatencies)
+{
+    NetworkDesc net = servingNet();
+    NetworkData data = NetworkData::randomized(net, 1);
+    Tensor input = servingInput(net, 2);
+    ArrivalSchedule arrivals = poissonArrivals(20, 1200.0, 77);
+
+    ServingConfig config;
+    config.queueDepth = 6;
+    config.scheduler.maxLanes = 4;
+    config.scheduler.maxWaitTicks = 3000;
+
+    auto serve = [&]() {
+        Neurocube cube((NeurocubeConfig()));
+        cube.loadNetwork(net, data);
+        ServingSimulator sim(cube, config);
+        return sim.run(arrivals, input);
+    };
+    ServingResult a = serve();
+    ServingResult b = serve();
+
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (size_t i = 0; i < a.requests.size(); ++i) {
+        EXPECT_EQ(a.requests[i].dropped, b.requests[i].dropped)
+            << "request " << i;
+        EXPECT_EQ(a.requests[i].latency(), b.requests[i].latency())
+            << "request " << i;
+        EXPECT_EQ(a.requests[i].lanes, b.requests[i].lanes)
+            << "request " << i;
+    }
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.batches, b.batches);
+
+    // And the derived report is bit-identical too (the bench's
+    // exact-compare gate relies on this).
+    EXPECT_EQ(servingReportJson(buildServingReport(a)),
+              servingReportJson(buildServingReport(b)));
+}
+
+TEST(Serving, ReportAggregatesMatchTheResult)
+{
+    NetworkDesc net = servingNet();
+    NetworkData data = NetworkData::randomized(net, 1);
+    Tensor input = servingInput(net, 2);
+
+    Neurocube cube((NeurocubeConfig()));
+    cube.loadNetwork(net, data);
+
+    ArrivalSchedule arrivals = poissonArrivals(12, 1500.0, 5);
+    ServingConfig config;
+    config.queueDepth = 6;
+    ServingSimulator sim(cube, config);
+    ServingResult result = sim.run(arrivals, input);
+    ServingReport report = buildServingReport(result);
+
+    EXPECT_EQ(report.offered, 12u);
+    EXPECT_EQ(report.served, result.served);
+    EXPECT_EQ(report.dropped, result.dropped);
+    EXPECT_DOUBLE_EQ(report.dropRate,
+                     double(result.dropped) / 12.0);
+    EXPECT_GE(report.p99Ticks, report.p50Ticks);
+    EXPECT_GE(report.p999Ticks, report.p99Ticks);
+    EXPECT_GT(report.utilization, 0.0);
+    EXPECT_LE(report.utilization, 1.0);
+    EXPECT_EQ(report.makespan, result.makespan);
+
+    std::string json = servingReportJson(report);
+    EXPECT_NE(json.find("\"total_cycles\": "), std::string::npos);
+    EXPECT_NE(json.find("\"served\": "), std::string::npos);
+    EXPECT_NE(json.find("\"p999_ticks\": "), std::string::npos);
+}
+
+} // namespace
+} // namespace neurocube

@@ -178,6 +178,75 @@ TEST(Histogram, MergeEmptyOperandsAreNeutral)
     EXPECT_DOUBLE_EQ(c.mean(), 6.0);
 }
 
+TEST(Histogram, P999ResolvesTailAboveP99)
+{
+    StatGroup group(nullptr, "g");
+    Histogram hist(&group, "h", "test");
+    // 10000 fast requests plus 20 stragglers two decades slower:
+    // ~0.2% of the mass, so the 99.9th-percentile rank falls inside
+    // the straggler cluster. p99 must stay with the bulk, p999 must
+    // land in (or above) the stragglers.
+    for (int i = 0; i < 10000; ++i)
+        hist.sample(100);
+    for (int i = 0; i < 20; ++i)
+        hist.sample(100000);
+    EXPECT_LT(hist.p99(), 1000.0);
+    EXPECT_GT(hist.p999(), 10000.0);
+    EXPECT_GE(hist.p999(), hist.p99());
+    EXPECT_LE(hist.p999(), double(hist.max()) * 2.0);
+}
+
+TEST(Histogram, P999InvariantUnderInsertionOrder)
+{
+    StatGroup group(nullptr, "g");
+    Histogram ascending(&group, "a", "test");
+    Histogram descending(&group, "d", "test");
+    Histogram shuffled(&group, "s", "test");
+    // Same multiset in three orders: ascending, descending, and a
+    // strided shuffle. Bucketed counting must make every tail
+    // percentile order-independent.
+    for (uint64_t v = 1; v <= 2000; ++v)
+        ascending.sample(v);
+    for (uint64_t v = 2000; v >= 1; --v)
+        descending.sample(v);
+    for (uint64_t i = 0; i < 2000; ++i)
+        shuffled.sample((i * 797) % 2000 + 1);
+
+    EXPECT_DOUBLE_EQ(ascending.p999(), descending.p999());
+    EXPECT_DOUBLE_EQ(ascending.p999(), shuffled.p999());
+    EXPECT_DOUBLE_EQ(ascending.p99(), descending.p99());
+    EXPECT_DOUBLE_EQ(ascending.p50(), shuffled.p50());
+}
+
+TEST(Histogram, P999SurvivesMerge)
+{
+    StatGroup group(nullptr, "g");
+    Histogram whole(&group, "w", "test");
+    Histogram left(&group, "l", "test");
+    Histogram right(&group, "r", "test");
+    // Split the same distribution across two histograms — bulk on
+    // one side, the 0.1% tail on the other — and merge. The merged
+    // tail percentiles must match the single-histogram ones exactly.
+    for (int i = 0; i < 5000; ++i) {
+        whole.sample(64);
+        left.sample(64);
+    }
+    for (int i = 0; i < 5000; ++i) {
+        whole.sample(256);
+        right.sample(256);
+    }
+    for (int i = 0; i < 10; ++i) {
+        whole.sample(1 << 20);
+        right.sample(1 << 20);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_DOUBLE_EQ(left.p50(), whole.p50());
+    EXPECT_DOUBLE_EQ(left.p99(), whole.p99());
+    EXPECT_DOUBLE_EQ(left.p999(), whole.p999());
+    EXPECT_GT(left.p999(), left.p99());
+}
+
 TEST(Histogram, MergeDisjointRangesCoversBoth)
 {
     StatGroup group(nullptr, "g");
