@@ -11,8 +11,10 @@
 #ifndef NEUROCUBE_BENCH_BENCH_COMMON_HH
 #define NEUROCUBE_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -35,6 +37,49 @@ quickMode()
     const char *env = std::getenv("NEUROCUBE_QUICK");
     return env != nullptr && env[0] == '1';
 }
+
+/**
+ * Simulation-engine override from NEUROCUBE_ENGINE=legacy|event|
+ * threaded. Lets scripts/bench.sh time the same workload on both
+ * cycle loops (EXPERIMENTS.md speedup table); cycle counts and
+ * energy are engine-invariant, so the JSON gates are unaffected.
+ */
+inline SimEngine
+engineFromEnv(SimEngine fallback)
+{
+    const char *env = std::getenv("NEUROCUBE_ENGINE");
+    if (env == nullptr || env[0] == '\0')
+        return fallback;
+    if (std::strcmp(env, "legacy") == 0)
+        return SimEngine::Legacy;
+    if (std::strcmp(env, "event") == 0)
+        return SimEngine::Event;
+    if (std::strcmp(env, "threaded") == 0)
+        return SimEngine::ThreadedLanes;
+    std::fprintf(stderr,
+                 "warning: unknown NEUROCUBE_ENGINE '%s' ignored\n",
+                 env);
+    return fallback;
+}
+
+/** Millisecond wall-clock timer for RunResult::wallMs. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Milliseconds since construction. */
+    double
+    elapsedMs() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 /** Scene-labeling input size for inference benches. */
 inline void
@@ -70,10 +115,14 @@ runForward(const NeurocubeConfig &config, const NetworkDesc &net,
         cfg.trace.metrics = true;
     }
 #endif
+    cfg.engine = engineFromEnv(cfg.engine);
     Neurocube cube(cfg);
     cube.loadNetwork(net, data);
     cube.setInput(input);
-    return cube.runForward();
+    WallTimer timer;
+    RunResult run = cube.runForward();
+    run.wallMs = timer.elapsedMs();
+    return run;
 }
 
 /** Short table-cell annotation for a layer's bottleneck report. */
@@ -217,7 +266,9 @@ writeBenchJson(
     out << "{\n\"quick\": " << (quickMode() ? "true" : "false")
         << ",\n\"runs\": {\n";
     for (size_t i = 0; i < runs.size(); ++i) {
-        out << "\"" << runs[i].first << "\": {\"metrics\": "
+        out << "\"" << runs[i].first << "\": {\"wall_ms\": "
+            << formatDouble(runs[i].second->wallMs, 1)
+            << ",\n\"metrics\": "
             << trimmed(runs[i].second->metricsJson())
             << ",\n\"energy\": "
             << trimmed(runs[i].second->energyJson()) << "}"

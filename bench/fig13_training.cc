@@ -38,10 +38,14 @@ runTraining(bool include_gradient)
     config.trace.enabled = true;
     config.trace.metrics = true;
 #endif
+    config.engine = engineFromEnv(config.engine);
     Neurocube cube(config);
     TrainingOptions opts;
     opts.includeWeightGradient = include_gradient;
-    return runTrainingIteration(cube, net, data, input, opts);
+    WallTimer timer;
+    RunResult run = runTrainingIteration(cube, net, data, input, opts);
+    run.wallMs = timer.elapsedMs();
+    return run;
 }
 
 void

@@ -77,6 +77,7 @@ servingMachine()
 #if NEUROCUBE_TRACE_ENABLED
     config.trace.enabled = true;
 #endif
+    config.engine = engineFromEnv(config.engine);
     return config;
 }
 

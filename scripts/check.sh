@@ -4,7 +4,12 @@
 #   asan     - address + undefined-behaviour sanitizers
 #   notrace  - NC_TRACE compiled out (the zero-overhead configuration)
 #   tsan     - thread sanitizer over the trace-ring consumer thread
-#              (runs only test_trace/test_metrics; see CMakePresets)
+#              and the ThreadedLanes engine workers (runs test_trace,
+#              test_metrics, test_engine_threads and the quick engine
+#              fuzz; see CMakePresets)
+#
+# The presets exclude the "long" ctest label (the 100-seed engine
+# fuzz); run `ctest` directly in a build dir for the full profile.
 #
 # Usage: scripts/check.sh [preset...]   (default: all four)
 set -euo pipefail

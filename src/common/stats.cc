@@ -25,32 +25,6 @@ Histogram::Histogram(StatGroup *parent, std::string name,
         parent->addHistogram(this);
 }
 
-unsigned
-Histogram::bucketOf(uint64_t value)
-{
-    unsigned width = 0;
-    while (value != 0) {
-        ++width;
-        value >>= 1;
-    }
-    return width;
-}
-
-void
-Histogram::sample(uint64_t value)
-{
-    if (count_ == 0) {
-        min_ = value;
-        max_ = value;
-    } else {
-        min_ = std::min(min_, value);
-        max_ = std::max(max_, value);
-    }
-    ++buckets_[bucketOf(value)];
-    ++count_;
-    sum_ += double(value);
-}
-
 void
 Histogram::merge(const Histogram &other)
 {

@@ -88,7 +88,43 @@ class Histogram
     Histogram(StatGroup *parent, std::string name, std::string desc);
 
     /** Record one sample. */
-    void sample(uint64_t value);
+    void
+    sample(uint64_t value)
+    {
+        if (count_ == 0) {
+            min_ = value;
+            max_ = value;
+        } else {
+            min_ = value < min_ ? value : min_;
+            max_ = value > max_ ? value : max_;
+        }
+        ++buckets_[bucketOf(value)];
+        ++count_;
+        sum_ += double(value);
+    }
+
+    /**
+     * Record @p n identical samples in one update. Exactly equivalent
+     * to n sample(value) calls: all quantities are integer-valued, so
+     * the bulk sum_ update is exact (the event engine relies on this
+     * to keep skipped idle stretches bit-identical with ticked ones).
+     */
+    void
+    sample(uint64_t value, uint64_t n)
+    {
+        if (n == 0)
+            return;
+        if (count_ == 0) {
+            min_ = value;
+            max_ = value;
+        } else {
+            min_ = value < min_ ? value : min_;
+            max_ = value > max_ ? value : max_;
+        }
+        buckets_[bucketOf(value)] += n;
+        count_ += n;
+        sum_ += double(value) * double(n);
+    }
 
     /**
      * Fold another histogram's samples into this one (bucket-wise;
@@ -130,7 +166,16 @@ class Histogram
 
   private:
     /** Bucket index of a sample value (its bit width). */
-    static unsigned bucketOf(uint64_t value);
+    static unsigned
+    bucketOf(uint64_t value)
+    {
+        unsigned width = 0;
+        while (value != 0) {
+            ++width;
+            value >>= 1;
+        }
+        return width;
+    }
 
     /** Buckets: index 0 = value 0, i = values of bit width i. */
     static constexpr unsigned numBuckets = 65;

@@ -24,9 +24,42 @@
 namespace neurocube
 {
 
+/**
+ * Which cycle-loop implementation advances the machine. All three
+ * produce bit-identical simulated state, cycle counts, stall
+ * attribution and energy counts (tests/test_engine_diff.cc fuzzes
+ * the equivalence); they differ only in wall-clock cost.
+ */
+enum class SimEngine
+{
+    /** Tick every component every cycle (the reference loop). */
+    Legacy,
+    /**
+     * Wake-list scheduler: components report their next interesting
+     * cycle, quiescent components are skipped and their idle time
+     * accounted in bulk (see DESIGN.md "Event-driven scheduler").
+     */
+    Event,
+    /**
+     * Event scheduler plus one worker thread per active batch lane
+     * (lanes are bit-exact isolated by construction, so per-lane
+     * schedulers advance concurrently with a barrier at pass end).
+     * Behaves exactly like Event outside runForwardBatch.
+     */
+    ThreadedLanes,
+};
+
 /** Structural + policy configuration of one Neurocube instance. */
 struct NeurocubeConfig
 {
+    /**
+     * Cycle-loop implementation. Runs with a live trace-event
+     * recorder (a session with sinks) always use the legacy loop so
+     * per-tick event streams stay complete; metrics/energy-only
+     * sessions work with every engine.
+     */
+    SimEngine engine = SimEngine::Event;
+
     /** Memory technology (channel count lives here). */
     DramParams dram = DramParams::hmcInternal();
 

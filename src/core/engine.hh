@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Wake-list pass scheduler: the event-driven execution engine behind
+ * SimEngine::Event and SimEngine::ThreadedLanes.
+ *
+ * The legacy loop in core/neurocube.cc advances every component every
+ * reference tick. Most of those ticks are provably no-ops (a PE
+ * waiting out its 16-tick MAC window, a DDR3 channel pacing a 0.2
+ * words/tick credit, a finished lane idling until the slowest lane
+ * catches up). The scheduler keeps, per component, the next tick at
+ * which its tick() could do anything (wakeAt) and the first tick it
+ * has not yet accounted (accounted); a pass executes only the ticks
+ * some component is awake for, and each component's skipped stretch is
+ * replayed in bulk by its skipTicks() before its next real tick.
+ *
+ * Invariants that make this bit-exact with the legacy loop (see
+ * DESIGN.md "Wake-list scheduler"):
+ *  - a component only sleeps when its tick() is a no-op modulo
+ *    accounting (nextEventAfter() encodes the proof obligation);
+ *  - anything that can un-no-op a sleeping component flows through
+ *    one of the WakeSink hooks, which wake it at exactly the tick the
+ *    legacy loop would have had it act;
+ *  - skipTicks(from, to) replays exactly what (to - from) no-op
+ *    tick() calls would have recorded (idle stats, stall classes,
+ *    histogram samples, credit/priority aging, stale timestamps);
+ *  - executed ticks run in the legacy phase order (PNGs, channels,
+ *    fabric, PEs; ascending index within a phase).
+ *
+ * One PassScheduler drives either the whole machine (Event) or one
+ * batch lane's slice of it (ThreadedLanes, one scheduler per worker
+ * thread over a NocFabric::LaneView). tests/test_engine_diff.cc
+ * fuzzes both against the legacy loop.
+ */
+
+#ifndef NEUROCUBE_CORE_ENGINE_HH
+#define NEUROCUBE_CORE_ENGINE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "common/wake.hh"
+#include "noc/fabric.hh"
+
+namespace neurocube
+{
+
+class MemoryChannel;
+class Pe;
+class Png;
+
+/** Event-driven scheduler for one pass over one machine slice. */
+class PassScheduler final : public WakeSink
+{
+  public:
+    /** The components one scheduler drives (machine or lane slice). */
+    struct Slice
+    {
+        NocFabric *fabric = nullptr;
+        /** Lane slice to tick, or nullptr for the whole fabric. */
+        const NocFabric::LaneView *view = nullptr;
+        /** Owned channel indices, ascending (global numbering). */
+        std::vector<unsigned> channelIds;
+        /** Owned channels / their PNGs, parallel to channelIds. */
+        std::vector<MemoryChannel *> channels;
+        std::vector<Png *> pngs;
+        /** Mesh node of each owned channel, parallel to channelIds. */
+        std::vector<unsigned> channelNodes;
+        /** Owned PE node indices, ascending (global numbering). */
+        std::vector<unsigned> peIds;
+        std::vector<Pe *> pes;
+        /** Mesh size / global channel count (map dimensions). */
+        unsigned numNodes = 0;
+        unsigned numChannels = 0;
+    };
+
+    /**
+     * Build the wake lists with every component awake at @p start
+     * (the first executed tick always ticks everything, exactly like
+     * the legacy loop's first iteration) and attach the wake sinks to
+     * the slice's channels and fabric nodes.
+     */
+    PassScheduler(Slice slice, Tick start);
+
+    /** Detaches the wake sinks. */
+    ~PassScheduler() override;
+
+    PassScheduler(const PassScheduler &) = delete;
+    PassScheduler &operator=(const PassScheduler &) = delete;
+
+    /**
+     * Execute tick @p t: catch up and tick every awake component in
+     * the legacy phase order. @p t must be the value minWake()
+     * returned (or the construction start tick).
+     */
+    void step(Tick t);
+
+    /** Earliest wake over every component (tickNever = deadlock). */
+    Tick minWake() const;
+
+    /**
+     * Account every component up to @p final (exclusive) in bulk —
+     * the legacy loop keeps no-op-ticking finished components until
+     * the pass's global end.
+     */
+    void catchupAll(Tick final);
+
+    // WakeSink — called by owned components from inside step().
+    void onChannelEnqueue(unsigned ch) override;
+    void onChannelServe(unsigned ch) override;
+    void onEject(unsigned node, bool to_mem) override;
+    void onInject(unsigned node, bool from_mem) override;
+
+  private:
+    Slice s_;
+
+    // Per owned component: next interesting tick / first
+    // not-yet-accounted tick. accounted <= wakeAt always.
+    std::vector<Tick> pngWake_, pngAcct_;
+    std::vector<Tick> chWake_, chAcct_;
+    std::vector<Tick> peWake_, peAcct_;
+    Tick fabricWake_;
+    Tick fabricAcct_;
+
+    /** Global channel index -> owned slot (-1 = not ours). */
+    std::vector<int> chSlotOfChannel_;
+    /** Mesh node -> owned channel slot (-1 = no channel there). */
+    std::vector<int> chSlotOfNode_;
+    /** Mesh node -> owned PE slot (-1 = not ours). */
+    std::vector<int> peSlotOfNode_;
+
+    /** Tick currently being executed (valid inside step()). */
+    Tick cur_ = 0;
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_CORE_ENGINE_HH

@@ -1,5 +1,7 @@
 #include "core/neurocube.hh"
 
+#include <thread>
+
 #include "common/logging.hh"
 #include "trace/energy.hh"
 #include "trace/metrics.hh"
@@ -131,6 +133,108 @@ Neurocube::passDone() const
     return fabric_->idle();
 }
 
+SimEngine
+Neurocube::activeEngine() const
+{
+    if (trace::activeRecorder() != nullptr)
+        return SimEngine::Legacy;
+    return config_.engine;
+}
+
+PassScheduler::Slice
+Neurocube::fullSlice()
+{
+    PassScheduler::Slice s;
+    s.fabric = fabric_.get();
+    s.numNodes = config_.numPes;
+    s.numChannels = unsigned(channels_.size());
+    std::vector<unsigned> mem_nodes = config_.resolvedMemoryNodes();
+    for (unsigned ch = 0; ch < channels_.size(); ++ch) {
+        s.channelIds.push_back(ch);
+        s.channels.push_back(channels_[ch].get());
+        s.pngs.push_back(pngs_[ch].get());
+        s.channelNodes.push_back(mem_nodes[ch]);
+    }
+    for (unsigned p = 0; p < pes_.size(); ++p) {
+        s.peIds.push_back(p);
+        s.pes.push_back(pes_[p].get());
+    }
+    return s;
+}
+
+PassScheduler::Slice
+Neurocube::laneSlice(unsigned lane)
+{
+    // Batching requires the identity vault attachment (channel i at
+    // node i, asserted by buildBatchLanes), so a lane's node list
+    // selects its channels, PNGs, and PEs alike.
+    const LaneSpec &spec = lanePartition_[lane];
+    PassScheduler::Slice s;
+    s.fabric = fabric_.get();
+    s.view = &laneViews()[lane];
+    s.numNodes = config_.numPes;
+    s.numChannels = unsigned(channels_.size());
+    for (unsigned node : spec.nodes) {
+        s.channelIds.push_back(node);
+        s.channels.push_back(channels_[node].get());
+        s.pngs.push_back(pngs_[node].get());
+        s.channelNodes.push_back(node);
+        s.peIds.push_back(node);
+        s.pes.push_back(pes_[node].get());
+    }
+    return s;
+}
+
+const std::vector<NocFabric::LaneView> &
+Neurocube::laneViews()
+{
+    if (laneViews_.empty() && !lanePartition_.empty()) {
+        std::vector<std::vector<unsigned>> partition;
+        partition.reserve(lanePartition_.size());
+        for (const LaneSpec &lane : lanePartition_)
+            partition.push_back(lane.nodes);
+        laneViews_ = fabric_->buildLaneViews(partition);
+    }
+    return laneViews_;
+}
+
+void
+Neurocube::runPassEvent(Tick start, Tick deadline, uint64_t pairs)
+{
+    if (passDone())
+        return; // zero executed ticks, exactly like the legacy loop
+    PassScheduler sched(fullSlice(), start);
+    Tick t = start;
+    for (;;) {
+        sched.step(t);
+        // The legacy loop checks the deadline after ++now_ and before
+        // re-evaluating passDone(), so the check is unconditional.
+        if (t + 1 >= deadline) {
+            nc_panic("pass deadlock: %llu of expected work pending "
+                     "after %llu ticks",
+                     (unsigned long long)pairs,
+                     (unsigned long long)(t + 1 - start));
+        }
+        if (passDone()) {
+            ++t;
+            break;
+        }
+        Tick next = sched.minWake();
+        if (next == tickNever || next >= deadline) {
+            // Every component asleep with the pass unfinished: the
+            // legacy loop would no-op-tick its way to the deadline
+            // and panic there. Report the deadlock immediately.
+            nc_panic("pass deadlock: %llu of expected work pending, "
+                     "all components asleep at tick %llu",
+                     (unsigned long long)pairs,
+                     (unsigned long long)(t + 1 - start));
+        }
+        t = next;
+    }
+    sched.catchupAll(t);
+    now_ = t;
+}
+
 Tick
 Neurocube::runPass(const CompiledPass &pass)
 {
@@ -148,22 +252,28 @@ Neurocube::runPass(const CompiledPass &pass)
     Tick deadline = now_ + 10000 + 400 * pairs;
 
     Tick start = now_;
-    while (!passDone()) {
-        NC_TRACE_TICK(now_);
-        for (auto &png : pngs_)
-            png->tick(now_);
-        for (auto &channel : channels_)
-            channel->tick(now_);
-        fabric_->tick(now_);
-        for (auto &pe : pes_)
-            pe->tick(now_, *fabric_);
-        ++now_;
-        if (now_ >= deadline) {
-            nc_panic("pass deadlock: %llu of expected work pending "
-                     "after %llu ticks",
-                     (unsigned long long)pairs,
-                     (unsigned long long)(now_ - start));
+    if (activeEngine() == SimEngine::Legacy) {
+        while (!passDone()) {
+            NC_TRACE_TICK(now_);
+            for (auto &png : pngs_)
+                png->tick(now_);
+            for (auto &channel : channels_)
+                channel->tick(now_);
+            fabric_->tick(now_);
+            for (auto &pe : pes_)
+                pe->tick(now_, *fabric_);
+            ++now_;
+            if (now_ >= deadline) {
+                nc_panic("pass deadlock: %llu of expected work "
+                         "pending after %llu ticks",
+                         (unsigned long long)pairs,
+                         (unsigned long long)(now_ - start));
+            }
         }
+    } else {
+        // ThreadedLanes only threads runForwardBatch; a plain pass
+        // runs on the single-scheduler event engine.
+        runPassEvent(start, deadline, pairs);
     }
     statPasses_ += 1;
     return now_ - start;
@@ -345,6 +455,7 @@ Neurocube::setBatchLanes(unsigned lanes)
     // count). The fabric lane map is per-run — runForwardBatch arms
     // it on entry and clears it on exit.
     lanePartition_.clear();
+    laneViews_.clear();
     batchActivations_.clear();
     buildBatchLanes();
 }
@@ -373,6 +484,114 @@ Neurocube::laneDone(const LaneSpec &lane) const
         }
     }
     return true;
+}
+
+void
+Neurocube::runBatchPassEvent(Tick start, Tick deadline,
+                             unsigned active,
+                             std::vector<Tick> &lane_done)
+{
+    PassScheduler sched(fullSlice(), start);
+    unsigned remaining = active;
+    Tick t = start;
+    Tick final = start;
+    for (;;) {
+        sched.step(t);
+        const Tick stamp = t + 1;
+        // Lane done-ness only changes through actions at executed
+        // ticks, so evaluating after every executed tick yields the
+        // same stamps as the legacy every-tick loop.
+        for (unsigned l = 0; l < active; ++l) {
+            if (lane_done[l] == 0 && laneDone(lanePartition_[l])) {
+                lane_done[l] = stamp;
+                --remaining;
+            }
+        }
+        if (stamp >= deadline) {
+            nc_panic("batch pass deadlock: %u lanes pending after "
+                     "%llu ticks", remaining,
+                     (unsigned long long)(stamp - start));
+        }
+        if (remaining == 0) {
+            final = stamp;
+            break;
+        }
+        Tick next = sched.minWake();
+        if (next == tickNever || next >= deadline) {
+            nc_panic("batch pass deadlock: %u lanes pending, all "
+                     "components asleep at tick %llu", remaining,
+                     (unsigned long long)(stamp - start));
+        }
+        t = next;
+    }
+    sched.catchupAll(final);
+    now_ = final;
+}
+
+void
+Neurocube::runBatchPassThreaded(Tick start, Tick deadline,
+                                unsigned active,
+                                std::vector<Tick> &lane_done)
+{
+    const unsigned lanes = unsigned(lanePartition_.size());
+    laneViews();
+
+    // Shared fabric aggregates detour through per-node scratch while
+    // the workers run; everything else the lanes touch is per-node
+    // and therefore disjoint by construction (the lane checker
+    // asserts no packet crosses lanes).
+    fabric_->setLaneStatsMode(true);
+
+    // One scheduler per lane, parked lanes included: they never step,
+    // but catchupAll below bulk-accounts their idle components.
+    std::vector<std::unique_ptr<PassScheduler>> scheds;
+    scheds.reserve(lanes);
+    for (unsigned l = 0; l < lanes; ++l)
+        scheds.push_back(
+            std::make_unique<PassScheduler>(laneSlice(l), start));
+
+    auto run_lane = [&](unsigned l) {
+        PassScheduler &sched = *scheds[l];
+        const LaneSpec &lane = lanePartition_[l];
+        Tick t = start;
+        for (;;) {
+            sched.step(t);
+            if (t + 1 >= deadline) {
+                nc_panic("batch pass deadlock: lane %u pending after "
+                         "%llu ticks", l,
+                         (unsigned long long)(t + 1 - start));
+            }
+            if (laneDone(lane)) {
+                lane_done[l] = t + 1;
+                break;
+            }
+            Tick next = sched.minWake();
+            if (next == tickNever || next >= deadline) {
+                nc_panic("batch pass deadlock: lane %u asleep with "
+                         "work pending at tick %llu", l,
+                         (unsigned long long)(t + 1 - start));
+            }
+            t = next;
+        }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(active > 0 ? active - 1 : 0);
+    for (unsigned l = 1; l < active; ++l)
+        workers.emplace_back(run_lane, l);
+    run_lane(0);
+    for (std::thread &w : workers)
+        w.join();
+
+    Tick final = start;
+    for (unsigned l = 0; l < active; ++l)
+        final = std::max(final, lane_done[l]);
+    for (unsigned l = 0; l < lanes; ++l)
+        scheds[l]->catchupAll(final);
+
+    fabric_->foldLaneStats();
+    fabric_->setLaneStatsMode(false);
+    now_ = final;
 }
 
 BatchRunResult
@@ -497,32 +716,40 @@ Neurocube::runForwardBatch(const std::vector<Tensor> &inputs)
 
             const Tick start = now_;
             std::vector<Tick> lane_done(active, 0);
-            unsigned remaining = active;
-            while (remaining > 0) {
-                NC_TRACE_TICK(now_);
-                for (auto &png : pngs_)
-                    png->tick(now_);
-                for (auto &channel : channels_)
-                    channel->tick(now_);
-                fabric_->tick(now_);
-                for (auto &pe : pes_)
-                    pe->tick(now_, *fabric_);
-                ++now_;
-                for (unsigned l = 0; l < active; ++l) {
-                    if (lane_done[l] == 0
-                        && laneDone(lanePartition_[l])) {
-                        lane_done[l] = now_;
-                        --remaining;
-                        NC_TRACE(TraceComponent::Sim, l,
-                                 TraceEventType::LaneDone, unsigned(p),
-                                 now_ - start);
+            const SimEngine engine = activeEngine();
+            if (engine == SimEngine::Legacy) {
+                unsigned remaining = active;
+                while (remaining > 0) {
+                    NC_TRACE_TICK(now_);
+                    for (auto &png : pngs_)
+                        png->tick(now_);
+                    for (auto &channel : channels_)
+                        channel->tick(now_);
+                    fabric_->tick(now_);
+                    for (auto &pe : pes_)
+                        pe->tick(now_, *fabric_);
+                    ++now_;
+                    for (unsigned l = 0; l < active; ++l) {
+                        if (lane_done[l] == 0
+                            && laneDone(lanePartition_[l])) {
+                            lane_done[l] = now_;
+                            --remaining;
+                            NC_TRACE(TraceComponent::Sim, l,
+                                     TraceEventType::LaneDone,
+                                     unsigned(p), now_ - start);
+                        }
+                    }
+                    if (now_ >= deadline) {
+                        nc_panic("batch pass deadlock: %u lanes "
+                                 "pending after %llu ticks", remaining,
+                                 (unsigned long long)(now_ - start));
                     }
                 }
-                if (now_ >= deadline) {
-                    nc_panic("batch pass deadlock: %u lanes pending "
-                             "after %llu ticks", remaining,
-                             (unsigned long long)(now_ - start));
-                }
+            } else if (engine == SimEngine::Event) {
+                runBatchPassEvent(start, deadline, active, lane_done);
+            } else {
+                runBatchPassThreaded(start, deadline, active,
+                                     lane_done);
             }
             statPasses_ += 1;
             for (unsigned l = 0; l < active; ++l) {

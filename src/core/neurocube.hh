@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "core/engine.hh"
 #include "core/layer_compiler.hh"
 #include "core/results.hh"
 #include "dram/memory_channel.hh"
@@ -170,6 +171,27 @@ class Neurocube
   private:
     /** Run one compiled pass to completion; returns its cycles. */
     Tick runPass(const CompiledPass &pass);
+    /**
+     * The engine the next pass will run on: config().engine, demoted
+     * to Legacy while a trace-event recorder is active (event replay
+     * needs the every-tick event stream skipped ticks cannot emit).
+     */
+    SimEngine activeEngine() const;
+    /** Slice covering the whole machine (Event engine). */
+    PassScheduler::Slice fullSlice();
+    /** Slice covering one batch lane (ThreadedLanes engine). */
+    PassScheduler::Slice laneSlice(unsigned lane);
+    /** Lane fabric views for lanePartition_ (built lazily, cached). */
+    const std::vector<NocFabric::LaneView> &laneViews();
+    /** Event-engine body of runPass (after configuration). */
+    void runPassEvent(Tick start, Tick deadline, uint64_t pairs);
+    /** Event-engine body of one batch pass (single scheduler). */
+    void runBatchPassEvent(Tick start, Tick deadline, unsigned active,
+                           std::vector<Tick> &lane_done);
+    /** Threaded body of one batch pass (one scheduler per lane). */
+    void runBatchPassThreaded(Tick start, Tick deadline,
+                              unsigned active,
+                              std::vector<Tick> &lane_done);
     /** True when every component has finished the current pass. */
     bool passDone() const;
     /** True when one lane's components have finished the pass. */
@@ -203,6 +225,8 @@ class Neurocube
 
     /** Vault groups for batched execution (batch.lanes entries). */
     std::vector<LaneSpec> lanePartition_;
+    /** Cached fabric slices of lanePartition_ (see laneViews()). */
+    std::vector<NocFabric::LaneView> laneViews_;
     /** Per lane, per layer: gathered outputs of the last batch run. */
     std::vector<std::vector<Tensor>> batchActivations_;
 

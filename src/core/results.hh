@@ -83,6 +83,14 @@ struct RunResult
 {
     std::vector<LayerResult> layers;
 
+    /**
+     * Host wall-clock time of the run in milliseconds, measured and
+     * filled by the caller (the bench harness); 0 when nobody timed
+     * the run. Purely diagnostic — never part of any simulated
+     * quantity, and excluded from the bench.sh --compare gates.
+     */
+    double wallMs = 0.0;
+
     /** Sum of per-layer operation counts. */
     uint64_t
     totalOps() const

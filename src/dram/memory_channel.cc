@@ -45,8 +45,15 @@ void
 MemoryChannel::enqueue(const MemRequest &req)
 {
     nc_assert(canAccept(), "enqueue on a full channel queue");
+    // Catch a sleeping channel up before the stamp below: skipTicks()
+    // leaves now_ one tick stale, exactly as the legacy loop's phase
+    // order does, so the residency stamp matches bit for bit.
+    if (sink_ != nullptr)
+        sink_->onChannelEnqueue(traceId_);
     MemRequest stamped = req;
     stamped.enqueueTick = now_;
+    stamped.row = rowOf(req.addr);
+    stamped.bank = bankOfRow(stamped.row);
     if (req.write) {
         writeQueue_.push_back(stamped);
         ++bufferedWrites_[req.addr];
@@ -54,7 +61,8 @@ MemoryChannel::enqueue(const MemRequest &req)
                  TraceEventType::DramQueueDepth, 1,
                  writeQueue_.size());
     } else {
-        if (bufferedWrites_.count(req.addr)) {
+        if (!bufferedWrites_.empty()
+            && bufferedWrites_.count(req.addr)) {
             // The read depends on a buffered write: drain the write
             // buffer before any further reads are serviced.
             hazardDrain_ = true;
@@ -80,6 +88,7 @@ MemoryChannel::resetTiming()
         row = noRow;
     drainWrites_ = false;
     lookaheadArmed_ = true;
+    pendingActivations_ = 0;
 }
 
 void
@@ -91,12 +100,12 @@ MemoryChannel::lookaheadActivate(Tick now,
     unsigned distinct_rows = 0;
     uint32_t banks_needed = 0; // banks earlier queue entries rely on
     for (size_t i = 0; i < window && distinct_rows < 6; ++i) {
-        uint64_t row = rowOf(queue[i].addr);
+        uint64_t row = queue[i].row;
         if (row == prev_row)
             continue; // streaming within one row
         prev_row = row;
         ++distinct_rows;
-        unsigned bank = bankOf(queue[i].addr);
+        unsigned bank = queue[i].bank;
         uint32_t bank_bit = 1u << (bank % 32);
         bool activating = now < bankReady_[bank];
         bool open = !activating && openRow_[bank] == row;
@@ -105,11 +114,12 @@ MemoryChannel::lookaheadActivate(Tick now,
             // row currently open in this bank.
             pendingRow_[bank] = row;
             bankReady_[bank] = now + params_.activateTicks();
+            ++pendingActivations_;
             statRowMisses_ += 1;
             NC_TRACE(TraceComponent::Vault, traceId_,
                      TraceEventType::DramRowActivate, bank, row);
             // One activation start per tick (command-bus limit).
-            break;
+            return;
         }
         banks_needed |= bank_bit;
     }
@@ -121,9 +131,8 @@ MemoryChannel::pickServeIndex(Tick now) const
     size_t window = std::min(queue_.size(), reorderWindow);
     for (size_t i = 0; i < window; ++i) {
         const MemRequest &req = queue_[i];
-        uint64_t row = rowOf(req.addr);
-        unsigned bank = bankOf(req.addr);
-        bool open = now >= bankReady_[bank] && openRow_[bank] == row;
+        bool open = now >= bankReady_[req.bank]
+                 && openRow_[req.bank] == req.row;
         if (open)
             return i;
     }
@@ -134,7 +143,7 @@ void
 MemoryChannel::serveWord(Tick now, std::deque<MemRequest> &queue,
                          size_t idx)
 {
-    const uint64_t row = rowOf(queue[idx].addr);
+    const uint64_t row = queue[idx].row;
     const bool is_write = queue[idx].write;
 
     // Pack up to a word's worth of same-row, same-direction
@@ -147,7 +156,7 @@ MemoryChannel::serveWord(Tick now, std::deque<MemRequest> &queue,
     Addr prev_addr = ~Addr(0);
     while (idx + taken < queue.size()) {
         const MemRequest &req = queue[idx + taken];
-        if (req.write != is_write || rowOf(req.addr) != row)
+        if (req.write != is_write || req.row != row)
             break;
         bool duplicate = params_.broadcastDuplicateReads && !is_write
                       && req.addr == prev_addr;
@@ -198,6 +207,11 @@ MemoryChannel::serveWord(Tick now, std::deque<MemRequest> &queue,
         gapRemaining_ = params_.burstGapTicks;
         statBursts_ += 1;
     }
+
+    // Service may unblock the PNG (a freed queue slot or a fresh
+    // read response).
+    if (sink_ != nullptr)
+        sink_->onChannelServe(traceId_);
 }
 
 void
@@ -206,10 +220,13 @@ MemoryChannel::tick(Tick now)
     now_ = now;
 
     // Promote completed activations to open rows.
-    for (unsigned b = 0; b < params_.banksPerChannel; ++b) {
-        if (pendingRow_[b] != noRow && now >= bankReady_[b]) {
-            openRow_[b] = pendingRow_[b];
-            pendingRow_[b] = noRow;
+    if (pendingActivations_ > 0) {
+        for (unsigned b = 0; b < params_.banksPerChannel; ++b) {
+            if (pendingRow_[b] != noRow && now >= bankReady_[b]) {
+                openRow_[b] = pendingRow_[b];
+                pendingRow_[b] = noRow;
+                --pendingActivations_;
+            }
         }
     }
 
@@ -325,6 +342,50 @@ MemoryChannel::tick(Tick now)
         NC_METRIC_CYCLE(TraceComponent::Vault, traceId_,
                         StallClass::Busy);
     }
+}
+
+void
+MemoryChannel::skipTicks(Tick from, Tick to)
+{
+    nc_assert(queue_.empty() && writeQueue_.empty(),
+              "channel skipTicks with queued work");
+    nc_assert(from < to, "empty channel skip window");
+    const uint64_t n = to - from;
+
+    // Activations whose latency elapsed inside the window complete,
+    // exactly as the per-tick promotion loop would have done.
+    if (pendingActivations_ > 0) {
+        for (unsigned b = 0; b < params_.banksPerChannel; ++b) {
+            if (pendingRow_[b] != noRow && bankReady_[b] < to) {
+                openRow_[b] = pendingRow_[b];
+                pendingRow_[b] = noRow;
+                --pendingActivations_;
+            }
+        }
+    }
+
+    // Credit accrues tick by tick under a clamp. The clamp makes the
+    // iteration a fixed point at exactly 4.0, so stop there; do NOT
+    // bulk-multiply (n iterated adds != n * rate in floating point).
+    const double rate = params_.wordsPerTick();
+    for (uint64_t i = 0; i < n; ++i) {
+        credit_ += rate;
+        if (credit_ > 4.0)
+            credit_ = 4.0;
+        if (credit_ == 4.0)
+            break;
+    }
+
+    burstWords_ = 0;
+    lookaheadArmed_ = true;
+    gapRemaining_ = gapRemaining_ > Tick(n) ? gapRemaining_ - Tick(n)
+                                            : 0;
+    statIdleTicks_ += n;
+    NC_METRIC_CYCLES(TraceComponent::Vault, traceId_,
+                     StallClass::Idle, n);
+    // The legacy loop would have left now_ at the last idle tick;
+    // keep the stale stamp so enqueue timestamps match.
+    now_ = to - 1;
 }
 
 } // namespace neurocube

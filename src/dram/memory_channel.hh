@@ -24,6 +24,7 @@
 #include "common/fixed_point.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "common/wake.hh"
 #include "dram/backing_store.hh"
 #include "dram/dram_params.hh"
 #include "trace/trace.hh"
@@ -44,6 +45,10 @@ struct MemRequest
     uint64_t tag = 0;
     /** Tick the channel accepted the request (set by enqueue). */
     Tick enqueueTick = 0;
+    /** DRAM row of addr (cached by enqueue; divisions are hot). */
+    uint64_t row = 0;
+    /** Bank of addr (cached by enqueue). */
+    unsigned bank = 0;
 };
 
 /** Completion record for one serviced read. */
@@ -90,8 +95,44 @@ class MemoryChannel
     /** Advance one reference-clock tick. */
     void tick(Tick now);
 
+    /**
+     * Event-engine hookup: the scheduler watching this channel, or
+     * nullptr under the legacy tick-every-cycle loop. enqueue() calls
+     * sink->onChannelEnqueue() (before stamping, so the scheduler can
+     * catch the channel up first) and serveWord() calls
+     * sink->onChannelServe().
+     */
+    void setWakeSink(WakeSink *sink) { sink_ = sink; }
+
+    /**
+     * First tick after @p now at which tick() would do more than the
+     * empty-queue idle path, given no external input. tickNever while
+     * both request queues are empty: an idle tick only ages credit /
+     * gap state, which skipTicks() reproduces in bulk when an enqueue
+     * (or end-of-pass catchup) lands.
+     */
+    Tick
+    nextEventAfter(Tick now) const
+    {
+        if (queue_.empty() && writeQueue_.empty())
+            return tickNever;
+        return now + 1;
+    }
+
+    /**
+     * Account ticks [from, to) in bulk, replicating exactly what that
+     * many empty-queue tick() calls would have done (activation
+     * promotion, credit accrual, burst-gap aging, idle stats, stale
+     * now_ stamp). @pre both request queues were empty over the whole
+     * window (guaranteed by the sleep condition + enqueue catchup).
+     */
+    void skipTicks(Tick from, Tick to);
+
     /** Serviced reads, in order; consumer pops from the front. */
     std::deque<MemResponse> &responses() { return responses_; }
+
+    /** True when no serviced read awaits its consumer. */
+    bool responsesEmpty() const { return responses_.empty(); }
 
     /** True when no requests are queued or in flight. */
     bool
@@ -160,11 +201,12 @@ class MemoryChannel
      * fall into lock-step same-bank conflicts.
      */
     unsigned
-    bankOf(Addr addr) const
+    bankOfRow(uint64_t row) const
     {
-        uint64_t row = rowOf(addr);
         return unsigned((row ^ (row >> 4)) % params_.banksPerChannel);
     }
+
+    unsigned bankOf(Addr addr) const { return bankOfRow(rowOf(addr)); }
 
     /** Start pre-activations for upcoming rows in idle banks. */
     void lookaheadActivate(Tick now,
@@ -218,6 +260,10 @@ class MemoryChannel
     Tick gapRemaining_ = 0;
     /** Force a lookahead re-scan on the next tick. */
     bool lookaheadArmed_ = true;
+    /** Activations in flight (skips the promotion scan when 0). */
+    unsigned pendingActivations_ = 0;
+    /** Event-engine scheduler hook (null under the legacy loop). */
+    WakeSink *sink_ = nullptr;
 
     /** Per-bank open row (UINT64_MAX = closed). */
     std::vector<uint64_t> openRow_;

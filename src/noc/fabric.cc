@@ -1,5 +1,6 @@
 #include "noc/fabric.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -16,6 +17,7 @@ NocFabric::NocFabric(const Config &config, StatGroup *parent)
       memDelivery_(config.numNodes),
       nodeLateral_(config.numNodes, 0),
       nodeLocal_(config.numNodes, 0),
+      nodeSink_(config.numNodes, nullptr),
       statGroup_(parent, "noc"),
       statLateral_(&statGroup_, "lateralPackets",
                    "packets crossing between nodes"),
@@ -174,14 +176,24 @@ void
 NocFabric::accountInjection(unsigned node, const Packet &packet)
 {
     if (packet.dst == node) {
-        statLocal_ += 1;
+        if (laneMode_)
+            ++scratch_[node].local;
+        else
+            statLocal_ += 1;
         ++nodeLocal_[node];
     } else {
-        statLateral_ += 1;
+        if (laneMode_)
+            ++scratch_[node].lateral;
+        else
+            statLateral_ += 1;
         ++nodeLateral_[node];
     }
-    if (!laneOf_.empty() && laneOf_[node] != laneOf_[packet.dst])
-        ++crossLanePackets_;
+    if (!laneOf_.empty() && laneOf_[node] != laneOf_[packet.dst]) {
+        if (laneMode_)
+            ++scratch_[node].crossLane;
+        else
+            ++crossLanePackets_;
+    }
 }
 
 void
@@ -202,6 +214,10 @@ NocFabric::memInjectSpace(VaultId v) const
 void
 NocFabric::injectFromMem(VaultId v, const Packet &packet, Tick now)
 {
+    // Wake before the push: a sleeping scheduler catches the fabric
+    // up first, while the skipped window is still provably idle.
+    if (nodeSink_[v] != nullptr)
+        nodeSink_[v]->onInject(v, true);
     Packet p = packet;
     p.injectTick = now;
     accountInjection(v, p);
@@ -217,10 +233,89 @@ NocFabric::peInjectSpace(PeId p) const
 void
 NocFabric::injectFromPe(PeId p, const Packet &packet, Tick now)
 {
+    // Wake before the push (see injectFromMem).
+    if (nodeSink_[p] != nullptr)
+        nodeSink_[p]->onInject(p, false);
     Packet pk = packet;
     pk.injectTick = now;
     accountInjection(p, pk);
     routers_[p]->pushInput(pePort_[p], pk);
+}
+
+void
+NocFabric::traverseLink(const Link &link)
+{
+    Router &src = *routers_[link.srcRouter];
+    if (src.bufferedOutputs() == 0)
+        return;
+    auto &out = src.outputQueue(link.srcPort);
+    unsigned budget = link.width;
+    while (budget > 0 && !out.empty()
+           && routers_[link.dstRouter]->inputSpace(link.dstPort)
+                  > 0) {
+        // With a lane map installed, a packet entering a router
+        // outside its destination's lane escaped its sub-mesh.
+        if (!laneOf_.empty()
+            && laneOf_[link.dstRouter] != laneOf_[out.front().dst]) {
+            if (laneMode_)
+                ++scratch_[link.dstRouter].crossLane;
+            else
+                ++crossLanePackets_;
+        }
+        routers_[link.dstRouter]->pushInput(link.dstPort,
+                                            out.front());
+        out.pop_front();
+        --src.bufferedOutputs_;
+        --budget;
+        if (laneMode_)
+            ++scratch_[link.srcRouter].linkFlits;
+        else
+            statLinkFlits_ += 1;
+        NC_ENERGY_EVENT(EnergyEventKind::NocLink, link.srcRouter,
+                        link.distance);
+        NC_TRACE(TraceComponent::Router, link.srcRouter,
+                 TraceEventType::LinkFlit, link.dstRouter);
+    }
+}
+
+void
+NocFabric::ejectNode(unsigned node, Tick now)
+{
+    Router &router = *routers_[node];
+    if (router.bufferedOutputs() == 0)
+        return;
+    auto eject = [&](unsigned port, std::deque<Packet> &sink,
+                     bool is_mem) {
+        auto &out = router.outputQueue(port);
+        unsigned budget = router.portWidth(port);
+        bool ejected = false;
+        while (budget > 0 && !out.empty()
+               && sink.size() < config_.deliveryDepth) {
+            Tick latency = now - out.front().injectTick;
+            if (laneMode_) {
+                NodeScratch &s = scratch_[node];
+                ++s.ejected;
+                s.latencySum += latency;
+                s.latency.sample(latency);
+            } else {
+                statEjected_ += 1;
+                statLatencySum_ += latency;
+                histLatency_.sample(latency);
+            }
+            NC_TRACE(TraceComponent::Router, node,
+                     TraceEventType::PacketEject, is_mem ? 1 : 0,
+                     latency);
+            sink.push_back(out.front());
+            out.pop_front();
+            --router.bufferedOutputs_;
+            --budget;
+            ejected = true;
+        }
+        if (ejected && nodeSink_[node] != nullptr)
+            nodeSink_[node]->onEject(node, is_mem);
+    };
+    eject(pePort_[node], peDelivery_[node], false);
+    eject(memPort_[node], memDelivery_[node], true);
 }
 
 void
@@ -231,53 +326,94 @@ NocFabric::tick(Tick now)
         router->tick();
 
     // Phase 2: router-to-router links (credit = downstream space).
-    for (const Link &link : links_) {
-        auto &out = routers_[link.srcRouter]->outputQueue(link.srcPort);
-        unsigned budget = link.width;
-        while (budget > 0 && !out.empty()
-               && routers_[link.dstRouter]->inputSpace(link.dstPort)
-                      > 0) {
-            // With a lane map installed, a packet entering a router
-            // outside its destination's lane escaped its sub-mesh.
-            if (!laneOf_.empty()
-                && laneOf_[link.dstRouter]
-                       != laneOf_[out.front().dst]) {
-                ++crossLanePackets_;
-            }
-            routers_[link.dstRouter]->pushInput(link.dstPort,
-                                                out.front());
-            out.pop_front();
-            --budget;
-            statLinkFlits_ += 1;
-            NC_ENERGY_EVENT(EnergyEventKind::NocLink, link.srcRouter,
-                            link.distance);
-            NC_TRACE(TraceComponent::Router, link.srcRouter,
-                     TraceEventType::LinkFlit, link.dstRouter);
-        }
-    }
+    // Links never share a source or destination FIFO, so the three
+    // phase loops (and any restriction of them, see tickLane) are
+    // order-independent within a cycle.
+    for (const Link &link : links_)
+        traverseLink(link);
 
     // Phase 3: ejection into endpoint delivery queues.
-    for (unsigned node = 0; node < config_.numNodes; ++node) {
-        auto eject = [&](unsigned port, std::deque<Packet> &sink,
-                         bool is_mem) {
-            auto &out = routers_[node]->outputQueue(port);
-            unsigned budget = routers_[node]->portWidth(port);
-            while (budget > 0 && !out.empty()
-                   && sink.size() < config_.deliveryDepth) {
-                Tick latency = now - out.front().injectTick;
-                statEjected_ += 1;
-                statLatencySum_ += latency;
-                histLatency_.sample(latency);
-                NC_TRACE(TraceComponent::Router, node,
-                         TraceEventType::PacketEject, is_mem ? 1 : 0,
-                         latency);
-                sink.push_back(out.front());
-                out.pop_front();
-                --budget;
-            }
-        };
-        eject(pePort_[node], peDelivery_[node], false);
-        eject(memPort_[node], memDelivery_[node], true);
+    for (unsigned node = 0; node < config_.numNodes; ++node)
+        ejectNode(node, now);
+}
+
+void
+NocFabric::tickLane(const LaneView &view, Tick now)
+{
+    for (unsigned node : view.nodes)
+        routers_[node]->tick();
+    for (size_t index : view.links)
+        traverseLink(links_[index]);
+    for (unsigned node : view.nodes)
+        ejectNode(node, now);
+}
+
+std::vector<NocFabric::LaneView>
+NocFabric::buildLaneViews(
+    const std::vector<std::vector<unsigned>> &partition) const
+{
+    std::vector<LaneView> views(partition.size());
+    std::vector<size_t> lane_of(config_.numNodes, SIZE_MAX);
+    for (size_t l = 0; l < partition.size(); ++l) {
+        views[l].nodes = partition[l];
+        std::sort(views[l].nodes.begin(), views[l].nodes.end());
+        for (unsigned node : views[l].nodes) {
+            nc_assert(lane_of[node] == SIZE_MAX,
+                      "node %u in two lanes", node);
+            lane_of[node] = l;
+        }
+    }
+    for (size_t i = 0; i < links_.size(); ++i) {
+        size_t src_lane = lane_of[links_[i].srcRouter];
+        if (src_lane != SIZE_MAX
+            && src_lane == lane_of[links_[i].dstRouter]) {
+            views[src_lane].links.push_back(i);
+        }
+    }
+    return views;
+}
+
+void
+NocFabric::skipTicks(uint64_t n)
+{
+    for (auto &router : routers_)
+        router->skipTicks(n);
+}
+
+void
+NocFabric::skipLaneTicks(const LaneView &view, uint64_t n)
+{
+    for (unsigned node : view.nodes)
+        routers_[node]->skipTicks(n);
+}
+
+void
+NocFabric::setWakeSink(WakeSink *sink)
+{
+    for (auto &slot : nodeSink_)
+        slot = sink;
+}
+
+void
+NocFabric::setLaneStatsMode(bool enabled)
+{
+    laneMode_ = enabled;
+    if (enabled && scratch_.size() != config_.numNodes)
+        scratch_.resize(config_.numNodes);
+}
+
+void
+NocFabric::foldLaneStats()
+{
+    for (NodeScratch &s : scratch_) {
+        statLateral_ += s.lateral;
+        statLocal_ += s.local;
+        statEjected_ += s.ejected;
+        statLatencySum_ += s.latencySum;
+        statLinkFlits_ += s.linkFlits;
+        crossLanePackets_ += s.crossLane;
+        histLatency_.merge(s.latency);
+        s = NodeScratch{};
     }
 }
 

@@ -24,6 +24,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "common/wake.hh"
 #include "noc/packet.hh"
 #include "noc/router.hh"
 
@@ -83,6 +84,89 @@ class NocFabric
 
     /** Advance one cycle: switch all routers, then move all links. */
     void tick(Tick now);
+
+    /**
+     * Structural slice of one batch lane: the lane's routers and the
+     * links internal to it. tickLane() over a view is equivalent to
+     * tick() as long as no packet crosses lanes (routers, links and
+     * ejections are mutually independent within a cycle, so
+     * restricting the iteration to one lane's slice cannot reorder
+     * anything observable).
+     */
+    struct LaneView
+    {
+        /** Lane nodes, ascending (matches full-fabric tick order). */
+        std::vector<unsigned> nodes;
+        /** Indices into links_ of the lane-internal links. */
+        std::vector<size_t> links;
+    };
+
+    /** Slice the fabric along a node partition (one view per lane). */
+    std::vector<LaneView>
+    buildLaneViews(
+        const std::vector<std::vector<unsigned>> &partition) const;
+
+    /** Advance one cycle for one lane's slice only. */
+    void tickLane(const LaneView &view, Tick now);
+
+    /** True when none of the lane's routers holds a packet. */
+    bool
+    laneRoutersIdle(const LaneView &view) const
+    {
+        for (unsigned node : view.nodes) {
+            if (!routers_[node]->idle())
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * First tick after @p now at which tick() would move a packet.
+     * With every router empty the fabric is quiescent until an
+     * injection (delivery queues drain on the consumer's clock, not
+     * this one); skipTicks() accounts the skipped stretch.
+     */
+    Tick
+    nextEventAfter(Tick now) const
+    {
+        return routersIdle() ? tickNever : now + 1;
+    }
+
+    /** Account @p n all-routers-idle cycles in bulk. */
+    void skipTicks(uint64_t n);
+
+    /** Account @p n lane-routers-idle cycles for one lane's slice. */
+    void skipLaneTicks(const LaneView &view, uint64_t n);
+
+    /**
+     * Install one wake sink for every node (single event scheduler),
+     * or nullptr to detach. Ejections into a node's delivery queues
+     * report onEject(node, to_mem) and injections report
+     * onInject(node, from_mem) to the node's sink.
+     */
+    void setWakeSink(WakeSink *sink);
+
+    /** Install the wake sink of one node (per-lane schedulers). */
+    void
+    setNodeWakeSink(unsigned node, WakeSink *sink)
+    {
+        nodeSink_[node] = sink;
+    }
+
+    /**
+     * Route the fabric-level aggregate stats (ejection counts,
+     * latency histogram, link flits, lane-violation count) through
+     * per-node scratch counters instead of the shared Stat objects,
+     * so concurrent per-lane tickLane() calls never touch shared
+     * state. foldLaneStats() merges the scratch back (the fold is
+     * exact: all quantities are integer-valued). Per-node stats
+     * (router objects, nodeLateral_/nodeLocal_) are already disjoint
+     * and stay direct.
+     */
+    void setLaneStatsMode(bool enabled);
+
+    /** Merge per-node scratch stats into the shared Stats. */
+    void foldLaneStats();
 
     /** True when no packet is anywhere in the fabric. */
     bool idle() const;
@@ -183,6 +267,22 @@ class NocFabric
     void buildMesh();
     void buildFullyConnected();
     void accountInjection(unsigned node, const Packet &packet);
+    /** Move packets across one link (phase 2 body). */
+    void traverseLink(const Link &link);
+    /** Eject into one node's delivery queues (phase 3 body). */
+    void ejectNode(unsigned node, Tick now);
+
+    /** Per-node stat accumulation while laneMode_ is set. */
+    struct NodeScratch
+    {
+        uint64_t lateral = 0;
+        uint64_t local = 0;
+        uint64_t ejected = 0;
+        uint64_t latencySum = 0;
+        uint64_t linkFlits = 0;
+        uint64_t crossLane = 0;
+        Histogram latency{nullptr, "latency", ""};
+    };
 
     Config config_;
     unsigned meshWidth_ = 0;
@@ -201,6 +301,12 @@ class NocFabric
     /** Node -> lane assignment (empty = no checking). */
     std::vector<uint16_t> laneOf_;
     uint64_t crossLanePackets_ = 0;
+
+    /** Per-node event-engine wake sinks (null under legacy). */
+    std::vector<WakeSink *> nodeSink_;
+    /** Aggregate stats detour through scratch_ (threaded lanes). */
+    bool laneMode_ = false;
+    std::vector<NodeScratch> scratch_;
 
     StatGroup statGroup_;
     Stat statLateral_;

@@ -44,18 +44,13 @@ Router::pushInput(unsigned port, const Packet &packet)
              inputQueue_[port].size());
 }
 
-bool
-Router::idle() const
+void
+Router::skipTicks(uint64_t n)
 {
-    for (const auto &q : inputQueue_) {
-        if (!q.empty())
-            return false;
-    }
-    for (const auto &q : outputQueue_) {
-        if (!q.empty())
-            return false;
-    }
-    return true;
+    nc_assert(idle(), "router skipTicks while packets are buffered");
+    priority_ = unsigned((priority_ + n) % config_.numPorts);
+    NC_METRIC_CYCLES(TraceComponent::Router, traceId_,
+                     StallClass::Idle, n);
 }
 
 void
@@ -107,6 +102,7 @@ Router::tick()
             outputQueue_[out].push_back(head);
             inputQueue_[in].pop_front();
             --bufferedInputs_;
+            ++bufferedOutputs_;
             --outBudget_[out];
             --in_budget;
             statSwitched_ += 1;

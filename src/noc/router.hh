@@ -121,8 +121,22 @@ class Router
      */
     void tick();
 
-    /** True when all FIFOs are empty. */
-    bool idle() const;
+    /**
+     * Account @p n fully-idle cycles in bulk (event engine): rotates
+     * the daisy-chain priority as n tick() calls would have and
+     * classifies the cycles Idle. @pre idle()
+     */
+    void skipTicks(uint64_t n);
+
+    /** True when all FIFOs are empty (O(1)). */
+    bool
+    idle() const
+    {
+        return bufferedInputs_ == 0 && bufferedOutputs_ == 0;
+    }
+
+    /** Total packets currently waiting in output FIFOs. */
+    unsigned bufferedOutputs() const { return bufferedOutputs_; }
 
     /** Packets switched so far. */
     uint64_t packetsSwitched() const { return statSwitched_.count(); }
@@ -152,6 +166,12 @@ class Router
     std::vector<unsigned> outBudget_;
     /** Packets currently in input FIFOs (fast empty check). */
     unsigned bufferedInputs_ = 0;
+    /**
+     * Packets currently in output FIFOs. tick() increments on each
+     * switch; the fabric (a friend — it pops outputQueue_ directly)
+     * decrements at its link-traverse and ejection pop sites.
+     */
+    unsigned bufferedOutputs_ = 0;
 
     StatGroup statGroup_;
     Stat statSwitched_;

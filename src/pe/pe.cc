@@ -44,6 +44,13 @@ Pe::configurePass(const PePassConfig &config)
     groupHomes_.assign(params_.numMacs, 0);
     outbox_.clear();
     passComplete_ = !config.enabled || config.numNeurons == 0;
+    // Group geometry is fixed for the pass; cache it (activeMacs sits
+    // on the per-tick path and the divisions are hot).
+    uint32_t planes = std::max(1u, config.planes);
+    perPlane_ = config.numNeurons / planes;
+    groupsPerPlane_ = (perPlane_ + params_.numMacs - 1)
+                    / params_.numMacs;
+    totalGroups_ = planes * groupsPerPlane_;
     if (config.enabled) {
         nc_assert(config.connections > 0,
                   "pass with zero connections on PE %u", unsigned(id_));
@@ -61,23 +68,16 @@ Pe::configurePass(const PePassConfig &config)
 unsigned
 Pe::activeMacs(uint32_t group) const
 {
-    uint32_t planes = std::max(1u, pass_.planes);
-    uint32_t per_plane = pass_.numNeurons / planes;
-    uint32_t groups_per_plane =
-        (per_plane + params_.numMacs - 1) / params_.numMacs;
-    uint32_t local = group % groups_per_plane;
+    uint32_t local = group % groupsPerPlane_;
     uint64_t remaining =
-        uint64_t(per_plane) - uint64_t(local) * params_.numMacs;
+        uint64_t(perPlane_) - uint64_t(local) * params_.numMacs;
     return unsigned(std::min<uint64_t>(params_.numMacs, remaining));
 }
 
 uint32_t
 Pe::numGroups() const
 {
-    uint32_t planes = std::max(1u, pass_.planes);
-    uint32_t per_plane = pass_.numNeurons / planes;
-    return planes
-         * ((per_plane + params_.numMacs - 1) / params_.numMacs);
+    return totalGroups_;
 }
 
 void
@@ -96,10 +96,8 @@ Pe::stageOperand(const Packet &packet)
             if (planes > 1
                 && pass_.localWeights.size()
                        >= size_t(pass_.connections) * planes) {
-                uint32_t per_plane = pass_.numNeurons / planes;
-                uint32_t gpp = (per_plane + params_.numMacs - 1)
-                             / params_.numMacs;
-                idx = size_t(group_ / gpp) * pass_.connections
+                idx = size_t(group_ / groupsPerPlane_)
+                        * pass_.connections
                     + opCounter_;
             }
             temporal_.putWeight(packet.mac, pass_.localWeights[idx],
@@ -281,6 +279,56 @@ Pe::tick(Tick now, NocFabric &fabric)
         cls = StallClass::StallInject;
     }
     NC_METRIC_CYCLE(TraceComponent::Pe, id_, cls);
+}
+
+Tick
+Pe::nextEventAfter(Tick now, NocFabric &fabric)
+{
+    if (!pass_.enabled)
+        return tickNever;
+    if (!outbox_.empty())
+        return now + 1; // injections to try (or a blocked-tick stat)
+    if (!fabric.peDelivery(id_).empty())
+        return now + 1; // operands to accept
+    if (passComplete_)
+        return tickNever; // done; nothing left this pass
+    if (temporal_.complete(activeMacs(group_))) {
+        // A flush is staged and (outbox empty) cannot be capacity-
+        // gated: only the MAC/search timer holds it back.
+        return std::max(now + 1, nextFlushAt_);
+    }
+    return tickNever; // waiting on operand packets (eject hook)
+}
+
+void
+Pe::skipTicks(Tick from, Tick to)
+{
+    nc_assert(from < to, "empty PE skip window");
+    if (!pass_.enabled) {
+        NC_METRIC_CYCLES(TraceComponent::Pe, id_, StallClass::Idle,
+                         to - from);
+        return;
+    }
+    histCacheOccupancy_.sample(cache_.totalEntries(), to - from);
+    Tick t = from;
+    if (macBusyUntil_ > t) {
+        Tick end = std::min(to, macBusyUntil_);
+        NC_METRIC_CYCLES(TraceComponent::Pe, id_, StallClass::Busy,
+                         end - t);
+        t = end;
+    }
+    if (t < to && !passComplete_ && nextFlushAt_ > t) {
+        Tick end = std::min(to, nextFlushAt_);
+        NC_METRIC_CYCLES(TraceComponent::Pe, id_,
+                         StallClass::StallCache, end - t);
+        t = end;
+    }
+    if (t < to) {
+        NC_METRIC_CYCLES(TraceComponent::Pe, id_,
+                         passComplete_ ? StallClass::Idle
+                                       : StallClass::StallInject,
+                         to - t);
+    }
 }
 
 bool

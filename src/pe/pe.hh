@@ -104,6 +104,25 @@ class Pe
      */
     void tick(Tick now, NocFabric &fabric);
 
+    /**
+     * First tick after @p now at which tick() could act, given no
+     * external input. tickNever when the PE is disabled, finished, or
+     * waiting for operand packets (the fabric's eject hook signals
+     * their arrival); a pending MAC/search timer reports the flush
+     * tick so the scheduler can jump straight to it.
+     */
+    Tick nextEventAfter(Tick now, NocFabric &fabric);
+
+    /**
+     * Account ticks [from, to) in bulk, replicating what that many
+     * provably-no-op tick() calls would have recorded: per-tick cache
+     * occupancy samples and the legacy stall classification, which
+     * over a frozen state is Busy until macBusyUntil_, then
+     * StallCache until nextFlushAt_, then Idle (pass complete) or
+     * StallInject (waiting on operands).
+     */
+    void skipTicks(Tick from, Tick to);
+
     /** True when the pass's write-backs have all been injected. */
     bool done() const;
 
@@ -161,6 +180,13 @@ class Pe
     std::vector<uint32_t> groupNeurons_;
     /** Per-MAC home vaults of the group in flight. */
     std::vector<VaultId> groupHomes_;
+
+    /** Neurons per output plane (cached by configurePass). */
+    uint32_t perPlane_ = 0;
+    /** Neuron groups per output plane (cached by configurePass). */
+    uint32_t groupsPerPlane_ = 0;
+    /** Total neuron groups this pass (cached by configurePass). */
+    uint32_t totalGroups_ = 0;
 
     uint32_t group_ = 0;
     OpId opCounter_ = 0;

@@ -49,6 +49,10 @@ Png::configure(const PngProgram &program)
                          params_.connBlockSize);
     lut_ = &sharedLut(program.activation);
     wbReceived_ = 0;
+    perPlaneWb_ = 0;
+    if (program_.outPlanes > 1 && program_.expectedWriteBacks > 0)
+        perPlaneWb_ = program_.expectedWriteBacks / program_.outPlanes;
+    allowedPlane_ = perPlaneWb_ > 0 ? planeWindow : ~0u;
     tracePhase(program.enabled ? PngFsmPhase::Configured
                                : PngFsmPhase::Idle,
                0);
@@ -68,19 +72,11 @@ Png::tick(Tick now)
     // write-back progress so one fast vault cannot run whole output
     // maps ahead of the PEs consuming its stream (every vault
     // generates plane p before any stalls at p + window, so progress
-    // is guaranteed plane by plane).
-    unsigned allowed_plane = ~0u;
-    if (program_.outPlanes > 1 && program_.expectedWriteBacks > 0) {
-        uint64_t per_plane =
-            program_.expectedWriteBacks / program_.outPlanes;
-        if (per_plane > 0) {
-            allowed_plane =
-                unsigned(wbReceived_ / per_plane) + planeWindow;
-        }
-    }
+    // is guaranteed plane by plane). allowedPlane_ is maintained by
+    // configure() and the absorb loop below (its only inputs).
     unsigned issued = 0;
     while (issued < params_.maxIssuePerTick && !generator_.done()
-           && generator_.currentPlane() < allowed_plane
+           && generator_.currentPlane() < allowedPlane_
            && channel_.canAccept()
            && pending_.size() < MemoryChannel::queueCapacity) {
         GeneratedOp op;
@@ -176,8 +172,13 @@ Png::tick(Tick now)
         ++wbReceived_;
         statWriteBacks_ += 1;
     }
-    if (absorbed > 0)
+    if (absorbed > 0) {
         NC_ENERGY_EVENT(EnergyEventKind::PngOp, id_, absorbed);
+        if (perPlaneWb_ > 0) {
+            allowedPlane_ = unsigned(wbReceived_ / perPlaneWb_)
+                          + planeWindow;
+        }
+    }
 
     // Attribute the cycle. Injection backpressure first: packets
     // sitting in the out-queue with zero injected is the signal the
@@ -190,7 +191,7 @@ Png::tick(Tick now)
     } else if (issued > 0 || injected > 0 || absorbed > 0) {
         cls = StallClass::Busy;
     } else if (!generator_.done()
-               && generator_.currentPlane() >= allowed_plane) {
+               && generator_.currentPlane() >= allowedPlane_) {
         cls = StallClass::Idle;
     } else if (!generator_.done() || !pending_.empty()) {
         // Wants to issue (or has reads in flight) but the vault
@@ -220,6 +221,53 @@ Png::done() const
         return true;
     return generator_.done() && pending_.empty() && outQueue_.empty()
         && wbReceived_ >= program_.expectedWriteBacks;
+}
+
+Tick
+Png::nextEventAfter(Tick now)
+{
+    if (!program_.enabled)
+        return tickNever;
+    // Work a tick could do on its own: inject (or count an inject
+    // stall), encapsulate a response, issue a read, absorb a
+    // delivered write-back. Everything else waits on the vault
+    // (serve hook) or the NoC (eject hook).
+    if (!outQueue_.empty())
+        return now + 1;
+    if (!channel_.responsesEmpty())
+        return now + 1;
+    if (canIssue())
+        return now + 1;
+    if (!fabric_.memDelivery(id_).empty() && channel_.canAccept())
+        return now + 1;
+    return tickNever;
+}
+
+void
+Png::skipTicks(Tick from, Tick to)
+{
+    nc_assert(from < to, "empty PNG skip window");
+    const uint64_t n = to - from;
+    if (!program_.enabled) {
+        NC_METRIC_CYCLES(TraceComponent::Png, id_, StallClass::Idle,
+                         n);
+        return;
+    }
+    // The sleep condition guarantees an empty out-queue and that no
+    // tick in the window issues, injects or absorbs, so every skipped
+    // tick samples depth 0 and lands in the same stall class as a
+    // ticked one would.
+    histOutQueueDepth_.sample(0, n);
+    StallClass cls;
+    if (!generator_.done()
+        && generator_.currentPlane() >= allowedPlane_) {
+        cls = StallClass::Idle; // plane-throttled: waiting on PEs
+    } else if (!generator_.done() || !pending_.empty()) {
+        cls = StallClass::StallDram;
+    } else {
+        cls = StallClass::Idle;
+    }
+    NC_METRIC_CYCLES(TraceComponent::Png, id_, cls, n);
 }
 
 } // namespace neurocube

@@ -68,6 +68,24 @@ class Png
     void tick(Tick now);
 
     /**
+     * First tick after @p now at which tick() could act, given no
+     * external input. tickNever when the PNG is disabled or every
+     * local move is blocked on an external event (a vault response /
+     * freed queue slot, which the channel's serve hook signals, or a
+     * delivered write-back, which the fabric's eject hook signals).
+     */
+    Tick nextEventAfter(Tick now);
+
+    /**
+     * Account ticks [from, to) in bulk, replicating what that many
+     * provably-no-op tick() calls would have recorded (out-queue
+     * depth samples and the stall classification, both constant over
+     * the window). @pre nextEventAfter() returned tickNever and no
+     * wake event landed inside the window.
+     */
+    void skipTicks(Tick from, Tick to);
+
+    /**
      * True when the pass is complete from this PNG's perspective:
      * every operand generated and injected, and the write-back for
      * the last owned output neuron received and issued to the vault.
@@ -134,6 +152,25 @@ class Png
     std::deque<Packet> outQueue_;
     uint64_t nextTag_ = 0;
     uint64_t wbReceived_ = 0;
+
+    /** Write-backs per output plane (0 = no plane throttling). */
+    uint64_t perPlaneWb_ = 0;
+    /**
+     * Cached plane-throttle bound: the generator may issue while
+     * currentPlane() < allowedPlane_. Recomputed when wbReceived_
+     * changes (the only input that moves within a pass).
+     */
+    unsigned allowedPlane_ = ~0u;
+
+    /** True while the issue loop has anything it could issue. */
+    bool
+    canIssue() const
+    {
+        return !generator_.done()
+            && generator_.currentPlane() < allowedPlane_
+            && channel_.canAccept()
+            && pending_.size() < MemoryChannel::queueCapacity;
+    }
 
     StatGroup statGroup_;
     Stat statIssued_;

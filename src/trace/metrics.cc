@@ -60,11 +60,16 @@ MetricsRegistry::reset()
         std::fill(vec.begin(), vec.end(), StallBreakdown{});
 }
 
-namespace
+namespace metrics::detail
 {
 
 /** The process-wide registry slot NC_METRIC_CYCLE loads. */
 MetricsRegistry *g_activeRegistry = nullptr;
+
+} // namespace metrics::detail
+
+namespace
+{
 
 /** True when @p nodes is null or contains @p instance. */
 bool
@@ -111,16 +116,10 @@ constexpr double kIdleFloor = 0.05;
 namespace metrics
 {
 
-MetricsRegistry *
-activeRegistry()
-{
-    return g_activeRegistry;
-}
-
 void
 setActiveRegistry(MetricsRegistry *registry)
 {
-    g_activeRegistry = registry;
+    detail::g_activeRegistry = registry;
 }
 
 } // namespace metrics

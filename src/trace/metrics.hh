@@ -156,6 +156,20 @@ class MetricsRegistry
             ++vec[instance].ticks[size_t(cls)];
     }
 
+    /**
+     * Classify @p n identical cycles in one update (the event engine
+     * accounting for a skipped idle/stall stretch in bulk; exactly
+     * equivalent to n cycle() calls).
+     */
+    void
+    cycles(TraceComponent component, unsigned instance, StallClass cls,
+           uint64_t n)
+    {
+        auto &vec = state_.comps[size_t(component)];
+        if (instance < vec.size())
+            vec[instance].ticks[size_t(cls)] += n;
+    }
+
     /** The live counters (read-only view). */
     const MetricsSnapshot &state() const { return state_; }
 
@@ -172,11 +186,22 @@ class MetricsRegistry
 namespace metrics
 {
 
+namespace detail
+{
+/** Storage behind activeRegistry() (do not touch directly). */
+extern MetricsRegistry *g_activeRegistry;
+} // namespace detail
+
 /**
  * The process-wide registry NC_METRIC_CYCLE publishes to, or nullptr
- * while metrics are off (mirrors trace::activeRecorder()).
+ * while metrics are off (mirrors trace::activeRecorder()). Inline so
+ * the per-tick instrumentation sites reduce to one load + branch.
  */
-MetricsRegistry *activeRegistry();
+inline MetricsRegistry *
+activeRegistry()
+{
+    return detail::g_activeRegistry;
+}
 
 /** Install (or, with nullptr, remove) the active registry. */
 void setActiveRegistry(MetricsRegistry *registry);
@@ -286,6 +311,20 @@ buildBottleneckReport(const MetricsSnapshot &delta,
         } \
     } while (0)
 
+/**
+ * Classify @p n identical component cycles at once (bulk accounting
+ * for skipped stretches): NC_METRIC_CYCLES(component, instance,
+ * stallClass, n).
+ */
+#define NC_METRIC_CYCLES(component, instance, cls, n) \
+    do { \
+        if (::neurocube::MetricsRegistry *nc_metric_r_ = \
+                ::neurocube::metrics::activeRegistry()) { \
+            nc_metric_r_->cycles((component), unsigned(instance), \
+                                 (cls), (n)); \
+        } \
+    } while (0)
+
 #else
 
 namespace neurocube::metrics::detail
@@ -303,6 +342,14 @@ ignore(Args &&...)
         if (false) { \
             ::neurocube::metrics::detail::ignore( \
                 (component), (instance), (cls)); \
+        } \
+    } while (0)
+
+#define NC_METRIC_CYCLES(component, instance, cls, n) \
+    do { \
+        if (false) { \
+            ::neurocube::metrics::detail::ignore( \
+                (component), (instance), (cls), (n)); \
         } \
     } while (0)
 

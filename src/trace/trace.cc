@@ -133,24 +133,23 @@ roundUpPow2(size_t value)
     return pow2;
 }
 
-/** The process-wide recorder slot NC_TRACE loads. */
-TraceRecorder *g_activeRecorder = nullptr;
-
 } // namespace
 
 namespace trace
 {
 
-TraceRecorder *
-activeRecorder()
+namespace detail
 {
-    return g_activeRecorder;
-}
+
+/** The process-wide recorder slot NC_TRACE loads. */
+TraceRecorder *g_activeRecorder = nullptr;
+
+} // namespace detail
 
 void
 setActiveRecorder(TraceRecorder *recorder)
 {
-    g_activeRecorder = recorder;
+    detail::g_activeRecorder = recorder;
 }
 
 } // namespace trace

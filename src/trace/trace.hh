@@ -191,13 +191,27 @@ class TraceRecorder
 namespace trace
 {
 
+namespace detail
+{
+/** Storage behind activeRecorder() (do not touch directly). */
+extern TraceRecorder *g_activeRecorder;
+} // namespace detail
+
 /**
  * The process-wide active recorder NC_TRACE publishes to, or nullptr
- * while tracing is off. The simulator is single threaded; a single
- * slot (rather than per-cube plumbing through every constructor)
- * keeps the instrumentation sites to one expression.
+ * while tracing is off. A single slot (rather than per-cube plumbing
+ * through every constructor) keeps the instrumentation sites to one
+ * expression; it is only installed/removed between runs, never while
+ * components are ticking, so the threaded-lane engine (which falls
+ * back to the legacy loop whenever a recorder is active) only ever
+ * reads a stable nullptr. Inline so NC_TRACE sites reduce to one
+ * load + branch.
  */
-TraceRecorder *activeRecorder();
+inline TraceRecorder *
+activeRecorder()
+{
+    return detail::g_activeRecorder;
+}
 
 /** Install (or, with nullptr, remove) the active recorder. */
 void setActiveRecorder(TraceRecorder *recorder);
