@@ -62,6 +62,21 @@ engineFromEnv(SimEngine fallback)
     return fallback;
 }
 
+/**
+ * Plan-cache override from NEUROCUBE_PLAN_CACHE=0|1. Plans are
+ * bit-exact either way (tests/test_engine_diff.cc fuzzes on-vs-off),
+ * so disabling only changes wall clock — the knob exists to let
+ * EXPERIMENTS.md attribute speedup to the cache vs the tick loops.
+ */
+inline bool
+planCacheFromEnv(bool fallback)
+{
+    const char *env = std::getenv("NEUROCUBE_PLAN_CACHE");
+    if (env == nullptr || env[0] == '\0')
+        return fallback;
+    return env[0] != '0';
+}
+
 /** Millisecond wall-clock timer for RunResult::wallMs. */
 class WallTimer
 {
@@ -116,6 +131,7 @@ runForward(const NeurocubeConfig &config, const NetworkDesc &net,
     }
 #endif
     cfg.engine = engineFromEnv(cfg.engine);
+    cfg.planCache = planCacheFromEnv(cfg.planCache);
     Neurocube cube(cfg);
     cube.loadNetwork(net, data);
     cube.setInput(input);

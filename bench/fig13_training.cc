@@ -39,6 +39,7 @@ runTraining(bool include_gradient)
     config.trace.metrics = true;
 #endif
     config.engine = engineFromEnv(config.engine);
+    config.planCache = planCacheFromEnv(config.planCache);
     Neurocube cube(config);
     TrainingOptions opts;
     opts.includeWeightGradient = include_gradient;

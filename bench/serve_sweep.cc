@@ -78,6 +78,7 @@ servingMachine()
     config.trace.enabled = true;
 #endif
     config.engine = engineFromEnv(config.engine);
+    config.planCache = planCacheFromEnv(config.planCache);
     return config;
 }
 

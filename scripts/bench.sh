@@ -83,6 +83,24 @@ extract_served() {
     grep -o '"served": *[0-9]*' "$1" | grep -o '[0-9]*$'
 }
 
+# Informational only: wall clock is host-dependent, so deltas are
+# reported but never gate the comparison (cycles are the hard gate).
+report_wall() {
+    paste -d' ' <(grep -o '"wall_ms": *[0-9.]*' "$2" \
+                      | grep -o '[0-9.]*$') \
+                <(grep -o '"wall_ms": *[0-9.]*' "$3" \
+                      | grep -o '[0-9.]*$') \
+        | awk -v name="$1" '
+            NF == 2 { base += $1; fresh += $2 }
+            END {
+                if (base > 0) {
+                    printf "  %s: wall %.1fms -> %.1fms (%+.1f%%,"  \
+                           " informational)\n",
+                           name, base, fresh, 100 * (fresh / base - 1)
+                }
+            }'
+}
+
 fail=0
 compared=0
 for fresh in "$outdir"/BENCH_*.json; do
@@ -115,6 +133,7 @@ for fresh in "$outdir"/BENCH_*.json; do
                 | head -5 || true
             fail=1
         fi
+        report_wall "$name" "$base" "$fresh"
         compared=$((compared + 1))
         continue
     fi
@@ -137,6 +156,7 @@ for fresh in "$outdir"/BENCH_*.json; do
                 exit bad
             }')" || fail=1
     echo "$verdict"
+    report_wall "$name" "$base" "$fresh"
     compared=$((compared + 1))
 done
 

@@ -59,6 +59,9 @@ boundingUnion(const Rect &a, const Rect &b)
     return {x0, y0, x1 - x0, y1 - y0};
 }
 
+/** MAC group size (MACs per PE) assumed by every weight layout. */
+constexpr unsigned kGroup = 16;
+
 } // namespace
 
 LayerCompiler::LayerCompiler(const NeurocubeConfig &config)
@@ -121,34 +124,155 @@ LayerCompiler::buildConns(const LayerDesc &layer, unsigned pass) const
     return conns;
 }
 
-LayerCompiler::ChannelLayout
-LayerCompiler::layoutChannel(const LayerDesc &layer,
-                             const LayerMapping &mapping,
-                             const std::vector<Fixed> &weights,
-                             const Tensor &input, unsigned channel,
-                             const Rect &out_rect, unsigned out_planes,
-                             BackingStore &store) const
+std::string
+LayerCompiler::planKey(const LayerDesc &layer,
+                       const LaneSpec *lane) const
 {
-    ChannelLayout layout;
-    store.clear();
+    std::string key;
+    key.reserve(128);
+    auto num = [&key](uint64_t v) {
+        key += std::to_string(v);
+        key += '.';
+    };
+    num(uint64_t(layer.type));
+    key += layer.name;
+    key += '.';
+    num(layer.inWidth);
+    num(layer.inHeight);
+    num(layer.inMaps);
+    num(layer.outMaps);
+    num(layer.kernel);
+    num(layer.stride);
+    num(layer.channelwise);
+    num(layer.perNeuronWeights);
+    num(uint64_t(layer.activation));
+    // Config inputs (constant per compiler, recorded for clarity).
+    num(config_.mapping.duplicateConvHalo);
+    num(config_.mapping.duplicateFcInput);
+    num(config_.mapping.weightsInPeMemory);
+    num(config_.splitFullConvPasses);
+    if (lane) {
+        key += 'L';
+        for (unsigned node : lane->nodes)
+            num(node);
+    } else {
+        key += 'W';
+    }
+    return key;
+}
+
+std::shared_ptr<const LayerPlan>
+LayerCompiler::planFor(const LayerDesc &layer, unsigned num_channels,
+                       unsigned num_pes, const LaneSpec *lane) const
+{
+    if (!config_.planCache) {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        ++misses_;
+        return buildPlan(layer, num_channels, num_pes, lane);
+    }
+    std::string key = planKey(layer, lane);
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        auto it = planCache_.find(key);
+        if (it != planCache_.end()) {
+            ++hits_;
+            return it->second;
+        }
+        ++misses_;
+    }
+    // Build outside the lock (plans of different shapes may build
+    // concurrently); duplicate builds of the same key are benign —
+    // both produce identical plans and the last insert wins.
+    std::shared_ptr<const LayerPlan> plan =
+        buildPlan(layer, num_channels, num_pes, lane);
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    planCache_[std::move(key)] = plan;
+    return plan;
+}
+
+void
+LayerCompiler::planChannel(const LayerDesc &layer, LayerPlan &plan,
+                           unsigned channel) const
+{
+    // Mirror of the store's bump allocator: binding later writes
+    // values at exactly these addresses.
+    uint64_t top = 0;
+    auto alloc = [&top](uint64_t n) {
+        Region r{top, n};
+        top += n;
+        return r;
+    };
+
+    LayerPlan::ChannelLayout layout;
 
     // Constant 1.0 for partial-sum connections.
-    Region ones = store.allocate(1);
-    layout.onesAddr = ones.base;
-    store.write(ones.base, Fixed::fromDouble(1.0));
+    layout.onesAddr = alloc(1).base;
 
     // Input planes: the stored rectangle for every input map. Layers
     // whose connections span every map at one pixel (1x1 full
     // convolutions — the per-pixel classifiers and the LSTM gate
     // products) use the pixel-major layout so their operand stream
     // walks DRAM rows sequentially.
-    const Rect &stored = mapping.storedInput[channel];
-    layout.input.region =
-        store.allocate(stored.count() * layer.inMaps);
+    const Rect &stored = plan.mapping.storedInput[channel];
+    layout.input.region = alloc(stored.count() * layer.inMaps);
     layout.input.stored = stored;
     layout.input.planes = layer.inMaps;
     layout.input.pixelMajor = layer.type == LayerType::Conv2D
         && !layer.channelwise && layer.kernel == 1;
+
+    // Weights. Fully connected matrices are stored group-blocked and
+    // MAC-minor (see PngProgram::weightInterleaved) so the FSM's
+    // MAC-innermost address stream walks DRAM rows sequentially.
+    if (layer.type == LayerType::Conv2D && layer.perNeuronWeights) {
+        // Per-neuron weights, partitioned with the output tile and
+        // stored group-blocked/MAC-minor per pass (output map).
+        Rect tile = plan.mapping.outTiles.tile(channel);
+        uint64_t conns = layer.connectionsPerNeuron();
+        uint64_t blocks = (tile.count() + kGroup - 1) / kGroup;
+        uint64_t pass_elems = blocks * kGroup * conns;
+        layout.weights = alloc(
+            std::max<uint64_t>(1, pass_elems * layer.outMaps));
+    } else if (layer.type != LayerType::FullyConnected) {
+        // Shared kernels: the full layer block, duplicated per vault.
+        layout.weights = alloc(plan.mapping.weightElements[channel]);
+    } else if (plan.mapping.duplicated) {
+        // Rows of this channel's own output neurons (Fig. 10d).
+        Rect tile = plan.mapping.outTiles.tile(channel);
+        uint64_t n = layer.connectionsPerNeuron();
+        uint64_t blocks = (uint64_t(tile.w) + kGroup - 1) / kGroup;
+        layout.weights = alloc(blocks * kGroup * n);
+    } else {
+        // Columns of this channel's input slice, all rows (Fig. 10e).
+        uint64_t slice = plan.fcOwnedCols[channel].size();
+        uint64_t blocks =
+            (uint64_t(layer.outMaps) + kGroup - 1) / kGroup;
+        layout.weights =
+            alloc(std::max<uint64_t>(1, blocks * kGroup * slice));
+    }
+
+    // Output planes for this channel's own output tile, zeroed.
+    Rect out_tile = plan.mapping.outTiles.tile(channel);
+    layout.output.region = alloc(out_tile.count() * plan.outPlanes);
+    layout.output.stored = out_tile;
+    layout.output.planes = plan.outPlanes;
+
+    plan.channels.push_back(layout);
+    plan.outputStorage.push_back(layout.output);
+}
+
+void
+LayerCompiler::bindChannel(const LayerPlan &plan, unsigned channel,
+                           const std::vector<Fixed> &weights,
+                           const Tensor &input,
+                           BackingStore &store) const
+{
+    const LayerDesc &layer = plan.desc;
+    const LayerPlan::ChannelLayout &layout = plan.channels[channel];
+    store.clear();
+
+    store.write(layout.onesAddr, Fixed::fromDouble(1.0));
+
+    const Rect &stored = layout.input.stored;
     for (unsigned m = 0; m < layer.inMaps; ++m) {
         for (int32_t y = stored.y0; y < stored.y0 + stored.h; ++y) {
             for (int32_t x = stored.x0; x < stored.x0 + stored.w;
@@ -159,22 +283,12 @@ LayerCompiler::layoutChannel(const LayerDesc &layer,
         }
     }
 
-    // Weights. Fully connected matrices are stored group-blocked and
-    // MAC-minor (see PngProgram::weightInterleaved) so the FSM's
-    // MAC-innermost address stream walks DRAM rows sequentially.
-    const unsigned group = 16; // MACs per PE group
     if (layer.type == LayerType::Conv2D && layer.perNeuronWeights) {
-        // Per-neuron weights, partitioned with the output tile and
-        // stored group-blocked/MAC-minor per pass (output map).
-        Rect tile = mapping.outTiles.tile(channel);
+        Rect tile = plan.mapping.outTiles.tile(channel);
         uint64_t conns = layer.connectionsPerNeuron();
         uint64_t neurons = layer.neuronsPerMap();
-        uint64_t blocks = (tile.count() + group - 1) / group;
-        uint64_t pass_elems = blocks * group * conns;
-        layout.weights =
-            store.allocate(std::max<uint64_t>(1,
-                                              pass_elems
-                                                  * layer.outMaps));
+        uint64_t blocks = (tile.count() + kGroup - 1) / kGroup;
+        uint64_t pass_elems = blocks * kGroup * conns;
         for (unsigned om = 0; om < layer.outMaps; ++om) {
             uint64_t walk = 0;
             for (int32_t y = tile.y0; y < tile.y0 + tile.h; ++y) {
@@ -184,8 +298,8 @@ LayerCompiler::layoutChannel(const LayerDesc &layer,
                     for (uint64_t c = 0; c < conns; ++c) {
                         Addr addr = layout.weights.base
                             + uint64_t(om) * pass_elems
-                            + (walk / group) * conns * group
-                            + c * group + walk % group;
+                            + (walk / kGroup) * conns * kGroup
+                            + c * kGroup + walk % kGroup;
                         store.write(
                             addr,
                             weights[(uint64_t(om) * neurons + n)
@@ -195,9 +309,7 @@ LayerCompiler::layoutChannel(const LayerDesc &layer,
             }
         }
     } else if (layer.type != LayerType::FullyConnected) {
-        uint64_t welems = mapping.weightElements[channel];
-        layout.weights = store.allocate(welems);
-        // Shared kernels: the full layer block, duplicated per vault.
+        uint64_t welems = layout.weights.elements;
         nc_assert(welems == weights.size(),
                   "shared weight block size mismatch");
         for (uint64_t i = 0; i < welems; ++i)
@@ -207,14 +319,11 @@ LayerCompiler::layoutChannel(const LayerDesc &layer,
         auto interleaved = [&](uint64_t walk, uint64_t col,
                                uint64_t slice) {
             return layout.weights.base
-                + (walk / group) * slice * group + col * group
-                + walk % group;
+                + (walk / kGroup) * slice * kGroup + col * kGroup
+                + walk % kGroup;
         };
-        if (mapping.duplicated) {
-            // Rows of this channel's own output neurons (Fig. 10d).
-            Rect tile = mapping.outTiles.tile(channel);
-            uint64_t blocks = (uint64_t(tile.w) + group - 1) / group;
-            layout.weights = store.allocate(blocks * group * n);
+        if (plan.mapping.duplicated) {
+            Rect tile = plan.mapping.outTiles.tile(channel);
             uint64_t walk = 0;
             for (int32_t o = tile.x0; o < tile.x0 + tile.w;
                  ++o, ++walk) {
@@ -224,28 +333,9 @@ LayerCompiler::layoutChannel(const LayerDesc &layer,
                 }
             }
         } else {
-            // Columns of this channel's input slice, all rows
-            // (Fig. 10e). Column order follows the plane-major
-            // connection enumeration restricted to owned pixels.
-            Rect owned = mapping.inTiles.tile(channel);
-            std::vector<uint64_t> owned_cols;
-            for (unsigned m = 0; m < layer.inMaps; ++m) {
-                for (unsigned y = 0; y < layer.inHeight; ++y) {
-                    for (unsigned x = 0; x < layer.inWidth; ++x) {
-                        if (owned.contains(int32_t(x), int32_t(y))) {
-                            owned_cols.push_back(
-                                (uint64_t(m) * layer.inHeight + y)
-                                    * layer.inWidth + x);
-                        }
-                    }
-                }
-            }
+            const std::vector<uint64_t> &owned_cols =
+                plan.fcOwnedCols[channel];
             uint64_t slice = owned_cols.size();
-            uint64_t blocks =
-                (uint64_t(layer.outMaps) + group - 1) / group;
-            layout.weights =
-                store.allocate(std::max<uint64_t>(1, blocks * group
-                                                         * slice));
             for (unsigned o = 0; o < layer.outMaps; ++o) {
                 for (uint64_t j = 0; j < slice; ++j) {
                     store.write(interleaved(o, j, slice),
@@ -256,46 +346,28 @@ LayerCompiler::layoutChannel(const LayerDesc &layer,
         }
     }
 
-    // Output planes for this channel's own output tile, zeroed.
-    Rect out_tile = mapping.outTiles.tile(channel);
-    layout.output.region =
-        store.allocate(out_tile.count() * out_planes);
-    layout.output.stored = out_tile;
-    layout.output.planes = out_planes;
-    for (uint64_t i = 0; i < out_tile.count() * out_planes; ++i)
-        store.write(layout.output.region.base + i, Fixed());
-    (void)out_rect;
-    return layout;
+    const PlaneStorage &out = layout.output;
+    for (uint64_t i = 0; i < out.region.elements; ++i)
+        store.write(out.region.base + i, Fixed());
 }
 
-CompiledLayer
-LayerCompiler::compile(const LayerDesc &layer,
-                       const std::vector<Fixed> &weights,
-                       const Tensor &input,
-                       std::vector<BackingStore *> &stores,
-                       const LaneSpec *lane) const
+std::shared_ptr<const LayerPlan>
+LayerCompiler::buildPlan(const LayerDesc &layer,
+                         unsigned num_channels, unsigned num_pes,
+                         const LaneSpec *lane) const
 {
-    layer.validate();
-    const unsigned num_channels = lane
-        ? unsigned(lane->nodes.size())
-        : config_.dram.numChannels;
-    const unsigned num_pes =
-        lane ? unsigned(lane->nodes.size()) : config_.numPes;
-    nc_assert(stores.size() == num_channels,
-              "store count %zu != channel count %u", stores.size(),
-              num_channels);
-
-    CompiledLayer compiled;
-    compiled.desc = layer;
-    compiled.mapping =
+    auto plan_owned = std::make_shared<LayerPlan>();
+    LayerPlan &plan = *plan_owned;
+    plan.desc = layer;
+    plan.mapping =
         buildLayerMapping(layer, config_.mapping, num_channels);
-    compiled.outRect = layerOutRect(layer);
-    compiled.outPlanes = layerOutPlanes(layer);
+    plan.outRect = layerOutRect(layer);
+    plan.outPlanes = layerOutPlanes(layer);
 
     // Destination partition across PEs (may be finer than channels).
     unsigned pe_gw, pe_gh;
-    tileGridShape(num_pes, compiled.outRect, pe_gw, pe_gh);
-    TileMap pe_tiles = TileMap::grid(compiled.outRect, pe_gw, pe_gh);
+    tileGridShape(num_pes, plan.outRect, pe_gw, pe_gh);
+    TileMap pe_tiles = TileMap::grid(plan.outRect, pe_gw, pe_gh);
 
     // Relocation of tile indices onto mesh nodes: lane compiles use
     // the lane's node list for both channels and PEs (one vault per
@@ -311,23 +383,11 @@ LayerCompiler::compile(const LayerDesc &layer,
         home_nodes.assign(mem_nodes.begin(), mem_nodes.end());
     }
 
-    // Host mapping step: lay out and write every channel's data.
-    std::vector<ChannelLayout> layouts;
-    layouts.reserve(num_channels);
-    for (unsigned ch = 0; ch < num_channels; ++ch) {
-        layouts.push_back(layoutChannel(layer, compiled.mapping,
-                                        weights, input, ch,
-                                        compiled.outRect,
-                                        compiled.outPlanes,
-                                        *stores[ch]));
-        compiled.outputStorage.push_back(layouts.back().output);
-    }
-
     const bool fc = layer.type == LayerType::FullyConnected;
     const bool per_neuron = layer.type == LayerType::Conv2D
         && layer.perNeuronWeights;
     const bool shared_kernels = !fc && !per_neuron;
-    const bool duplicate = compiled.mapping.duplicated
+    const bool duplicate = plan.mapping.duplicated
         || (fc ? config_.mapping.duplicateFcInput
                : config_.mapping.duplicateConvHalo);
     const bool stream_weights =
@@ -335,12 +395,15 @@ LayerCompiler::compile(const LayerDesc &layer,
     const uint64_t kk = uint64_t(layer.kernel) * layer.kernel;
 
     // Per-channel FC column remaps (built once, shared by the pass).
+    // fcOwnedCols inverts the remap: owned_cols[map[c]] == c.
     std::vector<std::vector<uint32_t>> fc_conn_maps(num_channels);
     std::vector<uint64_t> fc_slice(num_channels, 0);
     if (fc && !duplicate) {
+        plan.fcOwnedCols.resize(num_channels);
         for (unsigned ch = 0; ch < num_channels; ++ch) {
-            Rect owned = compiled.mapping.inTiles.tile(ch);
+            Rect owned = plan.mapping.inTiles.tile(ch);
             auto &map = fc_conn_maps[ch];
+            auto &cols = plan.fcOwnedCols[ch];
             map.assign(layer.connectionsPerNeuron(), ~0u);
             uint32_t dense = 0;
             uint64_t c = 0;
@@ -348,14 +411,22 @@ LayerCompiler::compile(const LayerDesc &layer,
                 for (unsigned y = 0; y < layer.inHeight; ++y) {
                     for (unsigned x = 0; x < layer.inWidth;
                          ++x, ++c) {
-                        if (owned.contains(int32_t(x), int32_t(y)))
+                        if (owned.contains(int32_t(x), int32_t(y))) {
                             map[c] = dense++;
+                            cols.push_back(c);
+                        }
                     }
                 }
             }
             fc_slice[ch] = dense;
         }
     }
+
+    // Host mapping step: every channel's address layout.
+    plan.channels.reserve(num_channels);
+    plan.outputStorage.reserve(num_channels);
+    for (unsigned ch = 0; ch < num_channels; ++ch)
+        planChannel(layer, plan, ch);
 
     const bool split_full = config_.splitFullConvPasses
         && layer.type == LayerType::Conv2D && !layer.channelwise
@@ -395,7 +466,8 @@ LayerCompiler::compile(const LayerDesc &layer,
         cp.programs.resize(num_channels);
         for (unsigned ch = 0; ch < num_channels; ++ch) {
             PngProgram &prog = cp.programs[ch];
-            const ChannelLayout &layout = layouts[ch];
+            const LayerPlan::ChannelLayout &layout =
+                plan.channels[ch];
 
             prog.conns = conns;
             prog.strideX = fc ? 0 : layer.stride;
@@ -406,16 +478,16 @@ LayerCompiler::compile(const LayerDesc &layer,
             prog.onesAddr = layout.onesAddr;
             prog.outTiles = pe_tiles;
             prog.peNode = pe_nodes;
-            prog.homeTiles = compiled.mapping.outTiles;
+            prog.homeTiles = plan.mapping.outTiles;
             prog.homeNode = home_nodes;
             prog.activation = final_pass ? layer.activation
                                          : ActivationKind::Identity;
-            prog.outMapWidth = uint32_t(compiled.outRect.w);
-            prog.outPlaneSize = uint32_t(compiled.outRect.count());
+            prog.outMapWidth = uint32_t(plan.outRect.w);
+            prog.outPlaneSize = uint32_t(plan.outRect.count());
             prog.outPlanes = program_planes;
             prog.streamWeights = stream_weights;
             prog.expectedWriteBacks =
-                compiled.mapping.outTiles.tile(ch).count()
+                plan.mapping.outTiles.tile(ch).count()
                 * program_planes;
             if (collapse
                 && (layer.channelwise
@@ -427,17 +499,15 @@ LayerCompiler::compile(const LayerDesc &layer,
                 prog.weights = layout.weights;
                 prog.weightInterleaved = true;
                 if (duplicate) {
-                    prog.outWalk =
-                        compiled.mapping.outTiles.tile(ch);
+                    prog.outWalk = plan.mapping.outTiles.tile(ch);
                     prog.filterByInput = false;
                     prog.weightNeuronStride =
                         layer.connectionsPerNeuron();
                     prog.weightConnOffset = 0;
                 } else {
-                    prog.outWalk = compiled.outRect;
+                    prog.outWalk = plan.outRect;
                     prog.filterByInput = true;
-                    prog.ownedInput =
-                        compiled.mapping.inTiles.tile(ch);
+                    prog.ownedInput = plan.mapping.inTiles.tile(ch);
                     prog.weightNeuronStride = fc_slice[ch];
                     prog.weightConnMap = fc_conn_maps[ch];
                 }
@@ -445,7 +515,7 @@ LayerCompiler::compile(const LayerDesc &layer,
                 // 1x1 per-neuron weights: outputs, inputs and
                 // weights all partition identically, so the walk is
                 // the vault's own tile and everything is local.
-                Rect tile = compiled.mapping.outTiles.tile(ch);
+                Rect tile = plan.mapping.outTiles.tile(ch);
                 uint64_t conns_n = layer.connectionsPerNeuron();
                 uint64_t blocks = (tile.count() + 15) / 16;
                 uint64_t pass_elems = blocks * 16 * conns_n;
@@ -465,26 +535,25 @@ LayerCompiler::compile(const LayerDesc &layer,
                 prog.weightNeuronStride = 0;
                 prog.weightConnOffset = 0;
                 if (duplicate) {
-                    prog.outWalk =
-                        compiled.mapping.outTiles.tile(ch);
+                    prog.outWalk = plan.mapping.outTiles.tile(ch);
                     prog.filterByInput = false;
                 } else {
-                    Rect owned = compiled.mapping.inTiles.tile(ch);
+                    Rect owned = plan.mapping.inTiles.tile(ch);
                     prog.ownedInput = owned;
                     prog.filterByInput = true;
                     Rect reach = reachableOutputs(layer, owned,
-                                                  compiled.outRect);
+                                                  plan.outRect);
                     // Also walk the own output tile so Partial-sum
                     // connections are always generated locally.
                     prog.outWalk = boundingUnion(
-                        reach, compiled.mapping.outTiles.tile(ch));
+                        reach, plan.mapping.outTiles.tile(ch));
                 }
             }
             prog.enabled = prog.outWalk.count() > 0
                         && !prog.conns.empty();
         }
 
-        // PE configurations.
+        // PE configurations (weight payload bound per run).
         cp.peConfigs.resize(num_pes);
         for (unsigned p = 0; p < num_pes; ++p) {
             PePassConfig &pc = cp.peConfigs[p];
@@ -493,29 +562,69 @@ LayerCompiler::compile(const LayerDesc &layer,
                           * program_planes;
             pc.connections = uint32_t(conns.size());
             pc.enabled = pc.numNeurons > 0;
-            if (!stream_weights) {
-                // The PE weight memory holds the whole layer's
-                // kernels, indexed per plane by the PE (pooling
-                // shares one kernel across planes).
-                if (layer.type == LayerType::Pool) {
-                    pc.localWeights.assign(weights.begin(),
-                                           weights.end());
-                } else {
-                    pc.localWeights.assign(
-                        weights.begin() + long(pass_weight_offset),
-                        weights.begin()
-                            + long(pass_weight_offset
-                                   + pass_weights
-                                         * program_planes));
-                }
-                if (conns.size() > pass_weight_count) {
-                    // Partial-sum connection carries weight 1.0.
-                    pc.localWeights.push_back(Fixed::fromDouble(1.0));
-                }
-            }
         }
 
-        compiled.passes.push_back(std::move(cp));
+        if (!stream_weights) {
+            // The PE weight memory holds the whole layer's kernels,
+            // indexed per plane by the PE (pooling shares one kernel
+            // across planes); the slice is resolved against this
+            // run's weight block by compile().
+            LayerPlan::WeightSlice slice;
+            slice.whole = layer.type == LayerType::Pool;
+            slice.begin = pass_weight_offset;
+            slice.count = pass_weights * program_planes;
+            // Partial-sum connection carries weight 1.0.
+            slice.extraOne = conns.size() > pass_weight_count;
+            plan.localWeightSlices.push_back(slice);
+        }
+
+        plan.passes.push_back(std::move(cp));
+    }
+    return plan_owned;
+}
+
+CompiledLayer
+LayerCompiler::compile(const LayerDesc &layer,
+                       const std::vector<Fixed> &weights,
+                       const Tensor &input,
+                       std::vector<BackingStore *> &stores,
+                       const LaneSpec *lane) const
+{
+    layer.validate();
+    const unsigned num_channels = lane
+        ? unsigned(lane->nodes.size())
+        : config_.dram.numChannels;
+    const unsigned num_pes =
+        lane ? unsigned(lane->nodes.size()) : config_.numPes;
+    nc_assert(stores.size() == num_channels,
+              "store count %zu != channel count %u", stores.size(),
+              num_channels);
+
+    CompiledLayer compiled;
+    compiled.plan = planFor(layer, num_channels, num_pes, lane);
+    const LayerPlan &plan = *compiled.plan;
+
+    // Bind this run's values into the channel stores.
+    for (unsigned ch = 0; ch < num_channels; ++ch)
+        bindChannel(plan, ch, weights, input, *stores[ch]);
+
+    // PE-resident weight payload (weightsInPeMemory mode).
+    if (!plan.localWeightSlices.empty()) {
+        compiled.localWeights.reserve(
+            plan.localWeightSlices.size());
+        for (const LayerPlan::WeightSlice &s :
+             plan.localWeightSlices) {
+            std::vector<Fixed> lw;
+            if (s.whole) {
+                lw.assign(weights.begin(), weights.end());
+            } else {
+                lw.assign(weights.begin() + long(s.begin),
+                          weights.begin() + long(s.begin + s.count));
+            }
+            if (s.extraOne)
+                lw.push_back(Fixed::fromDouble(1.0));
+            compiled.localWeights.push_back(std::move(lw));
+        }
     }
     return compiled;
 }
@@ -524,12 +633,13 @@ Tensor
 LayerCompiler::gather(const CompiledLayer &layer,
                       const std::vector<BackingStore *> &stores) const
 {
-    Tensor out(layer.outPlanes, unsigned(layer.outRect.h),
-               unsigned(layer.outRect.w));
+    Tensor out(layer.outPlanes(), unsigned(layer.outRect().h),
+               unsigned(layer.outRect().w));
     for (unsigned ch = 0; ch < stores.size(); ++ch) {
-        const PlaneStorage &storage = layer.outputStorage[ch];
+        const PlaneStorage &storage = layer.outputStorage()[ch];
         const Rect &tile = storage.stored;
-        for (unsigned plane = 0; plane < layer.outPlanes; ++plane) {
+        for (unsigned plane = 0; plane < layer.outPlanes();
+             ++plane) {
             for (int32_t y = tile.y0; y < tile.y0 + tile.h; ++y) {
                 for (int32_t x = tile.x0; x < tile.x0 + tile.w;
                      ++x) {

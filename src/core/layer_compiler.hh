@@ -17,11 +17,26 @@
  *  - full Conv2D: one pass per (output map, input map) pair, passes
  *    after the first carrying an extra partial-sum connection;
  *  - FullyConnected: a single pass.
+ *
+ * Compilation is split into two stages:
+ *  - the structural *plan* (connection lists, channel address
+ *    layouts, tile placement, PNG programs, PE pass shapes) is a
+ *    pure function of the layer descriptor, the lane partition and
+ *    the machine configuration, and is memoized in a plan cache;
+ *  - per-run *binding* writes the actual weight and activation
+ *    values into the channel stores at the plan's addresses and
+ *    slices the PE-resident weight payload.
+ * Steady-state serving and batched training therefore pay only the
+ * binding cost after the first batch of a given shape.
  */
 
 #ifndef NEUROCUBE_CORE_LAYER_COMPILER_HH
 #define NEUROCUBE_CORE_LAYER_COMPILER_HH
 
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.hh"
@@ -40,12 +55,21 @@ struct CompiledPass
 {
     /** One program per memory channel. */
     std::vector<PngProgram> programs;
-    /** One configuration per PE. */
+    /**
+     * One configuration per PE, *without* the localWeights payload
+     * (attached per run by CompiledLayer::peConfig — the payload is
+     * the same for every PE of a pass).
+     */
     std::vector<PePassConfig> peConfigs;
 };
 
-/** A fully compiled layer, ready to execute pass by pass. */
-struct CompiledLayer
+/**
+ * The structural half of a compiled layer: everything that depends
+ * only on (LayerDesc, lane partition, machine config) and none of
+ * the weight/activation values. Immutable once built and shared
+ * between runs through the compiler's plan cache.
+ */
+struct LayerPlan
 {
     LayerDesc desc;
     LayerMapping mapping;
@@ -56,6 +80,74 @@ struct CompiledLayer
     unsigned outPlanes = 1;
     /** Output map rectangle (1 x N for FC). */
     Rect outRect;
+
+    /** Address layout of one channel's data structures. */
+    struct ChannelLayout
+    {
+        Addr onesAddr = 0;
+        PlaneStorage input;
+        Region weights;
+        PlaneStorage output;
+    };
+    std::vector<ChannelLayout> channels;
+
+    /**
+     * FC partitioned mode only: per channel, the flat input columns
+     * (plane-major) the channel owns — the column order of its
+     * weight slice, kept so binding need not re-derive it.
+     */
+    std::vector<std::vector<uint64_t>> fcOwnedCols;
+
+    /**
+     * Per pass: the slice of the reference weight block loaded into
+     * the PE weight memory (weightsInPeMemory mode). Empty when
+     * weights stream as packets.
+     */
+    struct WeightSlice
+    {
+        uint64_t begin = 0;
+        uint64_t count = 0;
+        /** Pooling shares the whole (one-kernel) block per pass. */
+        bool whole = false;
+        /** Append the partial-sum connection's constant 1.0. */
+        bool extraOne = false;
+    };
+    std::vector<WeightSlice> localWeightSlices;
+};
+
+/**
+ * A fully compiled layer: a shared structural plan plus this run's
+ * PE-resident weight payload. The channel stores were bound (inputs,
+ * weights and zeroed outputs written) by LayerCompiler::compile.
+ */
+struct CompiledLayer
+{
+    std::shared_ptr<const LayerPlan> plan;
+    /** Per pass: PE weight-memory contents (empty when streaming). */
+    std::vector<std::vector<Fixed>> localWeights;
+
+    const LayerDesc &desc() const { return plan->desc; }
+    const LayerMapping &mapping() const { return plan->mapping; }
+    const std::vector<CompiledPass> &passes() const
+    {
+        return plan->passes;
+    }
+    const std::vector<PlaneStorage> &outputStorage() const
+    {
+        return plan->outputStorage;
+    }
+    unsigned outPlanes() const { return plan->outPlanes; }
+    const Rect &outRect() const { return plan->outRect; }
+
+    /** PE pass configuration with the weight payload attached. */
+    PePassConfig
+    peConfig(size_t pass, size_t pe) const
+    {
+        PePassConfig pc = plan->passes[pass].peConfigs[pe];
+        if (!localWeights.empty())
+            pc.localWeights = localWeights[pass];
+        return pc;
+    }
 };
 
 /** Compiles layers onto a machine configuration. */
@@ -66,7 +158,9 @@ class LayerCompiler
 
     /**
      * Map a layer onto the cube: clears the channel stores, writes
-     * inputs and weights, and builds the per-pass programs.
+     * inputs and weights, and builds the per-pass programs. The
+     * structural plan is served from the plan cache when an
+     * identical (layer, lane) compile was seen before.
      *
      * With a lane, the layer is mapped onto that vault group alone:
      * tile maps span only the lane's channels/PEs, @p stores must be
@@ -92,29 +186,77 @@ class LayerCompiler
     Tensor gather(const CompiledLayer &layer,
                   const std::vector<BackingStore *> &stores) const;
 
-  private:
-    struct ChannelLayout
+    /**
+     * Drop every memoized plan. Neurocube::setBatchLanes calls this
+     * when the lane partition is rebuilt; plans are keyed by lane
+     * node list so stale entries could never be *served* wrongly,
+     * but the old partition's plans are dead weight from then on.
+     */
+    void
+    invalidatePlanCache()
     {
-        Addr onesAddr = 0;
-        PlaneStorage input;
-        Region weights;
-        PlaneStorage output;
-    };
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        planCache_.clear();
+    }
 
-    /** Lay out and write one channel's data. */
-    ChannelLayout layoutChannel(const LayerDesc &layer,
-                                const LayerMapping &mapping,
-                                const std::vector<Fixed> &weights,
-                                const Tensor &input, unsigned channel,
-                                const Rect &out_rect,
-                                unsigned out_planes,
-                                BackingStore &store) const;
+    /** Compiles served from the plan cache. */
+    uint64_t
+    planCacheHits() const
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        return hits_;
+    }
+
+    /** Compiles that had to build a fresh plan. */
+    uint64_t
+    planCacheMisses() const
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        return misses_;
+    }
+
+  private:
+    /** Memoized plan lookup (builds and inserts on miss). */
+    std::shared_ptr<const LayerPlan>
+    planFor(const LayerDesc &layer, unsigned num_channels,
+            unsigned num_pes, const LaneSpec *lane) const;
+
+    /** Build one plan from scratch (the structural compile). */
+    std::shared_ptr<const LayerPlan>
+    buildPlan(const LayerDesc &layer, unsigned num_channels,
+              unsigned num_pes, const LaneSpec *lane) const;
+
+    /** Cache key: exact serialization of every plan input. */
+    std::string planKey(const LayerDesc &layer,
+                        const LaneSpec *lane) const;
+
+    /**
+     * Compute one channel's address layout with a simulated bump
+     * allocator (the plan-time mirror of the store's allocate()).
+     */
+    void planChannel(const LayerDesc &layer, LayerPlan &plan,
+                     unsigned channel) const;
+
+    /**
+     * Write one channel's values (ones constant, input activations,
+     * weight partition, zeroed outputs) at the plan's addresses.
+     */
+    void bindChannel(const LayerPlan &plan, unsigned channel,
+                     const std::vector<Fixed> &weights,
+                     const Tensor &input, BackingStore &store) const;
 
     /** Build the connection list shared by one pass. */
     std::vector<Conn> buildConns(const LayerDesc &layer,
                                  unsigned pass) const;
 
     NeurocubeConfig config_;
+
+    mutable std::mutex cacheMutex_;
+    mutable std::unordered_map<std::string,
+                               std::shared_ptr<const LayerPlan>>
+        planCache_;
+    mutable uint64_t hits_ = 0;
+    mutable uint64_t misses_ = 0;
 };
 
 } // namespace neurocube

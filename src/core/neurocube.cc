@@ -236,13 +236,14 @@ Neurocube::runPassEvent(Tick start, Tick deadline, uint64_t pairs)
 }
 
 Tick
-Neurocube::runPass(const CompiledPass &pass)
+Neurocube::runPass(const CompiledLayer &compiled, size_t pass)
 {
     NC_TRACE_TICK(now_);
+    const CompiledPass &cp = compiled.passes()[pass];
     for (unsigned ch = 0; ch < channels_.size(); ++ch)
-        pngs_[ch]->configure(pass.programs[ch]);
+        pngs_[ch]->configure(cp.programs[ch]);
     for (unsigned p = 0; p < pes_.size(); ++p)
-        pes_[p]->configurePass(pass.peConfigs[p]);
+        pes_[p]->configurePass(compiled.peConfig(pass, p));
 
     // Safety net: a pass can never legitimately exceed this budget
     // (every operand pair needs at least one DRAM word somewhere).
@@ -321,7 +322,7 @@ Neurocube::runSingleLayer(const LayerDesc &layer,
     LayerResult result;
     result.name = layer.name.empty() ? layerTypeName(layer.type)
                                      : layer.name;
-    result.passes = unsigned(compiled.passes.size());
+    result.passes = unsigned(compiled.passes().size());
 
     uint64_t mac_ops_before = 0;
     for (const auto &pe : pes_)
@@ -345,10 +346,10 @@ Neurocube::runSingleLayer(const LayerDesc &layer,
 #endif
 
     Tick cycles = 0;
-    for (const CompiledPass &pass : compiled.passes) {
+    for (size_t pass = 0; pass < compiled.passes().size(); ++pass) {
         cycles += config_.configTicksPerPass;
         now_ += config_.configTicksPerPass;
-        cycles += runPass(pass);
+        cycles += runPass(compiled, pass);
     }
 
     uint64_t mac_ops_after = 0;
@@ -457,6 +458,8 @@ Neurocube::setBatchLanes(unsigned lanes)
     lanePartition_.clear();
     laneViews_.clear();
     batchActivations_.clear();
+    // The old partition's lane-keyed plans are unreachable now.
+    compiler_.invalidatePlanCache();
     buildBatchLanes();
 }
 
@@ -655,11 +658,11 @@ Neurocube::runForwardBatch(const std::vector<Tensor> &inputs)
         }
         // Identical layer descriptors compile to identical pass
         // structures, so the lanes stay in lockstep pass by pass.
-        const size_t num_passes = compiled[0].passes.size();
+        const size_t num_passes = compiled[0].passes().size();
         for (unsigned l = 1; l < active; ++l) {
-            nc_assert(compiled[l].passes.size() == num_passes,
+            nc_assert(compiled[l].passes().size() == num_passes,
                       "lane %u compiled %zu passes, lane 0 %zu", l,
-                      compiled[l].passes.size(), num_passes);
+                      compiled[l].passes().size(), num_passes);
         }
 
         std::vector<LayerResult> lr(active);
@@ -698,10 +701,11 @@ Neurocube::runForwardBatch(const std::vector<Tensor> &inputs)
                 for (unsigned i = 0; i < lane.nodes.size(); ++i) {
                     unsigned node = lane.nodes[i];
                     if (lane.index < active) {
-                        const CompiledPass &pass =
-                            compiled[lane.index].passes[p];
-                        pngs_[node]->configure(pass.programs[i]);
-                        pes_[node]->configurePass(pass.peConfigs[i]);
+                        const CompiledLayer &cl =
+                            compiled[lane.index];
+                        pngs_[node]->configure(
+                            cl.passes()[p].programs[i]);
+                        pes_[node]->configurePass(cl.peConfig(p, i));
                     } else {
                         pngs_[node]->configure(PngProgram{});
                         pes_[node]->configurePass(PePassConfig{});

@@ -92,6 +92,9 @@ class Neurocube
      */
     void setBatchLanes(unsigned lanes);
 
+    /** The layer compiler (plan-cache statistics). */
+    const LayerCompiler &compiler() const { return compiler_; }
+
     /**
      * Fast-forward the simulation clock to @p when without ticking
      * any component. Only legal while the machine is idle (between
@@ -170,7 +173,7 @@ class Neurocube
 
   private:
     /** Run one compiled pass to completion; returns its cycles. */
-    Tick runPass(const CompiledPass &pass);
+    Tick runPass(const CompiledLayer &compiled, size_t pass);
     /**
      * The engine the next pass will run on: config().engine, demoted
      * to Legacy while a trace-event recorder is active (event replay

@@ -17,7 +17,6 @@
 #ifndef NEUROCUBE_NOC_FABRIC_HH
 #define NEUROCUBE_NOC_FABRIC_HH
 
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -75,9 +74,9 @@ class NocFabric
     void injectFromPe(PeId p, const Packet &packet, Tick now);
 
     /** Packets delivered to PE p; the PE pops from the front. */
-    std::deque<Packet> &peDelivery(PeId p) { return peDelivery_[p]; }
+    PacketRing &peDelivery(PeId p) { return peDelivery_[p]; }
     /** Packets delivered to the PNG/memory port at node v. */
-    std::deque<Packet> &memDelivery(VaultId v)
+    PacketRing &memDelivery(VaultId v)
     {
         return memDelivery_[v];
     }
@@ -292,8 +291,8 @@ class NocFabric
     std::vector<unsigned> pePort_;
     /** Per node: output port feeding the memory endpoint. */
     std::vector<unsigned> memPort_;
-    std::vector<std::deque<Packet>> peDelivery_;
-    std::vector<std::deque<Packet>> memDelivery_;
+    std::vector<PacketRing> peDelivery_;
+    std::vector<PacketRing> memDelivery_;
 
     /** Per node: lateral/local packets injected there. */
     std::vector<uint64_t> nodeLateral_;

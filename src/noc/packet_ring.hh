@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fixed-capacity circular packet FIFO.
+ *
+ * The router input/output FIFOs and the endpoint delivery queues are
+ * small, credit-bounded queues on the per-tick hot path; a contiguous
+ * ring with power-of-two capacity replaces the std::deque chunk
+ * machinery with two indices and no steady-state allocation. The ring
+ * grows (doubling, relinearizing) only if a producer exceeds the
+ * initial capacity hint — production credit checks make that
+ * unreachable, but unit tests drive queues directly.
+ */
+
+#ifndef NEUROCUBE_NOC_PACKET_RING_HH
+#define NEUROCUBE_NOC_PACKET_RING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "noc/packet.hh"
+
+namespace neurocube
+{
+
+/** A circular FIFO of packets with deque-compatible accessors. */
+class PacketRing
+{
+  public:
+    PacketRing() = default;
+
+    /** @param capacity_hint expected bound on resident packets */
+    explicit PacketRing(unsigned capacity_hint)
+    {
+        buf_.resize(roundUp(capacity_hint));
+    }
+
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+
+    const Packet &front() const { return buf_[head_]; }
+    Packet &front() { return buf_[head_]; }
+
+    void
+    pop_front()
+    {
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        --size_;
+    }
+
+    void
+    push_back(const Packet &packet)
+    {
+        if (size_ == buf_.size())
+            grow();
+        buf_[(head_ + size_) & (buf_.size() - 1)] = packet;
+        ++size_;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    static size_t
+    roundUp(size_t n)
+    {
+        size_t cap = 4;
+        while (cap < n)
+            cap *= 2;
+        return cap;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Packet> wider(buf_.empty() ? 4 : buf_.size() * 2);
+        for (size_t i = 0; i < size_; ++i)
+            wider[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+        head_ = 0;
+        buf_ = std::move(wider);
+    }
+
+    std::vector<Packet> buf_;
+    size_t head_ = 0;
+    size_t size_ = 0;
+};
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_NOC_PACKET_RING_HH

@@ -10,8 +10,8 @@ namespace neurocube
 Router::Router(const Config &config, StatGroup *parent,
                const std::string &name, unsigned trace_id)
     : config_(config), traceId_(uint16_t(trace_id)),
-      inputQueue_(config.numPorts),
-      outputQueue_(config.numPorts),
+      inputQueue_(config.numPorts, PacketRing(config.bufferDepth)),
+      outputQueue_(config.numPorts, PacketRing(config.bufferDepth)),
       routeTable_(2 * config.numNodes, ~0u),
       statGroup_(parent, name),
       statSwitched_(&statGroup_, "switched", "packets switched"),

@@ -19,13 +19,13 @@
 #define NEUROCUBE_NOC_ROUTER_HH
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "noc/packet.hh"
+#include "noc/packet_ring.hh"
 #include "trace/trace.hh"
 
 namespace neurocube
@@ -108,7 +108,7 @@ class Router
     unsigned bufferedInputs() const { return bufferedInputs_; }
 
     /** Packets waiting in an output FIFO. */
-    std::deque<Packet> &outputQueue(unsigned port)
+    PacketRing &outputQueue(unsigned port)
     {
         return outputQueue_[port];
     }
@@ -157,8 +157,8 @@ class Router
     Config config_;
     /** Node index published with trace events. */
     uint16_t traceId_;
-    std::vector<std::deque<Packet>> inputQueue_;
-    std::vector<std::deque<Packet>> outputQueue_;
+    std::vector<PacketRing> inputQueue_;
+    std::vector<PacketRing> outputQueue_;
     std::vector<unsigned> routeTable_;
     /** Daisy-chain priority pointer, advanced every cycle. */
     unsigned priority_ = 0;

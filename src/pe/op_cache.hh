@@ -15,7 +15,6 @@
 #define NEUROCUBE_PE_OP_CACHE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
@@ -81,15 +80,14 @@ class OpCache
     void
     insert(uint32_t group, const Packet &packet)
     {
-        auto &bank = banks_[subBankOf(packet.opId)];
+        SubBank &bank = banks_[subBankOf(packet.opId)];
         if (bank.occupancy >= config_.entriesPerSubBank) {
             statOverflows_ += 1;
             NC_TRACE(TraceComponent::Pe, traceId_,
                      TraceEventType::CacheOverflow, packet.opId,
                      bank.occupancy);
         }
-        bank.entries[key(group, packet.opId)].push_back(packet);
-        ++bank.occupancy;
+        bank.insert(key(group, packet.opId), packet);
         ++totalEntries_;
         if (totalEntries_ > statPeakEntries_.count())
             statPeakEntries_.set(double(totalEntries_));
@@ -115,16 +113,9 @@ class OpCache
     unsigned
     extract(uint32_t group, OpId op_id, std::vector<Packet> &out)
     {
-        auto &bank = banks_[subBankOf(op_id)];
-        unsigned scanned = unsigned(bank.occupancy);
-        auto it = bank.entries.find(key(group, op_id));
-        if (it != bank.entries.end()) {
-            for (const Packet &p : it->second)
-                out.push_back(p);
-            bank.occupancy -= unsigned(it->second.size());
-            totalEntries_ -= unsigned(it->second.size());
-            bank.entries.erase(it);
-        }
+        SubBank &bank = banks_[subBankOf(op_id)];
+        unsigned scanned = bank.occupancy;
+        totalEntries_ -= bank.extract(key(group, op_id), out);
         return scanned;
     }
 
@@ -145,10 +136,8 @@ class OpCache
     void
     clear()
     {
-        for (auto &bank : banks_) {
-            bank.entries.clear();
-            bank.occupancy = 0;
-        }
+        for (auto &bank : banks_)
+            bank.clear();
         totalEntries_ = 0;
     }
 
@@ -163,11 +152,158 @@ class OpCache
         return (uint64_t(group) << 32) | op_id;
     }
 
-    /** One sub-bank, indexed by (group, opId) for O(1) search. */
+    /**
+     * One sub-bank: an open-addressing key index over pooled
+     * per-key packet buckets. Packets for the same (group, opId)
+     * append to one contiguous bucket, so extraction order matches
+     * insertion order exactly and the full-bucket copy on
+     * extraction is a linear scan. Emptied buckets return to a free
+     * list with their capacity intact, so steady-state inserts and
+     * extractions never allocate — the per-key hash-node and vector
+     * churn this replaces dominated the MAC-bound profile.
+     */
     struct SubBank
     {
-        std::unordered_map<uint64_t, std::vector<Packet>> entries;
+        /** One key cell: bucket < 0 marks the cell empty. */
+        struct Cell
+        {
+            uint64_t key;
+            int32_t bucket;
+        };
+
+        std::vector<Cell> cells_;
+        std::vector<std::vector<Packet>> buckets_;
+        std::vector<int32_t> freeBuckets_;
+        size_t cellCount_ = 0;
         unsigned occupancy = 0;
+
+        /** splitmix64 finalizer: cheap and well-mixed. */
+        static size_t
+        hashKey(uint64_t k)
+        {
+            k ^= k >> 33;
+            k *= 0xff51afd7ed558ccdULL;
+            k ^= k >> 33;
+            k *= 0xc4ceb9fe1a85ec53ULL;
+            k ^= k >> 33;
+            return size_t(k);
+        }
+
+        void
+        grow()
+        {
+            std::vector<Cell> old = std::move(cells_);
+            size_t cap = old.empty() ? 32 : old.size() * 2;
+            cells_.assign(cap, Cell{0, -1});
+            for (const Cell &c : old) {
+                if (c.bucket < 0)
+                    continue;
+                size_t mask = cells_.size() - 1;
+                size_t i = hashKey(c.key) & mask;
+                while (cells_[i].bucket >= 0)
+                    i = (i + 1) & mask;
+                cells_[i] = c;
+            }
+        }
+
+        /** Find the cell for @p k, or nullptr. */
+        Cell *
+        find(uint64_t k)
+        {
+            if (cellCount_ == 0)
+                return nullptr;
+            size_t mask = cells_.size() - 1;
+            size_t i = hashKey(k) & mask;
+            while (cells_[i].bucket >= 0) {
+                if (cells_[i].key == k)
+                    return &cells_[i];
+                i = (i + 1) & mask;
+            }
+            return nullptr;
+        }
+
+        void
+        insert(uint64_t k, const Packet &packet)
+        {
+            if (cells_.empty() || cellCount_ * 2 >= cells_.size())
+                grow();
+            size_t mask = cells_.size() - 1;
+            size_t i = hashKey(k) & mask;
+            while (cells_[i].bucket >= 0 && cells_[i].key != k)
+                i = (i + 1) & mask;
+            Cell &c = cells_[i];
+            if (c.bucket < 0) {
+                if (!freeBuckets_.empty()) {
+                    c.bucket = freeBuckets_.back();
+                    freeBuckets_.pop_back();
+                } else {
+                    c.bucket = int32_t(buckets_.size());
+                    buckets_.emplace_back();
+                }
+                c.key = k;
+                ++cellCount_;
+            }
+            buckets_[c.bucket].push_back(packet);
+            ++occupancy;
+        }
+
+        /**
+         * Remove the bucket for @p k, appending its packets to
+         * @p out in insertion order.
+         *
+         * @return number of packets extracted
+         */
+        unsigned
+        extract(uint64_t k, std::vector<Packet> &out)
+        {
+            Cell *c = find(k);
+            if (c == nullptr)
+                return 0;
+            std::vector<Packet> &bucket = buckets_[c->bucket];
+            out.insert(out.end(), bucket.begin(), bucket.end());
+            unsigned n = unsigned(bucket.size());
+            bucket.clear();
+            freeBuckets_.push_back(c->bucket);
+            occupancy -= n;
+            erase(size_t(c - cells_.data()));
+            return n;
+        }
+
+        /** Backward-shift deletion keeps probe chains intact. */
+        void
+        erase(size_t i)
+        {
+            size_t mask = cells_.size() - 1;
+            size_t j = i;
+            while (true) {
+                j = (j + 1) & mask;
+                if (cells_[j].bucket < 0)
+                    break;
+                size_t ideal = hashKey(cells_[j].key) & mask;
+                bool movable = (j > i) ? (ideal <= i || ideal > j)
+                                       : (ideal <= i && ideal > j);
+                if (movable) {
+                    cells_[i] = cells_[j];
+                    i = j;
+                }
+            }
+            cells_[i].bucket = -1;
+            --cellCount_;
+        }
+
+        void
+        clear()
+        {
+            if (cellCount_ != 0)
+                cells_.assign(cells_.size(), Cell{0, -1});
+            cellCount_ = 0;
+            freeBuckets_.clear();
+            for (size_t b = 0; b < buckets_.size(); ++b) {
+                buckets_[b].clear();
+                freeBuckets_.push_back(int32_t(b));
+            }
+            occupancy = 0;
+        }
     };
 
     Config config_;

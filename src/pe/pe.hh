@@ -16,7 +16,6 @@
 #define NEUROCUBE_PE_PE_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/fixed_point.hh"
@@ -200,7 +199,7 @@ class Pe
     Tick macBusyUntil_ = 0;
     bool passComplete_ = true;
 
-    std::deque<Packet> outbox_;
+    PacketRing outbox_;
 
     Stat statMacOps_;
     Stat statFlushes_;

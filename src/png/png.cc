@@ -105,12 +105,13 @@ Png::tick(Tick now)
            && outQueue_.size() < params_.outQueueDepth) {
         const MemResponse &resp = responses.front();
         nc_assert(!pending_.empty(), "response without a pending read");
-        auto it = pending_.begin();
-        while (it != pending_.end() && it->tag != resp.tag)
-            ++it;
-        nc_assert(it != pending_.end(),
+        size_t match = 0;
+        while (match < pending_.size()
+               && pending_[match].tag != resp.tag)
+            ++match;
+        nc_assert(match < pending_.size(),
                   "unmatched response tag at PNG %u", unsigned(id_));
-        const GeneratedOp &op = it->op;
+        const GeneratedOp &op = pending_[match].op;
         Packet packet;
         packet.kind = op.kind;
         packet.src = id_;
@@ -123,7 +124,8 @@ Png::tick(Tick now)
         packet.homeVault = op.homeVault;
         packet.data = resp.data;
         outQueue_.push_back(packet);
-        pending_.erase(it);
+        pending_[match] = pending_.back();
+        pending_.pop_back();
         responses.pop_front();
     }
 

@@ -18,7 +18,7 @@
 #define NEUROCUBE_PNG_PNG_HH
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -143,13 +143,15 @@ class Png
     };
 
     /**
-     * Metadata for reads in flight, in issue order. The vault
-     * controller may complete row hits out of order (FR-FCFS), so
-     * responses are matched by tag within this window.
+     * Metadata for reads in flight. The vault controller may
+     * complete row hits out of order (FR-FCFS), so responses are
+     * matched by tag within this window. Unordered: matches are
+     * removed by swap-with-back, which keeps removal O(1) — nothing
+     * observable depends on the order of in-flight entries.
      */
-    std::deque<PendingRead> pending_;
+    std::vector<PendingRead> pending_;
     /** Encapsulated packets awaiting router injection. */
-    std::deque<Packet> outQueue_;
+    PacketRing outQueue_;
     uint64_t nextTag_ = 0;
     uint64_t wbReceived_ = 0;
 

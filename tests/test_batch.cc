@@ -271,6 +271,63 @@ TEST(Batch, SetBatchLanesReentrantAcrossLaneCounts)
     }
 }
 
+TEST(Batch, PlanCacheRoundTripAcrossLaneCounts)
+{
+    // A 4 -> 2 -> 4 lane round trip: steady-state batches are served
+    // entirely from the plan cache, and every setBatchLanes that
+    // changes the partition invalidates it (the counters prove both),
+    // while outputs stay bit-identical to the reference model.
+    NetworkDesc net = convFcNet();
+    NetworkData data = NetworkData::randomized(net, 8);
+    std::vector<Tensor> inputs = laneInputs(net, 4, 800);
+    std::vector<Tensor> pair(inputs.begin(), inputs.begin() + 2);
+
+    Neurocube cube((NeurocubeConfig()));
+    cube.loadNetwork(net, data);
+    const LayerCompiler &compiler = cube.compiler();
+
+    cube.setBatchLanes(4);
+    cube.runForwardBatch(inputs);
+    // 2 layers x 4 lanes, all cold.
+    EXPECT_EQ(compiler.planCacheMisses(), 8u);
+    EXPECT_EQ(compiler.planCacheHits(), 0u);
+
+    // Steady state: the same shapes recompile as pure hits.
+    cube.runForwardBatch(inputs);
+    EXPECT_EQ(compiler.planCacheMisses(), 8u);
+    EXPECT_EQ(compiler.planCacheHits(), 8u);
+
+    // Re-partitioning drops the cache: 2 lanes compile cold.
+    cube.setBatchLanes(2);
+    cube.runForwardBatch(pair);
+    EXPECT_EQ(compiler.planCacheMisses(), 12u);
+    EXPECT_EQ(compiler.planCacheHits(), 8u);
+
+    // Back to 4 lanes: invalidated again, cold once, then hits.
+    cube.setBatchLanes(4);
+    cube.runForwardBatch(inputs);
+    EXPECT_EQ(compiler.planCacheMisses(), 20u);
+    EXPECT_EQ(compiler.planCacheHits(), 8u);
+    cube.runForwardBatch(inputs);
+    EXPECT_EQ(compiler.planCacheMisses(), 20u);
+    EXPECT_EQ(compiler.planCacheHits(), 16u);
+
+    // A same-count setBatchLanes is a no-op and keeps the cache.
+    cube.setBatchLanes(4);
+    cube.runForwardBatch(inputs);
+    EXPECT_EQ(compiler.planCacheMisses(), 20u);
+    EXPECT_EQ(compiler.planCacheHits(), 24u);
+
+    for (unsigned l = 0; l < 4; ++l) {
+        auto expect = referenceForward(net, data, inputs[l]);
+        for (size_t i = 0; i < net.layers.size(); ++i) {
+            EXPECT_TRUE(tensorsEqual(cube.batchLayerOutput(l, i),
+                                     expect[i]))
+                << "lane " << l << " layer " << i;
+        }
+    }
+}
+
 TEST(Batch, SetBatchLanesTimingIsDeterministic)
 {
     // Warm machine state (caches, row buffers) may legitimately make

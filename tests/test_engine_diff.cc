@@ -355,6 +355,36 @@ TEST(EngineDiff, FuzzBatchAllThreeEngines)
     }
 }
 
+TEST(EngineDiff, FuzzPlanCacheOnVsOff)
+{
+    // The compiled-plan cache must be invisible: a cached compile
+    // binds the same store contents and programs as a cold one, so
+    // cycles, outputs, stall attribution and energy counts all stay
+    // bit-identical with the cache on or off.
+    const unsigned seeds = std::max(1u, fuzzSeedCount() / 4);
+    for (unsigned seed = 1; seed <= seeds; ++seed) {
+        Rng rng(uint64_t(seed) * 0x9e3779b97f4a7c15ull);
+        NetworkDesc net = randomNet(rng);
+        NeurocubeConfig config = randomConfig(rng, false);
+        NetworkData data = NetworkData::randomized(net, seed);
+        Tensor input(net.inputMaps(), net.inputHeight(),
+                     net.inputWidth());
+        Rng input_rng(seed + 2000);
+        input.randomize(input_rng);
+
+        NeurocubeConfig cached = config;
+        cached.planCache = true;
+        NeurocubeConfig cold = config;
+        cold.planCache = false;
+        RunSnapshot with_cache = snapshotForward(
+            cached, SimEngine::Event, net, data, input);
+        RunSnapshot without = snapshotForward(
+            cold, SimEngine::Event, net, data, input);
+        ASSERT_TRUE(snapshotsEqual(without, with_cache))
+            << "seed " << seed;
+    }
+}
+
 /** Engine-invariant view of a driver-produced RunResult. */
 struct DriverSnapshot
 {

@@ -354,6 +354,45 @@ TEST(Integration, CyclesRespectMemoryBound)
     EXPECT_EQ(r.ops, net.layers[0].totalOps());
 }
 
+TEST(Integration, LongIdleGapDoesNotPerturbSteadyState)
+{
+    // advanceIdleTo jumps the clock in O(1) — a trillion-tick idle
+    // gap (an open-loop server draining its queue) must neither cost
+    // wall time proportional to the gap nor perturb any machine
+    // state: the post-gap run repeats the pre-gap steady state's
+    // cycle count exactly.
+    NetworkDesc net = tinyConvNet();
+    NetworkData data = NetworkData::randomized(net, 21);
+    Tensor input(net.inputMaps(), net.inputHeight(),
+                 net.inputWidth());
+    Rng rng(22);
+    input.randomize(rng);
+
+    Neurocube cube((NeurocubeConfig()));
+    const LayerDesc &layer = net.layers[0];
+
+    // Warm up to the steady state (run 2 == run 3: DRAM row-buffer
+    // and cache state converge after the first pass).
+    cube.runSingleLayer(layer, data.weights[0], input, nullptr);
+    LayerResult warm =
+        cube.runSingleLayer(layer, data.weights[0], input, nullptr);
+    LayerResult steady =
+        cube.runSingleLayer(layer, data.weights[0], input, nullptr);
+    ASSERT_EQ(warm.cycles, steady.cycles);
+
+    const Tick gap = Tick(1) << 40; // ~10^12 idle ticks
+    Tick before = cube.now();
+    cube.advanceIdleTo(before + gap);
+    EXPECT_EQ(cube.now(), before + gap);
+
+    Tensor output;
+    LayerResult after =
+        cube.runSingleLayer(layer, data.weights[0], input, &output);
+    EXPECT_EQ(after.cycles, steady.cycles);
+    EXPECT_TRUE(tensorsEqual(
+        output, referenceForward(net, data, input)[0]));
+}
+
 TEST(Integration, StatsDumpIsWellFormed)
 {
     NeurocubeConfig config;

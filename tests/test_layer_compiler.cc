@@ -66,8 +66,8 @@ TEST_F(CompilerTest, ConvCollapsesToOneProgram)
         compile(conv, data.weights[0], input);
 
     // One pass whose program iterates all four output maps.
-    ASSERT_EQ(compiled.passes.size(), 1u);
-    const PngProgram &prog = compiled.passes[0].programs[0];
+    ASSERT_EQ(compiled.passes().size(), 1u);
+    const PngProgram &prog = compiled.passes()[0].programs[0];
     EXPECT_EQ(prog.outPlanes, 4u);
     EXPECT_EQ(prog.planeInMapModulo, 2u);
     EXPECT_EQ(prog.weightPlaneStride, 9u);
@@ -75,7 +75,7 @@ TEST_F(CompilerTest, ConvCollapsesToOneProgram)
     EXPECT_EQ(prog.outPlaneSize, uint32_t(18 * 14));
     EXPECT_EQ(prog.activation, ActivationKind::Tanh);
     // PE sees all planes' neurons.
-    const PePassConfig &pc = compiled.passes[0].peConfigs[0];
+    const PePassConfig &pc = compiled.passes()[0].peConfigs[0];
     EXPECT_EQ(pc.planes, 4u);
     EXPECT_EQ(pc.numNeurons % 4u, 0u);
 }
@@ -93,7 +93,7 @@ TEST_F(CompilerTest, InputWrittenIntoStoredRect)
         compile(conv, data.weights[0], input);
 
     for (unsigned ch = 0; ch < 16; ++ch) {
-        const PngProgram &prog = compiled.passes[0].programs[ch];
+        const PngProgram &prog = compiled.passes()[0].programs[ch];
         const Rect &stored = prog.input.stored;
         for (unsigned m = 0; m < 2; ++m) {
             for (int32_t y = stored.y0; y < stored.y0 + stored.h;
@@ -120,7 +120,7 @@ TEST_F(CompilerTest, SharedKernelsDuplicatedInEveryVault)
         compile(conv, data.weights[0], input);
 
     for (unsigned ch = 0; ch < 16; ++ch) {
-        const PngProgram &prog = compiled.passes[0].programs[ch];
+        const PngProgram &prog = compiled.passes()[0].programs[ch];
         for (size_t i = 0; i < data.weights[0].size(); ++i) {
             EXPECT_EQ(stores_[ch]->read(prog.weights.base + i),
                       data.weights[0][i])
@@ -142,7 +142,7 @@ TEST_F(CompilerTest, GatherRoundTripsOutputStores)
     // Write a recognizable pattern into every vault's output region
     // and gather it back.
     for (unsigned ch = 0; ch < 16; ++ch) {
-        const PlaneStorage &out = compiled.outputStorage[ch];
+        const PlaneStorage &out = compiled.outputStorage()[ch];
         for (unsigned p = 0; p < out.planes; ++p) {
             const Rect &tile = out.stored;
             for (int32_t y = tile.y0; y < tile.y0 + tile.h; ++y) {
@@ -187,10 +187,10 @@ TEST_F(CompilerTest, FcWeightsInterleavedGroupBlocked)
     // Vault ch owns output slice [2ch, 2ch+2); its weights are
     // stored MAC-minor: base + (walk/16)*8*16 + c*16 + walk%16.
     for (unsigned ch = 0; ch < 16; ++ch) {
-        const PngProgram &prog = compiled.passes[0].programs[ch];
+        const PngProgram &prog = compiled.passes()[0].programs[ch];
         EXPECT_TRUE(prog.weightInterleaved);
         EXPECT_EQ(prog.weightNeuronStride, 8u);
-        Rect tile = compiled.mapping.outTiles.tile(ch);
+        Rect tile = compiled.mapping().outTiles.tile(ch);
         uint64_t walk = 0;
         for (int32_t o = tile.x0; o < tile.x0 + tile.w;
              ++o, ++walk) {
@@ -224,7 +224,7 @@ TEST_F(CompilerTest, PixelMajorLayoutForPerPixelClassifier)
     input.randomize(rng);
     CompiledLayer compiled = compile(fc1, data.weights[0], input);
 
-    const PngProgram &prog = compiled.passes[0].programs[0];
+    const PngProgram &prog = compiled.passes()[0].programs[0];
     EXPECT_TRUE(prog.input.pixelMajor);
     // Consecutive maps of one pixel are adjacent in the vault.
     const Rect &stored = prog.input.stored;
@@ -243,10 +243,69 @@ TEST_F(CompilerTest, OnesElementBackstopsPartialReads)
     CompiledLayer compiled =
         compile(conv, data.weights[0], input);
     for (unsigned ch = 0; ch < 16; ++ch) {
-        const PngProgram &prog = compiled.passes[0].programs[ch];
+        const PngProgram &prog = compiled.passes()[0].programs[ch];
         EXPECT_EQ(stores_[ch]->read(prog.onesAddr),
                   Fixed::fromDouble(1.0));
     }
+}
+
+TEST_F(CompilerTest, PlanCacheHitsOnRepeatAndBindsIdentically)
+{
+    LayerDesc conv = smallConv();
+    NetworkDesc net;
+    net.layers.push_back(conv);
+    NetworkData data = NetworkData::randomized(net, 11);
+    Tensor input(2, 16, 20);
+    Rng rng(12);
+    input.randomize(rng);
+
+    CompiledLayer a = compile(conv, data.weights[0], input);
+    EXPECT_EQ(compiler_.planCacheMisses(), 1u);
+    EXPECT_EQ(compiler_.planCacheHits(), 0u);
+
+    // Snapshot every store over the bound address range (the output
+    // region is allocated last, so its end is the layout top).
+    auto snapshot = [&]() {
+        std::vector<std::vector<Fixed>> bytes(16);
+        for (unsigned ch = 0; ch < 16; ++ch) {
+            const Region &out = a.outputStorage()[ch].region;
+            for (Addr addr = 0; addr < out.base + out.elements;
+                 ++addr) {
+                bytes[ch].push_back(stores_[ch]->read(addr));
+            }
+        }
+        return bytes;
+    };
+    std::vector<std::vector<Fixed>> cold = snapshot();
+
+    // Second compile is served from the cache (same plan object)
+    // and binds the stores to the exact same contents.
+    CompiledLayer b = compile(conv, data.weights[0], input);
+    EXPECT_EQ(compiler_.planCacheMisses(), 1u);
+    EXPECT_EQ(compiler_.planCacheHits(), 1u);
+    EXPECT_EQ(a.plan.get(), b.plan.get());
+    EXPECT_TRUE(snapshot() == cold);
+
+    // A different layer shape is a different plan.
+    LayerDesc other = conv;
+    other.name = "conv2";
+    other.outMaps = 2;
+    NetworkDesc other_net;
+    other_net.layers.push_back(other);
+    NetworkData other_data = NetworkData::randomized(other_net, 13);
+    compile(other, other_data.weights[0], input);
+    EXPECT_EQ(compiler_.planCacheMisses(), 2u);
+
+    // A cache-disabled compiler builds fresh plans every time but
+    // binds bit-identical store contents.
+    NeurocubeConfig no_cache = config_;
+    no_cache.planCache = false;
+    LayerCompiler cold_compiler(no_cache);
+    cold_compiler.compile(conv, data.weights[0], input, stores_);
+    cold_compiler.compile(conv, data.weights[0], input, stores_);
+    EXPECT_EQ(cold_compiler.planCacheHits(), 0u);
+    EXPECT_EQ(cold_compiler.planCacheMisses(), 2u);
+    EXPECT_TRUE(snapshot() == cold);
 }
 
 TEST_F(CompilerTest, SplitModeStillEmitsPerPassPrograms)
@@ -271,13 +330,13 @@ TEST_F(CompilerTest, SplitModeStillEmitsPerPassPrograms)
     Tensor input(3, 4, 6);
     CompiledLayer compiled =
         compiler.compile(fc1, data.weights[0], input, stores_);
-    EXPECT_EQ(compiled.passes.size(), 6u); // 2 out x 3 in maps
+    EXPECT_EQ(compiled.passes().size(), 6u); // 2 out x 3 in maps
     // Accumulating passes carry the partial-sum connection.
-    EXPECT_EQ(compiled.passes[1].programs[0].conns.size(), 2u);
-    EXPECT_EQ(compiled.passes[1].programs[0].conns.back().source,
+    EXPECT_EQ(compiled.passes()[1].programs[0].conns.size(), 2u);
+    EXPECT_EQ(compiled.passes()[1].programs[0].conns.back().source,
               Conn::Source::Partial);
     // Only the last pass of each output map applies the activation.
-    EXPECT_EQ(compiled.passes[0].programs[0].outPlanes, 1u);
+    EXPECT_EQ(compiled.passes()[0].programs[0].outPlanes, 1u);
 }
 
 } // namespace
