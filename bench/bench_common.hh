@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "core/manifest.hh"
 #include "core/neurocube.hh"
 #include "core/results.hh"
 #include "nn/network.hh"
@@ -77,6 +78,43 @@ planCacheFromEnv(bool fallback)
     return env[0] != '0';
 }
 
+/**
+ * Trace-sampling period from NEUROCUBE_TRACE_SAMPLE=N (record one in
+ * N aggregation windows of full-fidelity events; counters are always
+ * exact). 1 — full fidelity — when unset or invalid.
+ */
+inline uint64_t
+traceSampleFromEnv()
+{
+    const char *env = std::getenv("NEUROCUBE_TRACE_SAMPLE");
+    if (env == nullptr || env[0] == '\0')
+        return 1;
+    uint64_t period = std::strtoull(env, nullptr, 10);
+    return period > 0 ? period : 1;
+}
+
+/**
+ * Trace-export override from NEUROCUBE_TRACE_EXPORT=<dir>: give the
+ * run a full tracing session writing <dir>/<label>.trace.json and
+ * <dir>/<label>.timeseries.csv, sampled per NEUROCUBE_TRACE_SAMPLE.
+ * The wake-list engine stays active under the recorder (EngineSkip
+ * aggregation); scripts/bench.sh --compare uses this to gate the
+ * wall-clock overhead of sampled tracing.
+ */
+inline void
+applyTraceExportFromEnv(NeurocubeConfig &cfg, const std::string &label)
+{
+    const char *dir = std::getenv("NEUROCUBE_TRACE_EXPORT");
+    if (dir == nullptr || dir[0] == '\0')
+        return;
+    cfg.trace.enabled = true;
+    cfg.trace.chromeJsonPath =
+        std::string(dir) + "/" + label + ".trace.json";
+    cfg.trace.timeseriesCsvPath =
+        std::string(dir) + "/" + label + ".timeseries.csv";
+    cfg.trace.samplePeriod = traceSampleFromEnv();
+}
+
 /** Millisecond wall-clock timer for RunResult::wallMs. */
 class WallTimer
 {
@@ -109,10 +147,17 @@ inferenceInputSize(unsigned &w, unsigned &h)
     }
 }
 
-/** Run a full forward pass of a network on a machine config. */
+/**
+ * Run a full forward pass of a network on a machine config.
+ *
+ * When @p manifest is non-null it is filled with the run's identity
+ * block (config hash, git describe, active engine; name left empty
+ * for the caller/writeBenchJson to label). NEUROCUBE_TRACE_EXPORT
+ * and NEUROCUBE_TRACE_SAMPLE apply here (see applyTraceExportFromEnv).
+ */
 inline RunResult
 runForward(const NeurocubeConfig &config, const NetworkDesc &net,
-           uint64_t seed = 1)
+           uint64_t seed = 1, RunManifest *manifest = nullptr)
 {
     NetworkData data = NetworkData::randomized(net, seed);
     Tensor input(net.inputMaps(), net.inputHeight(),
@@ -130,6 +175,10 @@ runForward(const NeurocubeConfig &config, const NetworkDesc &net,
         cfg.trace.metrics = true;
     }
 #endif
+    // Distinct export filenames for successive runs of one binary.
+    static unsigned run_ordinal = 0;
+    applyTraceExportFromEnv(
+        cfg, "forward" + std::to_string(run_ordinal++));
     cfg.engine = engineFromEnv(cfg.engine);
     cfg.planCache = planCacheFromEnv(cfg.planCache);
     Neurocube cube(cfg);
@@ -138,6 +187,10 @@ runForward(const NeurocubeConfig &config, const NetworkDesc &net,
     WallTimer timer;
     RunResult run = cube.runForward();
     run.wallMs = timer.elapsedMs();
+    if (manifest != nullptr) {
+        *manifest = buildRunManifest(cfg, cube.activeEngine(), "",
+                                     quickMode());
+    }
     return run;
 }
 
@@ -254,16 +307,45 @@ benchOutputPath(const std::string &filename)
 }
 
 /**
+ * One labelled run for writeBenchJson/writeBenchProm. Constructible
+ * from the legacy {name, &run} pair (no manifest: the JSON carries
+ * "manifest": null and the .prom writer skips the run) or from
+ * {name, &run, manifest} where the manifest came out of runForward.
+ */
+struct NamedRun
+{
+    NamedRun(std::string run_name, const RunResult *run_result)
+        : name(std::move(run_name)), run(run_result)
+    {
+    }
+
+    NamedRun(std::string run_name, const RunResult *run_result,
+             RunManifest run_manifest)
+        : name(std::move(run_name)), run(run_result),
+          manifest(std::move(run_manifest)), hasManifest(true)
+    {
+        manifest.name = name;
+    }
+
+    std::string name;
+    const RunResult *run;
+    RunManifest manifest;
+    bool hasManifest = false;
+};
+
+/**
  * Write a machine-readable bench result file: one JSON object per
  * named run carrying its per-layer metrics document
- * (RunResult::metricsJson) and its activity energy document
- * (RunResult::energyJson). scripts/bench.sh collects these and
- * `bench.sh --compare` diffs them against bench/baselines/.
+ * (RunResult::metricsJson), its activity energy document
+ * (RunResult::energyJson), and — when the caller provided one — its
+ * run manifest (runManifestJson: config hash, git describe, engine,
+ * cycles, stall/energy breakdowns, wall_ms). scripts/bench.sh
+ * collects these and `bench.sh --compare` diffs them against
+ * bench/baselines/.
  */
 inline void
-writeBenchJson(
-    const std::string &filename,
-    const std::vector<std::pair<std::string, const RunResult *>> &runs)
+writeBenchJson(const std::string &filename,
+               const std::vector<NamedRun> &runs)
 {
     std::string path = benchOutputPath(filename);
     std::ofstream out(path);
@@ -282,15 +364,41 @@ writeBenchJson(
     out << "{\n\"quick\": " << (quickMode() ? "true" : "false")
         << ",\n\"runs\": {\n";
     for (size_t i = 0; i < runs.size(); ++i) {
-        out << "\"" << runs[i].first << "\": {\"wall_ms\": "
-            << formatDouble(runs[i].second->wallMs, 1)
-            << ",\n\"metrics\": "
-            << trimmed(runs[i].second->metricsJson())
-            << ",\n\"energy\": "
-            << trimmed(runs[i].second->energyJson()) << "}"
-            << (i + 1 < runs.size() ? "," : "") << "\n";
+        out << "\"" << runs[i].name << "\": {\"wall_ms\": "
+            << formatDouble(runs[i].run->wallMs, 1)
+            << ",\n\"manifest\": "
+            << (runs[i].hasManifest
+                    ? runManifestJson(runs[i].manifest, *runs[i].run)
+                    : std::string("null"))
+            << ",\n\"metrics\": " << trimmed(runs[i].run->metricsJson())
+            << ",\n\"energy\": " << trimmed(runs[i].run->energyJson())
+            << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
     }
     out << "}\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
+/**
+ * Write the Prometheus-textfile sibling of writeBenchJson: the
+ * concatenated runMetricsTextfile dumps of every manifested run,
+ * ready for a node-exporter textfile collector directory. Runs
+ * without a manifest are skipped.
+ */
+inline void
+writeBenchProm(const std::string &filename,
+               const std::vector<NamedRun> &runs)
+{
+    std::string path = benchOutputPath(filename);
+    std::ofstream out(path);
+    if (!out.is_open()) {
+        std::fprintf(stderr, "warning: cannot write bench prom '%s'\n",
+                     path.c_str());
+        return;
+    }
+    for (const NamedRun &r : runs) {
+        if (r.hasManifest)
+            out << runMetricsTextfile(r.manifest, *r.run);
+    }
     std::printf("wrote %s\n", path.c_str());
 }
 

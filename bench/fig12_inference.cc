@@ -69,20 +69,25 @@ printFigure()
                 quickMode() ? "reduced 160x120" : "320x240");
 
     NeurocubeConfig dup;
-    RunResult with_dup = runForward(dup, net);
+    RunManifest dup_manifest;
+    RunResult with_dup = runForward(dup, net, 1, &dup_manifest);
     printLayerPanels(with_dup, "with data duplication (black bars)");
     printEnergyPanel(with_dup, "with data duplication");
 
     NeurocubeConfig nodup;
     nodup.mapping.duplicateConvHalo = false;
     nodup.mapping.duplicateFcInput = false;
-    RunResult without = runForward(nodup, net);
+    RunManifest nodup_manifest;
+    RunResult without = runForward(nodup, net, 1, &nodup_manifest);
     printLayerPanels(without, "without data duplication (gray bars)");
     printEnergyPanel(without, "without data duplication");
 
-    writeBenchJson("BENCH_fig12.json",
-                   {{"duplicated", &with_dup},
-                    {"no_duplication", &without}});
+    const std::vector<NamedRun> runs = {
+        {"duplicated", &with_dup, dup_manifest},
+        {"no_duplication", &without, nodup_manifest},
+    };
+    writeBenchJson("BENCH_fig12.json", runs);
+    writeBenchProm("BENCH_fig12.prom", runs);
 
     PowerModel m28(TechNode::Nm28), m15(TechNode::Nm15);
     std::printf("\nimage throughput (frames/s): 28nm %.2f, 15nm "

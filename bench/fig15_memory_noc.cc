@@ -188,7 +188,7 @@ main(int argc, char **argv)
                 "===\n");
     printPanelA();
     printPanelB();
-    std::vector<std::pair<std::string, const RunResult *>> runs;
+    std::vector<NamedRun> runs;
     for (const auto &r : g_runs)
         runs.emplace_back(r.first, &r.second);
     writeBenchJson("BENCH_fig15.json", runs);

@@ -105,7 +105,16 @@ struct SweepPoint
 {
     double factor;
     ServingReport report;
+    RunManifest manifest;
+    double wallMs = 0.0;
 };
+
+/** "load_75pct"-style label for one sweep point. */
+std::string
+pointName(double factor)
+{
+    return "load_" + std::to_string(int(100.0 * factor)) + "pct";
+}
 
 SweepPoint
 runPoint(size_t index, Tick batch4, const NetworkDesc &net,
@@ -119,16 +128,46 @@ runPoint(size_t index, Tick batch4, const NetworkDesc &net,
     ArrivalSchedule arrivals =
         poissonArrivals(requestCount(), mean_gap, 1234 + index);
 
-    Neurocube cube(servingMachine());
+    NeurocubeConfig machine = servingMachine();
+    Neurocube cube(machine);
     cube.loadNetwork(net, data);
 
     ServingConfig serving;
     serving.queueDepth = 12;
     serving.scheduler.maxLanes = 4;
     serving.scheduler.maxWaitTicks = batch4 / 2;
+    // Per-request span export rides the trace-export knob: one JSONL
+    // spans file per sweep point next to the trace files.
+    if (const char *dir = std::getenv("NEUROCUBE_TRACE_EXPORT");
+        dir != nullptr && dir[0] != '\0') {
+        serving.spansJsonlPath = std::string(dir) + "/"
+                               + pointName(factor) + ".spans.jsonl";
+    }
     ServingSimulator sim(cube, serving);
+    WallTimer timer;
     ServingResult result = sim.run(arrivals, input);
-    return {factor, buildServingReport(result)};
+    SweepPoint point{factor, buildServingReport(result),
+                     buildRunManifest(machine, cube.activeEngine(),
+                                      pointName(factor), quickMode()),
+                     timer.elapsedMs()};
+    return point;
+}
+
+/** Prometheus-textfile sibling of BENCH_serve.json (one
+ *  neurocube_serve_* gauge block per sweep point). */
+void
+writeServeProm(const std::vector<SweepPoint> &points)
+{
+    std::string path = benchOutputPath("BENCH_serve.prom");
+    std::ofstream out(path);
+    if (!out.is_open()) {
+        std::fprintf(stderr, "warning: cannot write bench prom '%s'\n",
+                     path.c_str());
+        return;
+    }
+    for (const SweepPoint &p : points)
+        out << servingMetricsTextfile(p.manifest, p.report, p.wallMs);
+    std::printf("wrote %s\n", path.c_str());
 }
 
 void
@@ -145,8 +184,8 @@ writeServeJson(const std::vector<SweepPoint> &points, Tick batch4)
         << ",\n\"calibration\": {\"batch4_cycles\": " << batch4
         << "},\n\"runs\": {\n";
     for (size_t i = 0; i < points.size(); ++i) {
-        out << "\"load_" << int(100.0 * points[i].factor)
-            << "pct\": {\"serving\": "
+        out << "\"" << pointName(points[i].factor)
+            << "\": {\"serving\": "
             << servingReportJson(points[i].report) << "}"
             << (i + 1 < points.size() ? "," : "") << "\n";
     }
@@ -210,6 +249,7 @@ printFigure()
                 "of the 4-lane capacity\n", knee);
 
     writeServeJson(points, batch4);
+    writeServeProm(points);
 }
 
 void

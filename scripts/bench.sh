@@ -19,6 +19,12 @@
 # their "quick" flag; comparing a quick run against a full baseline
 # (or vice versa) is an error.
 #
+# --compare also runs a trace-overhead gate: quick fig12 with a live
+# sampled recorder (NEUROCUBE_TRACE_SAMPLE=1024) must finish within
+# 10% wall clock of the same run untraced. This is the
+# zero-compromise telemetry contract — sampled tracing is cheap
+# enough to leave on. The gate adds two quick fig12 runs.
+#
 # Environment:
 #   NEUROCUBE_QUICK=1   reduced workloads for fast iteration
 #   NEUROCUBE_BUILD     build directory holding the binaries
@@ -164,9 +170,52 @@ if [ "$compared" -eq 0 ]; then
     echo "error: no BENCH_*.json had a baseline in $baseline_dir" >&2
     exit 1
 fi
+
+# Trace-overhead gate: sampled tracing must be cheap enough to leave
+# on. Two back-to-back quick fig12 runs — trace-off, then a live
+# sampled recorder exporting chrome JSON + timeseries CSV — and the
+# traced run's summed wall_ms must stay within 10%.
+echo
+echo "=== trace-overhead gate (quick fig12, sample=1024) ==="
+gate_bin="$build/bench/fig12_inference"
+if [ ! -x "$gate_bin" ]; then
+    echo "error: $gate_bin not built (needed for the trace gate)" >&2
+    exit 1
+fi
+gate_dir="$(mktemp -d)"
+trap 'rm -rf "$gate_dir"' EXIT
+mkdir -p "$gate_dir/off" "$gate_dir/on"
+NEUROCUBE_QUICK=1 NEUROCUBE_BENCH_DIR="$gate_dir/off" \
+    "$gate_bin" >/dev/null
+NEUROCUBE_QUICK=1 NEUROCUBE_BENCH_DIR="$gate_dir/on" \
+    NEUROCUBE_TRACE_EXPORT="$gate_dir/on" \
+    NEUROCUBE_TRACE_SAMPLE=1024 \
+    "$gate_bin" >/dev/null
+wall_sum() {
+    grep -o '"wall_ms": *[0-9.]*' "$1" | grep -o '[0-9.]*$' \
+        | awk '{ s += $1 } END { print s }'
+}
+off_ms="$(wall_sum "$gate_dir/off/BENCH_fig12.json")"
+on_ms="$(wall_sum "$gate_dir/on/BENCH_fig12.json")"
+awk -v off="$off_ms" -v on="$on_ms" '
+    BEGIN {
+        if (off <= 0) {
+            printf "  trace gate: unusable wall_ms baseline (%s)\n",
+                   off
+            exit 1
+        }
+        ratio = on / off
+        printf "  traced %.0fms vs untraced %.0fms (x%.3f)\n",
+               on, off, ratio
+        if (ratio > 1.10) {
+            printf "  trace gate: sampled tracing costs more than" \
+                   " 10%% wall clock\n"
+            exit 1
+        }
+    }' || fail=1
 if [ "$fail" -ne 0 ]; then
-    echo "bench comparison FAILED (>5% cycle regression or flag" \
-         "mismatch)" >&2
+    echo "bench comparison FAILED (cycle regression, flag mismatch," \
+         "or trace overhead)" >&2
     exit 1
 fi
 echo "bench comparison OK"

@@ -14,9 +14,12 @@
 #   NEUROCUBE_QUICK=1                       reduced workloads
 #   NEUROCUBE_BENCH_DIR=<dir>               JSON output directory
 #
-# Outputs land in profile-results/:
+# Reports land in profile-results/:
 #   <bench>.perf.data / <bench>.perf.txt    (perf path)
-#   <bench>.gmon.out  / <bench>.gprof.txt   (gprof path)
+#   <bench>.gprof.txt                       (gprof path)
+# Raw gprof counters (<bench>.gmon.out) stay with the instrumented
+# tree in build-prof/ — they are binary, build-specific, and not
+# worth committing (profile-results/*.gmon.out is gitignored too).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -70,10 +73,11 @@ echo "=== gprof $bench ==="
 # gmon.out is written to the current directory at process exit.
 rundir="$(mktemp -d)"
 (cd "$rundir" && "$OLDPWD/$bin" "$@")
-mv "$rundir/gmon.out" "$outdir/$bench.gmon.out"
+gmon="$prof_build/$bench.gmon.out"
+mv "$rundir/gmon.out" "$gmon"
 rmdir "$rundir" 2>/dev/null || true
 
-gprof --flat-profile "$bin" "$outdir/$bench.gmon.out" \
+gprof --flat-profile "$bin" "$gmon" \
     | head -40 | tee "$outdir/$bench.gprof.txt"
 echo
-echo "call graph: gprof $bin $outdir/$bench.gmon.out | less"
+echo "call graph: gprof $bin $gmon | less"

@@ -53,10 +53,15 @@ enum class SimEngine
 struct NeurocubeConfig
 {
     /**
-     * Cycle-loop implementation. Runs with a live trace-event
-     * recorder (a session with sinks) always use the legacy loop so
-     * per-tick event streams stay complete; metrics/energy-only
-     * sessions work with every engine.
+     * Cycle-loop implementation. Every engine works with tracing:
+     * the event loop stamps executed ticks and aggregates skipped
+     * windows into EngineSkip events, producing the same cycle,
+     * stall, and energy accounting as a traced legacy run (fuzzed in
+     * tests/test_engine_diff.cc). ThreadedLanes demotes to Event
+     * while a trace-event recorder (a session with sinks) is live —
+     * the recorder ring is single-producer; see
+     * TraceConfig::legacyEngineWithRecorder for the old always-
+     * Legacy fallback.
      */
     SimEngine engine = SimEngine::Event;
 

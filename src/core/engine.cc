@@ -61,8 +61,10 @@ PassScheduler::step(Tick t)
     // Phase 1: PNGs (ascending channel index, as the legacy loop).
     for (size_t i = 0; i < nc; ++i) {
         if (pngWake_[i] <= t) {
-            if (pngAcct_[i] < t)
+            if (pngAcct_[i] < t) {
+                skipped_ += t - pngAcct_[i];
                 s_.pngs[i]->skipTicks(pngAcct_[i], t);
+            }
             s_.pngs[i]->tick(t);
             pngAcct_[i] = t + 1;
             pngWake_[i] = s_.pngs[i]->nextEventAfter(t);
@@ -74,8 +76,10 @@ PassScheduler::step(Tick t)
     // down to t, so the tick below sees legacy-identical state.
     for (size_t i = 0; i < nc; ++i) {
         if (chWake_[i] <= t) {
-            if (chAcct_[i] < t)
+            if (chAcct_[i] < t) {
+                skipped_ += t - chAcct_[i];
                 s_.channels[i]->skipTicks(chAcct_[i], t);
+            }
             s_.channels[i]->tick(t);
             chAcct_[i] = t + 1;
             chWake_[i] = s_.channels[i]->nextEventAfter(t);
@@ -85,6 +89,7 @@ PassScheduler::step(Tick t)
     // Phase 3: the NoC (or this lane's slice of it).
     if (fabricWake_ <= t) {
         if (fabricAcct_ < t) {
+            skipped_ += t - fabricAcct_;
             if (s_.view != nullptr)
                 s_.fabric->skipLaneTicks(*s_.view, t - fabricAcct_);
             else
@@ -107,8 +112,10 @@ PassScheduler::step(Tick t)
     const size_t np = s_.pes.size();
     for (size_t i = 0; i < np; ++i) {
         if (peWake_[i] <= t) {
-            if (peAcct_[i] < t)
+            if (peAcct_[i] < t) {
+                skipped_ += t - peAcct_[i];
                 s_.pes[i]->skipTicks(peAcct_[i], t);
+            }
             s_.pes[i]->tick(t, *s_.fabric);
             peAcct_[i] = t + 1;
             peWake_[i] = s_.pes[i]->nextEventAfter(t, *s_.fabric);
@@ -134,17 +141,20 @@ PassScheduler::catchupAll(Tick final)
 {
     for (size_t i = 0; i < s_.pngs.size(); ++i) {
         if (pngAcct_[i] < final) {
+            skipped_ += final - pngAcct_[i];
             s_.pngs[i]->skipTicks(pngAcct_[i], final);
             pngAcct_[i] = final;
         }
     }
     for (size_t i = 0; i < s_.channels.size(); ++i) {
         if (chAcct_[i] < final) {
+            skipped_ += final - chAcct_[i];
             s_.channels[i]->skipTicks(chAcct_[i], final);
             chAcct_[i] = final;
         }
     }
     if (fabricAcct_ < final) {
+        skipped_ += final - fabricAcct_;
         if (s_.view != nullptr)
             s_.fabric->skipLaneTicks(*s_.view, final - fabricAcct_);
         else
@@ -153,6 +163,7 @@ PassScheduler::catchupAll(Tick final)
     }
     for (size_t i = 0; i < s_.pes.size(); ++i) {
         if (peAcct_[i] < final) {
+            skipped_ += final - peAcct_[i];
             s_.pes[i]->skipTicks(peAcct_[i], final);
             peAcct_[i] = final;
         }
@@ -168,6 +179,7 @@ PassScheduler::onChannelEnqueue(unsigned ch)
     const int slot = chSlotOfChannel_[ch];
     nc_assert(slot >= 0, "enqueue wake for foreign channel %u", ch);
     if (chAcct_[slot] < cur_) {
+        skipped_ += cur_ - chAcct_[slot];
         s_.channels[slot]->skipTicks(chAcct_[slot], cur_);
         chAcct_[slot] = cur_;
     }
@@ -220,6 +232,7 @@ PassScheduler::onInject(unsigned node, bool from_mem)
     // so the catch-up below covers a window of provably idle routers.
     const Tick when = from_mem ? cur_ : cur_ + 1;
     if (fabricAcct_ < when) {
+        skipped_ += when - fabricAcct_;
         if (s_.view != nullptr)
             s_.fabric->skipLaneTicks(*s_.view, when - fabricAcct_);
         else

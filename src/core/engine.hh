@@ -110,6 +110,22 @@ class PassScheduler final : public WakeSink
     void onEject(unsigned node, bool to_mem) override;
     void onInject(unsigned node, bool from_mem) override;
 
+    /**
+     * Component-ticks bulk-replayed by skipTicks()/skipLaneTicks()
+     * since the last call, then reset. The fabric (one skip replays
+     * its whole slice) counts as a single component. The driving
+     * loop turns this into one aggregate TraceEventType::EngineSkip
+     * event per executed tick — the skipped window's trace-visible
+     * state, synthesized in bulk instead of per-cycle events.
+     */
+    uint64_t
+    takeSkippedTicks()
+    {
+        const uint64_t skipped = skipped_;
+        skipped_ = 0;
+        return skipped;
+    }
+
   private:
     Slice s_;
 
@@ -130,6 +146,9 @@ class PassScheduler final : public WakeSink
 
     /** Tick currently being executed (valid inside step()). */
     Tick cur_ = 0;
+
+    /** Component-ticks skipped since takeSkippedTicks(). */
+    uint64_t skipped_ = 0;
 };
 
 } // namespace neurocube

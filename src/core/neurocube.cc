@@ -58,6 +58,8 @@ Neurocube::Neurocube(const NeurocubeConfig &config)
         topology.numRouters = config_.numPes;
         topology.numPes = config_.numPes;
         topology.numVaults = config_.dram.numChannels;
+        topology.vaultNode.assign(mem_nodes.begin(),
+                                  mem_nodes.end());
         if (!lanePartition_.empty()) {
             topology.laneOf.assign(config_.numPes, 0);
             for (const LaneSpec &lane : lanePartition_) {
@@ -136,8 +138,18 @@ Neurocube::passDone() const
 SimEngine
 Neurocube::activeEngine() const
 {
-    if (trace::activeRecorder() != nullptr)
-        return SimEngine::Legacy;
+    if (trace::activeRecorder() != nullptr) {
+        // Compatibility escape hatch: the pre-sampling releases ran
+        // every traced pass on the legacy loop.
+        if (config_.trace.legacyEngineWithRecorder)
+            return SimEngine::Legacy;
+        // The recorder ring is single-producer; lane workers would
+        // race on it. The single-threaded event loop emits the same
+        // stream (skipped ticks are exactly the ticks no component
+        // records at), so tracing costs the thread fan-out only.
+        if (config_.engine == SimEngine::ThreadedLanes)
+            return SimEngine::Event;
+    }
     return config_.engine;
 }
 
@@ -206,7 +218,15 @@ Neurocube::runPassEvent(Tick start, Tick deadline, uint64_t pairs)
     PassScheduler sched(fullSlice(), start);
     Tick t = start;
     for (;;) {
+        // Stamp executed ticks only: a skipped tick is one no
+        // component would have recorded an event at (the sleep
+        // conditions guarantee it), so the stream matches the legacy
+        // loop's every-tick stamping bit for bit.
+        NC_TRACE_TICK(t);
         sched.step(t);
+        if (uint64_t skipped = sched.takeSkippedTicks())
+            NC_TRACE(TraceComponent::Sim, 0, TraceEventType::EngineSkip,
+                     0, skipped);
         // The legacy loop checks the deadline after ++now_ and before
         // re-evaluating passDone(), so the check is unconditional.
         if (t + 1 >= deadline) {
@@ -231,7 +251,11 @@ Neurocube::runPassEvent(Tick start, Tick deadline, uint64_t pairs)
         }
         t = next;
     }
+    NC_TRACE_TICK(t);
     sched.catchupAll(t);
+    if (uint64_t skipped = sched.takeSkippedTicks())
+        NC_TRACE(TraceComponent::Sim, 0, TraceEventType::EngineSkip, 0,
+                 skipped);
     now_ = t;
 }
 
@@ -491,7 +515,7 @@ Neurocube::laneDone(const LaneSpec &lane) const
 
 void
 Neurocube::runBatchPassEvent(Tick start, Tick deadline,
-                             unsigned active,
+                             unsigned active, size_t pass,
                              std::vector<Tick> &lane_done)
 {
     PassScheduler sched(fullSlice(), start);
@@ -499,7 +523,14 @@ Neurocube::runBatchPassEvent(Tick start, Tick deadline,
     Tick t = start;
     Tick final = start;
     for (;;) {
+        // Executed ticks carry the same stamps (and therefore the
+        // same event stream) as the legacy every-tick loop; skipped
+        // ticks are ones no component records at.
+        NC_TRACE_TICK(t);
         sched.step(t);
+        if (uint64_t skipped = sched.takeSkippedTicks())
+            NC_TRACE(TraceComponent::Sim, 0, TraceEventType::EngineSkip,
+                     0, skipped);
         const Tick stamp = t + 1;
         // Lane done-ness only changes through actions at executed
         // ticks, so evaluating after every executed tick yields the
@@ -508,6 +539,12 @@ Neurocube::runBatchPassEvent(Tick start, Tick deadline,
             if (lane_done[l] == 0 && laneDone(lanePartition_[l])) {
                 lane_done[l] = stamp;
                 --remaining;
+                // Same emission point as the legacy loop: recorder
+                // stamped at the executed tick, value is the lane's
+                // pass span.
+                NC_TRACE(TraceComponent::Sim, l,
+                         TraceEventType::LaneDone, unsigned(pass),
+                         stamp - start);
             }
         }
         if (stamp >= deadline) {
@@ -528,6 +565,9 @@ Neurocube::runBatchPassEvent(Tick start, Tick deadline,
         t = next;
     }
     sched.catchupAll(final);
+    if (uint64_t skipped = sched.takeSkippedTicks())
+        NC_TRACE(TraceComponent::Sim, 0, TraceEventType::EngineSkip, 0,
+                 skipped);
     now_ = final;
 }
 
@@ -750,7 +790,8 @@ Neurocube::runForwardBatch(const std::vector<Tensor> &inputs)
                     }
                 }
             } else if (engine == SimEngine::Event) {
-                runBatchPassEvent(start, deadline, active, lane_done);
+                runBatchPassEvent(start, deadline, active, p,
+                                  lane_done);
             } else {
                 runBatchPassThreaded(start, deadline, active,
                                      lane_done);

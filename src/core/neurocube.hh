@@ -171,15 +171,19 @@ class Neurocube
         return total;
     }
 
+    /**
+     * The engine the next pass will run on. Usually config().engine;
+     * while a trace-event recorder is live, ThreadedLanes demotes to
+     * Event (the recorder ring is single-producer, lane workers would
+     * race on it), and config().trace.legacyEngineWithRecorder
+     * additionally demotes everything to Legacy (the pre-sampling
+     * behaviour, kept as a compatibility escape hatch).
+     */
+    SimEngine activeEngine() const;
+
   private:
     /** Run one compiled pass to completion; returns its cycles. */
     Tick runPass(const CompiledLayer &compiled, size_t pass);
-    /**
-     * The engine the next pass will run on: config().engine, demoted
-     * to Legacy while a trace-event recorder is active (event replay
-     * needs the every-tick event stream skipped ticks cannot emit).
-     */
-    SimEngine activeEngine() const;
     /** Slice covering the whole machine (Event engine). */
     PassScheduler::Slice fullSlice();
     /** Slice covering one batch lane (ThreadedLanes engine). */
@@ -190,7 +194,7 @@ class Neurocube
     void runPassEvent(Tick start, Tick deadline, uint64_t pairs);
     /** Event-engine body of one batch pass (single scheduler). */
     void runBatchPassEvent(Tick start, Tick deadline, unsigned active,
-                           std::vector<Tick> &lane_done);
+                           size_t pass, std::vector<Tick> &lane_done);
     /** Threaded body of one batch pass (one scheduler per lane). */
     void runBatchPassThreaded(Tick start, Tick deadline,
                               unsigned active,

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/types.hh"
+#include "core/manifest.hh"
 #include "power/energy_model.hh"
 
 namespace neurocube
@@ -217,6 +218,162 @@ RunResult::energyJson() const
         os << "}";
     }
     os << "]}";
+    return os.str();
+}
+
+namespace
+{
+
+/**
+ * Aggregate stall accounting over a run: absolute component-ticks per
+ * stall class, reconstructed from the per-layer bottleneck fractions
+ * (each layer's fractions are exact ratios of its countedTicks, so
+ * the round-trip loses at most one tick per layer per class).
+ */
+struct StallTicks
+{
+    bool valid = false;
+    uint64_t countedTicks = 0;
+    std::array<uint64_t, numStallClasses> ticks{};
+};
+
+StallTicks
+aggregateStalls(const RunResult &run)
+{
+    StallTicks agg;
+    for (const LayerResult &layer : run.layers) {
+        const BottleneckReport &b = layer.bottleneck;
+        if (!b.valid)
+            continue;
+        agg.valid = true;
+        agg.countedTicks += b.countedTicks;
+        for (size_t i = 0; i < numStallClasses; ++i) {
+            agg.ticks[i] += uint64_t(
+                b.fractions[i] * double(b.countedTicks) + 0.5);
+        }
+    }
+    return agg;
+}
+
+void
+appendManifestFields(std::ostringstream &os, const RunManifest &m)
+{
+    os << "\"name\":\"" << m.name << "\"";
+    os << ",\"git_describe\":\"" << m.gitDescribe << "\"";
+    os << ",\"engine\":\"" << m.engine << "\"";
+    os << ",\"config_hash\":\"" << m.configHash << "\"";
+    os << ",\"quick\":" << (m.quick ? "true" : "false");
+}
+
+/** The {run=...} label block shared by every metric line. */
+std::string
+promLabels(const RunManifest &m)
+{
+    return "{run=\"" + m.name + "\"}";
+}
+
+} // namespace
+
+std::string
+runManifestJson(const RunManifest &manifest, const RunResult &run)
+{
+    std::ostringstream os;
+    os << "{";
+    appendManifestFields(os, manifest);
+    os << ",\"cycles\":" << run.totalCycles();
+    os << ",\"ops\":" << run.totalOps();
+    os << ",\"layers\":" << run.layers.size();
+    os << ",\"peak_memory_bytes\":" << run.peakMemoryBytes();
+    os << ",\"gops_per_second\":" << jsonNumber(run.gopsPerSecond());
+    os << ",\"frames_per_second\":"
+       << jsonNumber(run.framesPerSecond());
+    os << ",\"wall_ms\":" << jsonNumber(run.wallMs);
+
+    StallTicks stalls = aggregateStalls(run);
+    if (stalls.valid) {
+        os << ",\"stalls\":{\"counted_ticks\":" << stalls.countedTicks;
+        for (size_t i = 0; i < numStallClasses; ++i) {
+            os << ",\"" << stallClassName(StallClass(i))
+               << "\":" << stalls.ticks[i];
+        }
+        os << "}";
+    } else {
+        os << ",\"stalls\":null";
+    }
+
+    EnergyCounts counts = run.energyCounts();
+    if (counts.valid) {
+        ActivityEnergyModel model;
+        EnergyBreakdown total = model.price(run);
+        double seconds = double(run.totalCycles()) / referenceClockHz;
+        double totalJ = total.totalJ();
+        os << ",\"energy\":{\"total_j\":" << jsonNumber(totalJ);
+        os << ",\"avg_power_w\":"
+           << jsonNumber(seconds > 0.0 ? totalJ / seconds : 0.0);
+        os << ",\"components\":";
+        appendComponents(os, total);
+        os << "}";
+    } else {
+        os << ",\"energy\":null";
+    }
+    os << "}";
+    return os.str();
+}
+
+std::string
+runMetricsTextfile(const RunManifest &manifest, const RunResult &run)
+{
+    const std::string labels = promLabels(manifest);
+    std::ostringstream os;
+    // Build/config identity rides on an info-style gauge so scrapes
+    // can join metrics to the manifest without parsing JSON.
+    os << "# TYPE neurocube_run_info gauge\n";
+    os << "neurocube_run_info{run=\"" << manifest.name
+       << "\",engine=\"" << manifest.engine << "\",git=\""
+       << manifest.gitDescribe << "\",config=\""
+       << manifest.configHash << "\",quick=\""
+       << (manifest.quick ? "1" : "0") << "\"} 1\n";
+
+    os << "# TYPE neurocube_total_cycles gauge\n";
+    os << "neurocube_total_cycles" << labels << " "
+       << run.totalCycles() << "\n";
+    os << "# TYPE neurocube_total_ops gauge\n";
+    os << "neurocube_total_ops" << labels << " " << run.totalOps()
+       << "\n";
+    os << "# TYPE neurocube_wall_ms gauge\n";
+    os << "neurocube_wall_ms" << labels << " "
+       << jsonNumber(run.wallMs) << "\n";
+    os << "# TYPE neurocube_gops_per_second gauge\n";
+    os << "neurocube_gops_per_second" << labels << " "
+       << jsonNumber(run.gopsPerSecond()) << "\n";
+    os << "# TYPE neurocube_peak_memory_bytes gauge\n";
+    os << "neurocube_peak_memory_bytes" << labels << " "
+       << run.peakMemoryBytes() << "\n";
+
+    StallTicks stalls = aggregateStalls(run);
+    if (stalls.valid) {
+        os << "# TYPE neurocube_stall_ticks gauge\n";
+        for (size_t i = 0; i < numStallClasses; ++i) {
+            os << "neurocube_stall_ticks{run=\"" << manifest.name
+               << "\",class=\"" << stallClassName(StallClass(i))
+               << "\"} " << stalls.ticks[i] << "\n";
+        }
+    }
+
+    EnergyCounts counts = run.energyCounts();
+    if (counts.valid) {
+        ActivityEnergyModel model;
+        EnergyBreakdown total = model.price(run);
+        os << "# TYPE neurocube_energy_total_joules gauge\n";
+        os << "neurocube_energy_total_joules" << labels << " "
+           << jsonNumber(total.totalJ()) << "\n";
+        os << "# TYPE neurocube_energy_joules gauge\n";
+        for (const EnergyComponentView &c : energyComponents(total)) {
+            os << "neurocube_energy_joules{run=\"" << manifest.name
+               << "\",component=\"" << c.name << "\"} "
+               << jsonNumber(c.joules) << "\n";
+        }
+    }
     return os.str();
 }
 

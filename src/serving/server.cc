@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "serving/spans.hh"
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
 
@@ -53,6 +54,10 @@ ServingSimulator::run(const ArrivalSchedule &arrivals,
                 NC_TRACE(TraceComponent::Sim, 0,
                          TraceEventType::ServeRequestDone,
                          unsigned(next), uint64_t(0));
+            } else {
+                // Admission decides at the arrival tick, so an
+                // admitted request's admit stamp is its arrival.
+                rec.admit = at;
             }
             ++next;
         }
@@ -95,6 +100,12 @@ ServingSimulator::run(const ArrivalSchedule &arrivals,
         std::vector<uint64_t> ids(batch_size);
         for (unsigned i = 0; i < batch_size; ++i)
             ids[i] = queue.pop(dispatch).id;
+        for (uint64_t id : ids) {
+            NC_TRACE(TraceComponent::Sim, 0,
+                     TraceEventType::ServeRequestDispatch,
+                     unsigned(id),
+                     uint64_t(dispatch - res.requests[id].arrival));
+        }
 
         std::vector<Tensor> inputs(batch_size, input);
         BatchRunResult batch = cube_.runForwardBatch(inputs);
@@ -110,6 +121,7 @@ ServingSimulator::run(const ArrivalSchedule &arrivals,
             RequestRecord &rec = res.requests[id];
             rec.dispatch = dispatch;
             rec.completion = done;
+            rec.batch = res.batches;
             rec.lanes = lanes;
             res.latency.sample(done - rec.arrival);
             ++res.served;
@@ -125,6 +137,8 @@ ServingSimulator::run(const ArrivalSchedule &arrivals,
         res.bottleneck = buildBottleneckReport(
             metrics->snapshot().delta(metrics_before));
     }
+    if (!config_.spansJsonlPath.empty())
+        writeRequestSpansJsonl(config_.spansJsonlPath, res);
     return res;
 }
 

@@ -47,19 +47,35 @@ struct ServingConfig
     size_t queueDepth = 64;
     /** Dispatch policy. */
     ServeSchedulerConfig scheduler;
+    /**
+     * When set, the run writes one JSON object per offered request
+     * (the RequestRecord span: enqueue/admit/dispatch/complete
+     * timestamps) to this path at the end of run(). Joinable with
+     * the SLO report by request id; readRequestSpansJsonl round-
+     * trips the file (serving/spans.hh).
+     */
+    std::string spansJsonlPath;
 };
 
-/** Lifecycle of one offered request. */
+/** Lifecycle of one offered request (its span). */
 struct RequestRecord
 {
     /** Dense request id (index into the arrival schedule). */
     uint64_t id = 0;
-    /** Absolute arrival tick. */
+    /** Absolute arrival (enqueue-attempt) tick. */
     Tick arrival = 0;
+    /**
+     * Absolute admission tick: equals arrival for an admitted
+     * request (admission control decides at the arrival tick), 0
+     * when the request was dropped at a full queue.
+     */
+    Tick admit = 0;
     /** Absolute dispatch tick (0 when dropped). */
     Tick dispatch = 0;
     /** Absolute completion tick (0 when dropped). */
     Tick completion = 0;
+    /** 1-based ordinal of the batch that served it (0 if dropped). */
+    uint64_t batch = 0;
     /** Lane count of the batch that served it (0 when dropped). */
     unsigned lanes = 0;
     /** True when admission control rejected the request. */
@@ -70,6 +86,20 @@ struct RequestRecord
     latency() const
     {
         return dropped ? 0 : completion - arrival;
+    }
+
+    /** Ticks spent queued before dispatch (0 for a dropped one). */
+    Tick
+    queueTicks() const
+    {
+        return dropped ? 0 : dispatch - arrival;
+    }
+
+    /** Ticks from dispatch to completion (0 for a dropped one). */
+    Tick
+    serviceTicks() const
+    {
+        return dropped ? 0 : completion - dispatch;
     }
 };
 

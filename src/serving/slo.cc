@@ -98,6 +98,68 @@ servingReportJson(const ServingReport &report)
     return out.str();
 }
 
+std::string
+servingManifestJson(const RunManifest &manifest,
+                    const ServingReport &report, double wall_ms)
+{
+    auto num = [](double value) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        return std::string(buf);
+    };
+    std::ostringstream out;
+    out << "{\"name\":\"" << manifest.name << "\""
+        << ",\"git_describe\":\"" << manifest.gitDescribe << "\""
+        << ",\"engine\":\"" << manifest.engine << "\""
+        << ",\"config_hash\":\"" << manifest.configHash << "\""
+        << ",\"quick\":" << (manifest.quick ? "true" : "false")
+        << ",\"wall_ms\":" << num(wall_ms) << ",\"report\":"
+        << servingReportJson(report) << "}";
+    return out.str();
+}
+
+std::string
+servingMetricsTextfile(const RunManifest &manifest,
+                       const ServingReport &report, double wall_ms)
+{
+    auto num = [](double value) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        return std::string(buf);
+    };
+    const std::string labels = "{run=\"" + manifest.name + "\"}";
+    std::ostringstream os;
+    os << "# TYPE neurocube_run_info gauge\n";
+    os << "neurocube_run_info{run=\"" << manifest.name
+       << "\",engine=\"" << manifest.engine << "\",git=\""
+       << manifest.gitDescribe << "\",config=\""
+       << manifest.configHash << "\",quick=\""
+       << (manifest.quick ? "1" : "0") << "\"} 1\n";
+
+    auto gauge = [&os, &labels](const char *name,
+                                const std::string &value) {
+        os << "# TYPE " << name << " gauge\n";
+        os << name << labels << " " << value << "\n";
+    };
+    gauge("neurocube_serve_offered", std::to_string(report.offered));
+    gauge("neurocube_serve_served", std::to_string(report.served));
+    gauge("neurocube_serve_dropped", std::to_string(report.dropped));
+    gauge("neurocube_serve_batches", std::to_string(report.batches));
+    gauge("neurocube_serve_goodput_per_sec",
+          num(report.goodputPerSec));
+    gauge("neurocube_serve_drop_rate", num(report.dropRate));
+    gauge("neurocube_serve_p50_ticks", num(report.p50Ticks));
+    gauge("neurocube_serve_p99_ticks", num(report.p99Ticks));
+    gauge("neurocube_serve_p999_ticks", num(report.p999Ticks));
+    gauge("neurocube_serve_utilization", num(report.utilization));
+    gauge("neurocube_serve_total_cycles",
+          std::to_string(report.makespan));
+    gauge("neurocube_serve_energy_per_request_joules",
+          num(report.energyPerRequestJ));
+    gauge("neurocube_serve_wall_ms", num(wall_ms));
+    return os.str();
+}
+
 void
 printServingPanel(const ServingReport &report, const char *title)
 {

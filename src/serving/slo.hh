@@ -16,6 +16,7 @@
 
 #include <string>
 
+#include "core/manifest.hh"
 #include "serving/server.hh"
 
 namespace neurocube
@@ -76,6 +77,25 @@ ServingReport buildServingReport(const ServingResult &result);
  * "served" for the exact-match baseline gate.
  */
 std::string servingReportJson(const ServingReport &report);
+
+/**
+ * One structured JSON document for a serving run: the manifest
+ * identity block (name/git_describe/engine/config_hash/quick) plus
+ * the full report — the serving-side sibling of runManifestJson.
+ * wall_ms is the host wall-clock the caller measured (0 = untimed).
+ */
+std::string servingManifestJson(const RunManifest &manifest,
+                                const ServingReport &report,
+                                double wall_ms = 0.0);
+
+/**
+ * The same content flattened to a Prometheus textfile-collector dump
+ * (`neurocube_serve_*` gauges labelled {run="..."}) — the serving
+ * sibling of runMetricsTextfile.
+ */
+std::string servingMetricsTextfile(const RunManifest &manifest,
+                                   const ServingReport &report,
+                                   double wall_ms = 0.0);
 
 /** Print the report as a human-readable panel (benches, examples). */
 void printServingPanel(const ServingReport &report, const char *title);

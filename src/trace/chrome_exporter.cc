@@ -38,6 +38,19 @@ ChromeTraceExporter::ChromeTraceExporter(std::ostream &os,
       window_(windowTicks > 0 ? windowTicks : 1), prices_(prices),
       pngPhase_(topology.numVaults)
 {
+    // PNG events are keyed by hosting node; fold them back onto the
+    // vault-ordinal tracks (identity placement when unspecified).
+    vaultOf_.assign(std::max<size_t>(topology_.numRouters,
+                                     topology_.numVaults),
+                    kNoVault);
+    for (unsigned v = 0; v < topology_.numVaults; ++v) {
+        unsigned node = v < topology_.vaultNode.size()
+                            ? topology_.vaultNode[v]
+                            : v;
+        if (node >= vaultOf_.size())
+            vaultOf_.resize(node + 1, kNoVault);
+        vaultOf_[node] = uint16_t(v);
+    }
     emitPrelude();
 }
 
@@ -65,10 +78,13 @@ ChromeTraceExporter::emitPrelude()
                  lane(i) + "pe" + std::to_string(i));
     }
     for (unsigned i = 0; i < topology_.numVaults; ++i) {
+        unsigned node = i < topology_.vaultNode.size()
+                            ? topology_.vaultNode[i]
+                            : i;
         emitMeta(trackPid(TraceComponent::Png, uint16_t(i)),
-                 lane(i) + "png" + std::to_string(i));
+                 lane(node) + "png" + std::to_string(i));
         emitMeta(trackPid(TraceComponent::Vault, uint16_t(i)),
-                 lane(i) + "vault" + std::to_string(i));
+                 lane(node) + "vault" + std::to_string(i));
     }
 }
 
@@ -187,7 +203,13 @@ ChromeTraceExporter::handle(const TraceEvent &event)
         sawEnergy_ = true;
     }
 
-    const uint32_t pid = trackPid(event.component, event.instance);
+    uint32_t pid = trackPid(event.component, event.instance);
+    if (event.component == TraceComponent::Png) {
+        nc_assert(event.instance < vaultOf_.size()
+                      && vaultOf_[event.instance] != kNoVault,
+                  "PNG event from non-vault node %u", event.instance);
+        pid = trackPid(TraceComponent::Png, vaultOf_[event.instance]);
+    }
     switch (event.type) {
       case TraceEventType::FlitEnqueue:
         bumpCounter(pid, "inQ.p" + std::to_string(event.arg),
@@ -233,10 +255,7 @@ ChromeTraceExporter::handle(const TraceEvent &event)
         emitInstant(pid, "searchStall", event.tick, event.value);
         break;
       case TraceEventType::PngPhase: {
-        nc_assert(event.instance < pngPhase_.size(),
-                  "PNG phase event for unknown vault %u",
-                  event.instance);
-        OpenPhase &open = pngPhase_[event.instance];
+        OpenPhase &open = pngPhase_[vaultOf_[event.instance]];
         if (open.open && event.tick > open.since) {
             emitSlice(pid, pngFsmPhaseName(open.phase), open.since,
                       event.tick - open.since,
@@ -288,6 +307,29 @@ ChromeTraceExporter::handle(const TraceEvent &event)
             << ",\"args\":{\"latency\":" << event.value << "}}";
         break;
       }
+      case TraceEventType::ServeRequestDispatch:
+        // Queue-wait slice on the request's row, nested under the
+        // arrival-to-completion span ServeRequestDone will emit.
+        if (event.value > 0) {
+            emitComma();
+            os_ << "{\"name\":\"wait\",\"ph\":\"X\",\"ts\":"
+                << (event.tick - event.value)
+                << ",\"dur\":" << event.value
+                << ",\"pid\":" << requestsPid
+                << ",\"tid\":" << (event.arg % 8)
+                << ",\"args\":{\"req\":" << event.arg << "}}";
+        }
+        bumpCounter(trackPid(TraceComponent::Sim, 0), "serveWait",
+                    AggMode::Mean, double(event.value));
+        break;
+      case TraceEventType::EngineSkip:
+        // Bulk-skipped component-ticks, summed per window across
+        // lanes: the wake-list engine's fast-forward visible as a
+        // counter instead of per-cycle events.
+        bumpCounter(trackPid(TraceComponent::Sim, 0),
+                    "skippedTicks/win", AggMode::Sum,
+                    double(event.value));
+        break;
       case TraceEventType::DramQueueDepth:
         bumpCounter(pid, event.arg ? "writeQ" : "readQ",
                     AggMode::Last, double(event.value));

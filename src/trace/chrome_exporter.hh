@@ -133,6 +133,10 @@ class ChromeTraceExporter : public TraceSink
         uint64_t plane = 0;
     };
     std::vector<OpenPhase> pngPhase_;
+    /** Mesh node -> vault ordinal (kNoVault = node hosts none). PNG
+     *  events carry the hosting node as their instance. */
+    static constexpr uint16_t kNoVault = 0xffff;
+    std::vector<uint16_t> vaultOf_;
 };
 
 } // namespace neurocube

@@ -94,6 +94,18 @@ enum class TraceEventType : uint8_t
     /** Request left the system. arg=request id,
      *  value=end-to-end latency in ticks (0 for a dropped request). */
     ServeRequestDone,
+    /** Request left the queue into a dispatched batch. arg=request
+     *  id, value=queue wait in ticks (dispatch - arrival). */
+    ServeRequestDispatch,
+
+    // --- Wake-list engine (instance = batch lane, 0 unbatched).
+    /** Component-ticks the scheduler skipped (bulk-replayed as
+     *  no-ops) since the previously executed tick, stamped at the
+     *  executed tick that ended the gap. value=skipped
+     *  component-ticks. The legacy loop emits none of these; skipped
+     *  ticks are exactly those where no component had trace-visible
+     *  work, so the rest of the stream is engine-invariant. */
+    EngineSkip,
 
     EventTypeCount,
 };

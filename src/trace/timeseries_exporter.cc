@@ -17,7 +17,7 @@ TimeSeriesCsvExporter::TimeSeriesCsvExporter(
     os_ << "window_start,noc_flits_per_cycle,ejected_per_cycle,"
            "mean_eject_latency,pe_util_pct,png_stall_ticks,"
            "noc_blocked_ticks,dram_stall_ticks,dram_bytes_per_cycle,"
-           "avg_power_w,serve_queue_depth";
+           "avg_power_w,serve_queue_depth,skipped_ticks";
     for (unsigned v = 0; v < topology_.numVaults; ++v)
         os_ << ",vault" << v << "_bytes";
     os_ << "\n";
@@ -34,6 +34,7 @@ TimeSeriesCsvExporter::resetAccumulators()
     pngStallTicks_ = 0;
     nocBlockedTicks_ = 0;
     dramStallTicks_ = 0;
+    skippedTicks_ = 0;
     vaultBits_.assign(topology_.numVaults, 0);
     sawEvent_ = false;
 }
@@ -60,7 +61,7 @@ TimeSeriesCsvExporter::flushWindow()
         << ',' << pngStallTicks_ << ',' << nocBlockedTicks_ << ','
         << dramStallTicks_ << ',' << double(total_bits) / 8.0 / w
         << ',' << windowPj_ * 1e-12 * referenceClockHz / w << ','
-        << serveQueueDepth_;
+        << serveQueueDepth_ << ',' << skippedTicks_;
     for (uint64_t bits : vaultBits_)
         os_ << ',' << bits / 8;
     os_ << "\n";
@@ -110,6 +111,9 @@ TimeSeriesCsvExporter::handle(const TraceEvent &event)
         break;
       case TraceEventType::ServeQueueDepth:
         serveQueueDepth_ = event.value;
+        break;
+      case TraceEventType::EngineSkip:
+        skippedTicks_ += event.value;
         break;
       default:
         break;

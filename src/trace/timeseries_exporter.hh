@@ -70,6 +70,8 @@ class TimeSeriesCsvExporter : public TraceSink
     /** Request-queue depth at window end (level, carried across
      *  windows rather than reset — the queue persists). */
     uint64_t serveQueueDepth_ = 0;
+    /** Component-ticks the wake-list engine bulk-skipped. */
+    uint64_t skippedTicks_ = 0;
 };
 
 } // namespace neurocube

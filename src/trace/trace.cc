@@ -83,6 +83,10 @@ traceEventTypeName(TraceEventType type)
         return "serveQueueDepth";
       case TraceEventType::ServeRequestDone:
         return "serveRequestDone";
+      case TraceEventType::ServeRequestDispatch:
+        return "serveRequestDispatch";
+      case TraceEventType::EngineSkip:
+        return "engineSkip";
       case TraceEventType::EventTypeCount:
         break;
     }
@@ -266,6 +270,7 @@ TraceSession::TraceSession(const TraceConfig &config,
 {
     recorder_.setWindow(config.startTick, config.endTick);
     recorder_.setComponentMask(config.componentMask);
+    recorder_.setSampling(config.windowTicks, config.samplePeriod);
     // Kept for the destructor's phase feedback (the exporters clamp
     // a zero window to 1; match them so detectPhases sees the same
     // window size the CSV was written with).

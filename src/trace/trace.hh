@@ -92,8 +92,48 @@ class TraceRecorder
     /** Restrict recording to component classes with a set bit. */
     void setComponentMask(uint32_t mask) { componentMask_ = mask; }
 
+    /**
+     * Window sampling (TraceConfig::samplePeriod): only windows with
+     * (tick / windowTicks) % period == 0 record events, except for
+     * component classes with a set bit in exemptMask which always
+     * record. period <= 1 disables sampling.
+     *
+     * @param windowTicks sampling window length in ticks (>= 1)
+     * @param period record 1-in-`period` windows
+     * @param exemptMask component classes that bypass sampling
+     *        (default: TraceComponent::Sim, so serving spans, lane
+     *        completions, and engine-skip aggregates stay complete)
+     */
+    void
+    setSampling(Tick windowTicks, uint64_t period,
+                uint32_t exemptMask =
+                    1u << unsigned(TraceComponent::Sim))
+    {
+        sampleWindow_ = windowTicks > 0 ? windowTicks : 1;
+        samplePeriod_ = period > 0 ? period : 1;
+        sampleExempt_ = exemptMask;
+        sampleOpen_ = windowSampled(now_);
+    }
+
+    /** Configured sampling period (1 = every window recorded). */
+    uint64_t samplePeriod() const { return samplePeriod_; }
+
+    /** True when the window holding `tick` records full fidelity. */
+    bool
+    windowSampled(Tick tick) const
+    {
+        return samplePeriod_ <= 1
+               || (tick / sampleWindow_) % samplePeriod_ == 0;
+    }
+
     /** Advance the timestamp applied to subsequent events. */
-    void setNow(Tick now) { now_ = now; }
+    void
+    setNow(Tick now)
+    {
+        now_ = now;
+        if (samplePeriod_ > 1)
+            sampleOpen_ = windowSampled(now);
+    }
 
     /** Timestamp currently applied to recorded events. */
     Tick now() const { return now_; }
@@ -106,6 +146,9 @@ class TraceRecorder
         if (now_ < startTick_ || now_ >= endTick_)
             return;
         if (!(componentMask_ & (1u << unsigned(component))))
+            return;
+        if (!sampleOpen_
+            && !(sampleExempt_ & (1u << unsigned(component))))
             return;
         TraceEvent event;
         event.tick = now_;
@@ -181,6 +224,12 @@ class TraceRecorder
     uint32_t componentMask_ = ~uint32_t(0);
     uint64_t recorded_ = 0;
 
+    /** Window sampling (setSampling); open == current window records. */
+    Tick sampleWindow_ = 1024;
+    uint64_t samplePeriod_ = 1;
+    uint32_t sampleExempt_ = 1u << unsigned(TraceComponent::Sim);
+    bool sampleOpen_ = true;
+
     std::vector<TraceSink *> sinks_;
 
     /** Dedicated consumer (live streaming); joinable while running. */
@@ -202,10 +251,11 @@ extern TraceRecorder *g_activeRecorder;
  * while tracing is off. A single slot (rather than per-cube plumbing
  * through every constructor) keeps the instrumentation sites to one
  * expression; it is only installed/removed between runs, never while
- * components are ticking, so the threaded-lane engine (which falls
- * back to the legacy loop whenever a recorder is active) only ever
- * reads a stable nullptr. Inline so NC_TRACE sites reduce to one
- * load + branch.
+ * components are ticking. The ring is single-producer, so the
+ * threaded-lane engine demotes itself to the (single-threaded) Event
+ * loop whenever a recorder is live — lane workers only ever read a
+ * stable nullptr here. Inline so NC_TRACE sites reduce to one load +
+ * branch.
  */
 inline TraceRecorder *
 activeRecorder()
@@ -233,6 +283,13 @@ struct TraceTopology
      * vault group reads as its own machine.
      */
     std::vector<uint16_t> laneOf;
+    /**
+     * Vault ordinal -> hosting mesh node (empty = identity). PNG
+     * trace events carry the hosting node as their instance id, so
+     * exporters need this to fold them back onto vault tracks when
+     * channels are scarcer than nodes (DDR3/HBM placements).
+     */
+    std::vector<uint16_t> vaultNode;
 };
 
 /**

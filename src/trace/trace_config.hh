@@ -87,6 +87,34 @@ struct TraceConfig
      * default traces everything; clear bits to cut trace volume.
      */
     uint32_t componentMask = ~uint32_t(0);
+
+    /**
+     * Window sampling: record full-fidelity component events only in
+     * 1-in-N aggregation windows (window w is sampled when
+     * w % samplePeriod == 0, with w = tick / windowTicks). 1 = record
+     * every window. Sampling only thins the *event* stream — the
+     * stall-attribution and energy counters always see every cycle,
+     * so metricsJson/energyJson are identical at any sample rate.
+     * TraceComponent::Sim events (lane completions, engine-skip
+     * aggregates, serving request spans) are exempt so per-request
+     * spans and run summaries stay complete in sampled traces; a
+     * side effect is that duration-style slices of other components
+     * (PngPhase, MacBusy) can lose an endpoint at window boundaries.
+     */
+    uint64_t samplePeriod = 1;
+
+    /**
+     * Compatibility fallback: when set, a live event recorder (a
+     * session with at least one export sink) demotes the run to the
+     * Legacy tick loop, as all pre-sampling releases did. Off by
+     * default — the Event engine now stamps and aggregates the same
+     * trace-visible state (tests/test_engine_diff.cc gates that the
+     * two engines agree bit-for-bit on cycles, stalls, and energy
+     * while tracing). ThreadedLanes still demotes to Event while a
+     * recorder is live: the ring is single-producer and lane workers
+     * would race on it.
+     */
+    bool legacyEngineWithRecorder = false;
 };
 
 } // namespace neurocube

@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -384,6 +385,179 @@ TEST(EngineDiff, FuzzPlanCacheOnVsOff)
             << "seed " << seed;
     }
 }
+
+/** Give a config live event sinks (a real recorder) with sampling. */
+void
+addSampledSinks(NeurocubeConfig &config, const std::string &tag,
+                uint64_t sample_period)
+{
+    config.trace.chromeJsonPath = tag + ".trace.json";
+    config.trace.timeseriesCsvPath = tag + ".trace.csv";
+    config.trace.samplePeriod = sample_period;
+}
+
+void
+removeSinkFiles(const std::string &tag)
+{
+    std::remove((tag + ".trace.json").c_str());
+    std::remove((tag + ".trace.csv").c_str());
+}
+
+TEST(EngineDiff, FuzzForwardWithLiveSampledRecorder)
+{
+    // The zero-compromise telemetry contract: with a live recorder
+    // (real event sinks) in sampled mode, the event engine must stay
+    // bit-identical to Legacy-with-tracing in cycles, stall totals
+    // and energy counts. ThreadedLanes demotes to Event under the
+    // recorder, so it must match too.
+    const std::string tag = "engine_diff_sampled";
+    const unsigned seeds = std::max(1u, fuzzSeedCount() / 4);
+    for (unsigned seed = 1; seed <= seeds; ++seed) {
+        Rng rng(uint64_t(seed) * 0xd6e8feb86659fd93ull);
+        NetworkDesc net = randomNet(rng);
+        NeurocubeConfig config = randomConfig(rng, false);
+        addSampledSinks(config, tag, 1 + rng.below(8)); // 1..8
+        NetworkData data = NetworkData::randomized(net, seed);
+        Tensor input(net.inputMaps(), net.inputHeight(),
+                     net.inputWidth());
+        Rng input_rng(seed + 3000);
+        input.randomize(input_rng);
+
+        RunSnapshot legacy = snapshotForward(config, SimEngine::Legacy,
+                                             net, data, input);
+        RunSnapshot event = snapshotForward(config, SimEngine::Event,
+                                            net, data, input);
+        RunSnapshot threaded = snapshotForward(
+            config, SimEngine::ThreadedLanes, net, data, input);
+        ASSERT_TRUE(snapshotsEqual(legacy, event))
+            << "seed " << seed << " (event, sampled recorder)";
+        ASSERT_TRUE(snapshotsEqual(legacy, threaded))
+            << "seed " << seed << " (threaded, sampled recorder)";
+    }
+    removeSinkFiles(tag);
+}
+
+TEST(EngineDiff, FuzzBatchWithLiveSampledRecorder)
+{
+    const std::string tag = "engine_diff_batch_sampled";
+    const unsigned seeds = std::max(1u, fuzzSeedCount() / 8);
+    for (unsigned seed = 1; seed <= seeds; ++seed) {
+        Rng rng(uint64_t(seed) * 0xbf58476d1ce4e5b9ull);
+        NetworkDesc net = randomNet(rng);
+        NeurocubeConfig config = randomConfig(rng, true);
+        addSampledSinks(config, tag, 1 + rng.below(4)); // 1..4
+        const unsigned lanes = 1u << rng.below(3);      // 1, 2, 4
+        const unsigned occupied = 1 + unsigned(rng.below(lanes));
+        NetworkData data = NetworkData::randomized(net, seed);
+        std::vector<Tensor> inputs;
+        for (unsigned l = 0; l < occupied; ++l) {
+            Tensor in(net.inputMaps(), net.inputHeight(),
+                      net.inputWidth());
+            Rng in_rng(seed * 300 + l);
+            in.randomize(in_rng);
+            inputs.push_back(std::move(in));
+        }
+
+        BatchSnapshot legacy = snapshotBatch(
+            config, SimEngine::Legacy, lanes, net, data, inputs);
+        BatchSnapshot event = snapshotBatch(
+            config, SimEngine::Event, lanes, net, data, inputs);
+        BatchSnapshot threaded = snapshotBatch(
+            config, SimEngine::ThreadedLanes, lanes, net, data,
+            inputs);
+        ASSERT_TRUE(batchSnapshotsEqual(legacy, event))
+            << "seed " << seed << " lanes " << lanes
+            << " (event, sampled recorder)";
+        ASSERT_TRUE(batchSnapshotsEqual(legacy, threaded))
+            << "seed " << seed << " lanes " << lanes
+            << " (threaded, sampled recorder)";
+    }
+    removeSinkFiles(tag);
+}
+
+TEST(EngineDiff, FuzzTraceOnVsOffCycleInvariance)
+{
+    // Tracing is observational: a fully-exported sampled session must
+    // not change simulated cycles or computed outputs relative to a
+    // trace-off run of the same workload on the event engine.
+    const std::string tag = "engine_diff_trace_onoff";
+    const unsigned seeds = std::max(1u, fuzzSeedCount() / 4);
+    for (unsigned seed = 1; seed <= seeds; ++seed) {
+        Rng rng(uint64_t(seed) * 0x94d049bb133111ebull);
+        NetworkDesc net = randomNet(rng);
+        NeurocubeConfig traced = randomConfig(rng, false);
+        addSampledSinks(traced, tag, 1 + rng.below(8));
+        NeurocubeConfig untraced = traced;
+        untraced.trace = TraceConfig{};
+        NetworkData data = NetworkData::randomized(net, seed);
+        Tensor input(net.inputMaps(), net.inputHeight(),
+                     net.inputWidth());
+        Rng input_rng(seed + 4000);
+        input.randomize(input_rng);
+
+        RunSnapshot off = snapshotForward(untraced, SimEngine::Event,
+                                          net, data, input);
+        RunSnapshot on = snapshotForward(traced, SimEngine::Event,
+                                         net, data, input);
+        // The trace-off run carries no metrics/energy registries, so
+        // only the simulated quantities are comparable.
+        ASSERT_EQ(off.totalCycles, on.totalCycles) << "seed " << seed;
+        ASSERT_EQ(off.layerCycles, on.layerCycles) << "seed " << seed;
+        ASSERT_EQ(off.outputs.size(), on.outputs.size());
+        for (size_t i = 0; i < off.outputs.size(); ++i) {
+            ASSERT_TRUE(tensorsEqual(off.outputs[i], on.outputs[i]))
+                << "seed " << seed << " layer " << i;
+        }
+    }
+    removeSinkFiles(tag);
+}
+
+#if NEUROCUBE_TRACE_ENABLED
+TEST(EngineDiff, ActiveEngineUnderLiveRecorder)
+{
+    const std::string tag = "engine_diff_active";
+
+    // A live sampled recorder leaves the event engine active — no
+    // Legacy fallback.
+    NeurocubeConfig config;
+    config.engine = SimEngine::Event;
+    config.trace.enabled = true;
+    config.trace.metrics = true;
+    config.trace.energy = true;
+    addSampledSinks(config, tag, 8);
+    {
+        Neurocube cube(config);
+        EXPECT_EQ(cube.activeEngine(), SimEngine::Event);
+    }
+
+    // The recorder ring is single-producer, so ThreadedLanes demotes
+    // to Event (not Legacy) while the recorder is live.
+    config.engine = SimEngine::ThreadedLanes;
+    {
+        Neurocube cube(config);
+        EXPECT_EQ(cube.activeEngine(), SimEngine::Event);
+    }
+
+    // Compatibility flag restores the old always-Legacy fallback.
+    config.trace.legacyEngineWithRecorder = true;
+    {
+        Neurocube cube(config);
+        EXPECT_EQ(cube.activeEngine(), SimEngine::Legacy);
+    }
+
+    // A metrics-only session has no recorder: nothing demotes.
+    NeurocubeConfig metrics_only;
+    metrics_only.engine = SimEngine::ThreadedLanes;
+    metrics_only.trace.enabled = true;
+    metrics_only.trace.metrics = true;
+    metrics_only.trace.energy = true;
+    {
+        Neurocube cube(metrics_only);
+        EXPECT_EQ(cube.activeEngine(), SimEngine::ThreadedLanes);
+    }
+    removeSinkFiles(tag);
+}
+#endif
 
 /** Engine-invariant view of a driver-produced RunResult. */
 struct DriverSnapshot

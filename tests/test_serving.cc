@@ -10,10 +10,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 
+#include "common/stats.hh"
 #include "serving/server.hh"
 #include "serving/slo.hh"
+#include "serving/spans.hh"
 
 namespace neurocube
 {
@@ -349,6 +352,122 @@ TEST(Serving, ReportAggregatesMatchTheResult)
     EXPECT_NE(json.find("\"total_cycles\": "), std::string::npos);
     EXPECT_NE(json.find("\"served\": "), std::string::npos);
     EXPECT_NE(json.find("\"p999_ticks\": "), std::string::npos);
+}
+
+// --- Per-request spans ------------------------------------------------
+
+/** One standard serving run with mixed served/dropped requests. */
+ServingResult
+spansRun(ServingConfig config = {})
+{
+    NetworkDesc net = servingNet();
+    NetworkData data = NetworkData::randomized(net, 1);
+    Tensor input = servingInput(net, 2);
+    Neurocube cube((NeurocubeConfig()));
+    cube.loadNetwork(net, data);
+    ArrivalSchedule arrivals = poissonArrivals(24, 900.0, 21);
+    config.queueDepth = 4;
+    config.scheduler.maxLanes = 4;
+    config.scheduler.maxWaitTicks = 2500;
+    ServingSimulator sim(cube, config);
+    return sim.run(arrivals, input);
+}
+
+TEST(Spans, RoundTripThroughTheJsonlFormat)
+{
+    ServingResult result = spansRun();
+    ASSERT_GT(result.served, 0u);
+
+    std::ostringstream out;
+    writeRequestSpans(out, result);
+    std::istringstream in(out.str());
+    std::vector<RequestRecord> replay = readRequestSpans(in);
+
+    ASSERT_EQ(replay.size(), result.requests.size());
+    for (size_t i = 0; i < replay.size(); ++i) {
+        const RequestRecord &a = result.requests[i];
+        const RequestRecord &b = replay[i];
+        EXPECT_EQ(a.id, b.id) << "request " << i;
+        EXPECT_EQ(a.arrival, b.arrival) << "request " << i;
+        EXPECT_EQ(a.admit, b.admit) << "request " << i;
+        EXPECT_EQ(a.dispatch, b.dispatch) << "request " << i;
+        EXPECT_EQ(a.completion, b.completion) << "request " << i;
+        EXPECT_EQ(a.batch, b.batch) << "request " << i;
+        EXPECT_EQ(a.lanes, b.lanes) << "request " << i;
+        EXPECT_EQ(a.dropped, b.dropped) << "request " << i;
+        // Derived quantities re-derive identically from the parsed
+        // timestamps.
+        EXPECT_EQ(a.latency(), b.latency()) << "request " << i;
+        EXPECT_EQ(a.queueTicks(), b.queueTicks()) << "request " << i;
+        EXPECT_EQ(a.serviceTicks(), b.serviceTicks())
+            << "request " << i;
+    }
+}
+
+TEST(Spans, LifecycleTimestampsAreOrdered)
+{
+    ServingResult result = spansRun();
+    uint64_t last_batch = 0;
+    for (const RequestRecord &r : result.requests) {
+        if (r.dropped) {
+            EXPECT_EQ(r.admit, 0u);
+            EXPECT_EQ(r.batch, 0u);
+            continue;
+        }
+        // enqueue == admit (admission decides at the arrival tick),
+        // then dispatch, then completion; batch ordinals are 1-based
+        // and non-decreasing in arrival order.
+        EXPECT_EQ(r.admit, r.arrival);
+        EXPECT_GE(r.dispatch, r.admit);
+        EXPECT_GT(r.completion, r.dispatch);
+        EXPECT_GE(r.batch, 1u);
+        EXPECT_GE(r.batch, last_batch);
+        last_batch = r.batch;
+        EXPECT_EQ(r.latency(), r.queueTicks() + r.serviceTicks());
+    }
+}
+
+TEST(Spans, FileExportHonorsServingConfig)
+{
+    const std::string path = "test_serving_spans.jsonl";
+    ServingConfig config;
+    config.spansJsonlPath = path;
+    ServingResult result = spansRun(config);
+
+    std::vector<RequestRecord> replay = readRequestSpansJsonl(path);
+    ASSERT_EQ(replay.size(), result.requests.size());
+    for (size_t i = 0; i < replay.size(); ++i) {
+        EXPECT_EQ(replay[i].id, result.requests[i].id);
+        EXPECT_EQ(replay[i].completion, result.requests[i].completion);
+        EXPECT_EQ(replay[i].dropped, result.requests[i].dropped);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Spans, PercentilesRecomputedFromSpansMatchTheReport)
+{
+    // The spans file and the SLO report must tell the same story: a
+    // latency histogram rebuilt from the exported spans yields the
+    // exact p50/p99/p999 the report carries.
+    ServingResult result = spansRun();
+    ServingReport report = buildServingReport(result);
+
+    std::ostringstream out;
+    writeRequestSpans(out, result);
+    std::istringstream in(out.str());
+    std::vector<RequestRecord> replay = readRequestSpans(in);
+
+    Histogram latency(nullptr, "latency", "rebuilt from spans");
+    for (const RequestRecord &r : replay) {
+        if (!r.dropped)
+            latency.sample(r.latency());
+    }
+    ASSERT_EQ(latency.count(), report.served);
+    EXPECT_DOUBLE_EQ(latency.p50(), report.p50Ticks);
+    EXPECT_DOUBLE_EQ(latency.p99(), report.p99Ticks);
+    EXPECT_DOUBLE_EQ(latency.p999(), report.p999Ticks);
+    EXPECT_DOUBLE_EQ(latency.mean(), report.meanTicks);
+    EXPECT_EQ(latency.max(), report.maxTicks);
 }
 
 } // namespace

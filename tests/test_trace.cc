@@ -342,6 +342,58 @@ TEST(TraceRecorder, WindowAndComponentMaskFilter)
     EXPECT_EQ(pe_only.events[0].component, TraceComponent::Pe);
 }
 
+TEST(TraceRecorder, WindowSamplingThinsNonExemptComponents)
+{
+    TraceRecorder recorder(256);
+    CollectingSink sink;
+    recorder.addSink(&sink);
+    // 10-tick windows, record 1 in 3: the windows starting at ticks
+    // 0, 30 and 60 are sampled; everything else is dropped at the
+    // recording site — except the Sim component, which is exempt by
+    // default so run-structure markers and spans survive sampling.
+    recorder.setSampling(10, 3);
+    EXPECT_EQ(recorder.samplePeriod(), 3u);
+    EXPECT_TRUE(recorder.windowSampled(0));
+    EXPECT_TRUE(recorder.windowSampled(9));
+    EXPECT_FALSE(recorder.windowSampled(10));
+    EXPECT_FALSE(recorder.windowSampled(29));
+    EXPECT_TRUE(recorder.windowSampled(30));
+
+    for (Tick t = 0; t < 90; ++t) {
+        recorder.setNow(t);
+        recorder.record(TraceComponent::Pe, 0, TraceEventType::MacBusy,
+                        0, t);
+        recorder.record(TraceComponent::Sim, 0,
+                        TraceEventType::LaneDone, 0, t);
+    }
+    recorder.finish();
+
+    size_t pe = 0, sim = 0;
+    for (const TraceEvent &e : sink.events) {
+        if (e.component == TraceComponent::Pe)
+            ++pe;
+        else if (e.component == TraceComponent::Sim)
+            ++sim;
+    }
+    EXPECT_EQ(pe, 30u);  // 3 sampled windows x 10 ticks
+    EXPECT_EQ(sim, 90u); // exempt: full fidelity
+}
+
+TEST(TraceRecorder, SamplePeriodOneRecordsEverything)
+{
+    TraceRecorder recorder(256);
+    CollectingSink sink;
+    recorder.addSink(&sink);
+    recorder.setSampling(10, 1);
+    for (Tick t = 0; t < 50; ++t) {
+        recorder.setNow(t);
+        recorder.record(TraceComponent::Router, 0,
+                        TraceEventType::FlitEnqueue, 0, t);
+    }
+    recorder.finish();
+    EXPECT_EQ(sink.events.size(), 50u);
+}
+
 #if NEUROCUBE_TRACE_ENABLED
 TEST(TraceRecorder, MacroPublishesToActiveRecorder)
 {
@@ -849,6 +901,78 @@ TEST(TraceIntegration, MachineEmitsLoadableTraceFiles)
 }
 
 #if NEUROCUBE_TRACE_ENABLED
+/** One traced run of a tiny conv machine; returns {json, csv}. */
+std::pair<std::string, std::string>
+sampledRunExports(uint64_t sample_period, const char *tag)
+{
+    const std::string json_path =
+        std::string(tag) + ".sampled.json";
+    const std::string csv_path = std::string(tag) + ".sampled.csv";
+
+    NetworkDesc net;
+    net.name = "sample-test";
+    LayerDesc conv;
+    conv.type = LayerType::Conv2D;
+    conv.name = "conv";
+    conv.inWidth = 20;
+    conv.inHeight = 16;
+    conv.inMaps = 2;
+    conv.outMaps = 4;
+    conv.kernel = 3;
+    conv.channelwise = true;
+    conv.activation = ActivationKind::Tanh;
+    net.layers.push_back(conv);
+    net.validate();
+    NetworkData data = NetworkData::randomized(net, 7);
+    Tensor input(conv.inMaps, conv.inHeight, conv.inWidth);
+    Rng rng(8);
+    input.randomize(rng);
+
+    {
+        NeurocubeConfig config;
+        config.trace.enabled = true;
+        config.trace.chromeJsonPath = json_path;
+        config.trace.timeseriesCsvPath = csv_path;
+        config.trace.windowTicks = 64;
+        config.trace.samplePeriod = sample_period;
+        Neurocube cube(config);
+        cube.loadNetwork(net, data);
+        cube.setInput(input);
+        cube.runForward();
+    }
+
+    auto slurp = [](const std::string &path) {
+        std::ifstream in(path);
+        std::stringstream text;
+        text << in.rdbuf();
+        std::remove(path.c_str());
+        return text.str();
+    };
+    return {slurp(json_path), slurp(csv_path)};
+}
+
+TEST(TraceIntegration, SampledExportsAreDeterministic)
+{
+    // Same workload + same sample period twice: the exports must be
+    // byte-identical (sampling is a pure function of the tick, never
+    // of wall clock or ring pressure).
+    auto first = sampledRunExports(3, "test_trace_det_a");
+    auto second = sampledRunExports(3, "test_trace_det_b");
+    ASSERT_FALSE(first.first.empty());
+    ASSERT_FALSE(first.second.empty());
+    EXPECT_EQ(first.first, second.first);   // chrome JSON
+    EXPECT_EQ(first.second, second.second); // timeseries CSV
+
+    // And the sampled stream is a genuine subset: fewer trace events
+    // than the full-fidelity run of the same workload.
+    auto full = sampledRunExports(1, "test_trace_det_full");
+    JsonChecker sampled_json(first.first);
+    JsonChecker full_json(full.first);
+    ASSERT_TRUE(sampled_json.parse());
+    ASSERT_TRUE(full_json.parse());
+    EXPECT_LT(sampled_json.traceEvents(), full_json.traceEvents());
+}
+
 /** The live stream end to end: machine -> consumer thread -> file. */
 TEST(TraceIntegration, StreamPathProducesReadableBinaryStream)
 {
