@@ -27,6 +27,8 @@
 #include "nn/network.hh"
 #include "power/activity_energy.hh"
 #include "trace/metrics.hh"
+#include "trace/phase_detector.hh"
+#include "trace/report.hh"
 
 namespace neurocube::bench
 {
@@ -148,16 +150,46 @@ inferenceInputSize(unsigned &w, unsigned &h)
 }
 
 /**
+ * Per-phase energy rollup of an exported time-series CSV: detect
+ * phases, join them with the avg_power_w track, serialize. Empty
+ * string when the CSV is absent (no NEUROCUBE_TRACE_EXPORT).
+ */
+inline std::string
+phaseEnergyFromCsv(const NeurocubeConfig &cfg)
+{
+    if (cfg.trace.timeseriesCsvPath.empty())
+        return "";
+    PhaseDetectorConfig pd;
+    pd.windowTicks = cfg.trace.windowTicks;
+    pd.numPes = cfg.numPes;
+    pd.numPngs = cfg.dram.numChannels;
+    pd.numRouters = cfg.numPes;
+    pd.numVaults = cfg.dram.numChannels;
+    std::ifstream detect(cfg.trace.timeseriesCsvPath);
+    if (!detect.is_open())
+        return "";
+    std::vector<PhaseSegment> segments = detectPhases(detect, pd);
+    std::ifstream join(cfg.trace.timeseriesCsvPath);
+    return phaseEnergyJson(joinPhaseEnergy(segments, join, pd),
+                           pd.windowTicks);
+}
+
+/**
  * Run a full forward pass of a network on a machine config.
  *
  * When @p manifest is non-null it is filled with the run's identity
  * block (config hash, git describe, active engine; name left empty
  * for the caller/writeBenchJson to label). NEUROCUBE_TRACE_EXPORT
  * and NEUROCUBE_TRACE_SAMPLE apply here (see applyTraceExportFromEnv).
+ * When @p phases_json is non-null and the run exported a time-series
+ * CSV, it receives the per-phase energy rollup (phaseEnergyJson) —
+ * joined after the machine is torn down, since the trace session
+ * flushes the CSV in its destructor.
  */
 inline RunResult
 runForward(const NeurocubeConfig &config, const NetworkDesc &net,
-           uint64_t seed = 1, RunManifest *manifest = nullptr)
+           uint64_t seed = 1, RunManifest *manifest = nullptr,
+           std::string *phases_json = nullptr)
 {
     NetworkData data = NetworkData::randomized(net, seed);
     Tensor input(net.inputMaps(), net.inputHeight(),
@@ -181,16 +213,21 @@ runForward(const NeurocubeConfig &config, const NetworkDesc &net,
         cfg, "forward" + std::to_string(run_ordinal++));
     cfg.engine = engineFromEnv(cfg.engine);
     cfg.planCache = planCacheFromEnv(cfg.planCache);
-    Neurocube cube(cfg);
-    cube.loadNetwork(net, data);
-    cube.setInput(input);
-    WallTimer timer;
-    RunResult run = cube.runForward();
-    run.wallMs = timer.elapsedMs();
-    if (manifest != nullptr) {
-        *manifest = buildRunManifest(cfg, cube.activeEngine(), "",
-                                     quickMode());
-    }
+    RunResult run;
+    {
+        Neurocube cube(cfg);
+        cube.loadNetwork(net, data);
+        cube.setInput(input);
+        WallTimer timer;
+        run = cube.runForward();
+        run.wallMs = timer.elapsedMs();
+        if (manifest != nullptr) {
+            *manifest = buildRunManifest(cfg, cube.activeEngine(), "",
+                                         quickMode());
+        }
+    } // trace session torn down here: the time-series CSV is flushed
+    if (phases_json != nullptr)
+        *phases_json = phaseEnergyFromCsv(cfg);
     return run;
 }
 
@@ -331,6 +368,12 @@ struct NamedRun
     const RunResult *run;
     RunManifest manifest;
     bool hasManifest = false;
+    /**
+     * Optional phaseEnergyJson document for this run (filled by the
+     * caller from runForward's phases_json out-param). Only the HTML
+     * report renders it; writeBenchJson/writeBenchProm ignore it.
+     */
+    std::string phasesJson;
 };
 
 /**
@@ -399,6 +442,48 @@ writeBenchProm(const std::string &filename,
         if (r.hasManifest)
             out << runMetricsTextfile(r.manifest, *r.run);
     }
+    std::printf("wrote %s\n", path.c_str());
+}
+
+/**
+ * Write the self-contained HTML sibling of writeBenchJson: one
+ * report (trace/report.hh) with a section per named run — manifest
+ * table, roofline scatter, mesh heatmaps, link map, stall/energy
+ * bars, phase rollup. Pure presentation over the same documents the
+ * JSON writer emits; never read by `bench.sh --compare`.
+ */
+inline void
+writeBenchHtml(const std::string &filename, const std::string &title,
+               const std::vector<NamedRun> &runs)
+{
+    std::string path = benchOutputPath(filename);
+    std::ofstream out(path);
+    if (!out.is_open()) {
+        std::fprintf(stderr, "warning: cannot write bench html '%s'\n",
+                     path.c_str());
+        return;
+    }
+    auto trimmed = [](std::string doc) {
+        while (!doc.empty()
+               && (doc.back() == '\n' || doc.back() == ' ')) {
+            doc.pop_back();
+        }
+        return doc;
+    };
+    std::vector<ReportRun> report;
+    report.reserve(runs.size());
+    for (const NamedRun &r : runs) {
+        ReportRun section;
+        section.name = r.name;
+        if (r.hasManifest)
+            section.manifestJson = runManifestJson(r.manifest, *r.run);
+        section.metricsJson = trimmed(r.run->metricsJson());
+        section.energyJson = trimmed(r.run->energyJson());
+        section.spatialJson = trimmed(r.run->spatialJson());
+        section.phasesJson = r.phasesJson;
+        report.push_back(std::move(section));
+    }
+    out << renderRunReport(title, report);
     std::printf("wrote %s\n", path.c_str());
 }
 

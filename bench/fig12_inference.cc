@@ -70,7 +70,9 @@ printFigure()
 
     NeurocubeConfig dup;
     RunManifest dup_manifest;
-    RunResult with_dup = runForward(dup, net, 1, &dup_manifest);
+    std::string dup_phases;
+    RunResult with_dup =
+        runForward(dup, net, 1, &dup_manifest, &dup_phases);
     printLayerPanels(with_dup, "with data duplication (black bars)");
     printEnergyPanel(with_dup, "with data duplication");
 
@@ -78,16 +80,22 @@ printFigure()
     nodup.mapping.duplicateConvHalo = false;
     nodup.mapping.duplicateFcInput = false;
     RunManifest nodup_manifest;
-    RunResult without = runForward(nodup, net, 1, &nodup_manifest);
+    std::string nodup_phases;
+    RunResult without =
+        runForward(nodup, net, 1, &nodup_manifest, &nodup_phases);
     printLayerPanels(without, "without data duplication (gray bars)");
     printEnergyPanel(without, "without data duplication");
 
-    const std::vector<NamedRun> runs = {
+    std::vector<NamedRun> runs = {
         {"duplicated", &with_dup, dup_manifest},
         {"no_duplication", &without, nodup_manifest},
     };
+    runs[0].phasesJson = dup_phases;
+    runs[1].phasesJson = nodup_phases;
     writeBenchJson("BENCH_fig12.json", runs);
     writeBenchProm("BENCH_fig12.prom", runs);
+    writeBenchHtml("BENCH_fig12.html",
+                   "Fig. 12: scene-labeling inference", runs);
 
     PowerModel m28(TechNode::Nm28), m15(TechNode::Nm15);
     std::printf("\nimage throughput (frames/s): 28nm %.2f, 15nm "

@@ -94,8 +94,11 @@ printFigure()
                 double(full.totalOps()) / 1e6, full.gopsPerSecond());
     std::printf("paper anchor: 126.8 GOPs/s at the 15nm point\n");
 
-    writeBenchJson("BENCH_fig13.json",
-                   {{"training", &run}, {"full_backprop", &full}});
+    const std::vector<NamedRun> runs = {{"training", &run},
+                                        {"full_backprop", &full}};
+    writeBenchJson("BENCH_fig13.json", runs);
+    writeBenchHtml("BENCH_fig13.html",
+                   "Fig. 13: scene-labeling training", runs);
 }
 
 } // namespace

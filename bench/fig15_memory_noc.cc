@@ -192,5 +192,8 @@ main(int argc, char **argv)
     for (const auto &r : g_runs)
         runs.emplace_back(r.first, &r.second);
     writeBenchJson("BENCH_fig15.json", runs);
+    writeBenchHtml("BENCH_fig15.html",
+                   "Fig. 15: memory technology and NoC topology",
+                   runs);
     return 0;
 }

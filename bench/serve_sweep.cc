@@ -24,6 +24,7 @@
 #include "bench_common.hh"
 #include "serving/server.hh"
 #include "serving/slo.hh"
+#include "trace/spatial.hh"
 
 namespace
 {
@@ -107,6 +108,9 @@ struct SweepPoint
     ServingReport report;
     RunManifest manifest;
     double wallMs = 0.0;
+    /** spatialSnapshotJson over the whole serving run (heatmaps for
+     *  the HTML report; empty when spatial accounting is off). */
+    std::string spatialJson;
 };
 
 /** "load_75pct"-style label for one sweep point. */
@@ -150,6 +154,10 @@ runPoint(size_t index, Tick batch4, const NetworkDesc &net,
                      buildRunManifest(machine, cube.activeEngine(),
                                       pointName(factor), quickMode()),
                      timer.elapsedMs()};
+    if (result.spatial.valid()) {
+        point.spatialJson = spatialSnapshotJson(
+            result.spatialTopology, result.spatial, result.makespan);
+    }
     return point;
 }
 
@@ -190,6 +198,33 @@ writeServeJson(const std::vector<SweepPoint> &points, Tick batch4)
             << (i + 1 < points.size() ? "," : "") << "\n";
     }
     out << "}\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
+/** Self-contained HTML sibling of BENCH_serve.json: one section per
+ *  sweep point (serving manifest + spatial heatmaps). Presentation
+ *  only — `bench.sh --compare` never reads it. */
+void
+writeServeHtml(const std::vector<SweepPoint> &points)
+{
+    std::string path = benchOutputPath("BENCH_serve.html");
+    std::ofstream out(path);
+    if (!out.is_open()) {
+        std::fprintf(stderr, "warning: cannot write bench html '%s'\n",
+                     path.c_str());
+        return;
+    }
+    std::vector<ReportRun> report;
+    report.reserve(points.size());
+    for (const SweepPoint &p : points) {
+        ReportRun section;
+        section.name = pointName(p.factor);
+        section.manifestJson =
+            servingManifestJson(p.manifest, p.report, p.wallMs);
+        section.spatialJson = p.spatialJson;
+        report.push_back(std::move(section));
+    }
+    out << renderRunReport("Serving sweep: open-loop load", report);
     std::printf("wrote %s\n", path.c_str());
 }
 
@@ -250,6 +285,7 @@ printFigure()
 
     writeServeJson(points, batch4);
     writeServeProm(points);
+    writeServeHtml(points);
 }
 
 void

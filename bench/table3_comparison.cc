@@ -112,7 +112,10 @@ printTable()
         }
     }
 
-    writeBenchJson("BENCH_table3.json", {{"inference", &run}});
+    const std::vector<NamedRun> named = {{"inference", &run}};
+    writeBenchJson("BENCH_table3.json", named);
+    writeBenchHtml("BENCH_table3.html",
+                   "Table III: platform comparison", named);
 }
 
 } // namespace

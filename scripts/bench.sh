@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Run the figure-reproduction bench binaries and collect their
 # machine-readable outputs (BENCH_*.json with per-layer bottleneck
-# and activity-energy reports) into one directory.
+# and activity-energy reports, BENCH_*.prom textfile-collector dumps,
+# and self-contained BENCH_*.html run reports with spatial heatmaps
+# and roofline attribution) into one directory.
 #
 # Usage: scripts/bench.sh [outdir] [bench...]
 #        scripts/bench.sh --compare <baseline-dir> [outdir] [bench...]
-#   outdir  where BENCH_*.json and the captured stdout logs land
-#           (default: bench-results)
+#   outdir  where BENCH_*.{json,prom,html} and the captured stdout
+#           logs land (default: bench-results)
 #   bench   bench binary names to run (default: fig12_inference
 #           fig13_training fig15_memory_noc serve_sweep)
 #

@@ -41,6 +41,35 @@ case " ${presets[*]} " in
     trap 'rm -rf "$smoke_dir"' EXIT
     NEUROCUBE_QUICK=1 scripts/bench.sh --compare bench/baselines \
         "$smoke_dir" serve_sweep
+
+    # HTML report smoke: the self-contained report must be valid
+    # (template markers present) and byte-deterministic across two
+    # identical runs — wall_ms is host wall-clock, so it is the one
+    # field normalized before the comparison.
+    echo "=== [default] html report smoke ==="
+    build="${NEUROCUBE_BUILD:-build}"
+    mkdir -p "$smoke_dir/report_a" "$smoke_dir/report_b"
+    NEUROCUBE_QUICK=1 NEUROCUBE_BENCH_DIR="$smoke_dir/report_a" \
+        "$build/bench/table3_comparison" >/dev/null
+    NEUROCUBE_QUICK=1 NEUROCUBE_BENCH_DIR="$smoke_dir/report_b" \
+        "$build/bench/table3_comparison" >/dev/null
+    report="$smoke_dir/report_a/BENCH_table3.html"
+    for marker in '<!DOCTYPE html>' 'id="nc-data"' '</html>'; do
+        if ! grep -qF "$marker" "$report"; then
+            echo "FAIL: $report missing '$marker'"
+            exit 1
+        fi
+    done
+    normalize_wall() {
+        sed -E 's/"wall_ms":[0-9.eE+-]+/"wall_ms":0/g' "$1"
+    }
+    if ! cmp -s <(normalize_wall "$report") \
+            <(normalize_wall "$smoke_dir/report_b/BENCH_table3.html")
+    then
+        echo "FAIL: BENCH_table3.html differs across identical runs"
+        exit 1
+    fi
+    echo "html report smoke passed"
     ;;
 esac
 

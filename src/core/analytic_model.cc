@@ -103,8 +103,28 @@ analyticLayerEstimate(const LayerDesc &layer,
 
     double bound = std::max(
         {dram_cycles, eject_cycles, noc_cycles, mac_cycles});
+    est.dramCycles = dram_cycles;
+    est.ejectCycles = eject_cycles;
+    est.nocCycles = noc_cycles;
+    est.macCycles = mac_cycles;
     est.cycles = Tick(bound + per_pass * passes);
     return est;
+}
+
+RooflineCeilings
+rooflineCeilings(const NeurocubeConfig &config)
+{
+    const DramParams &dram = config.dram;
+    RooflineCeilings roof;
+    roof.macsPerCycle = double(config.numPes);
+    double burst_factor =
+        double(dram.burstLength + dram.burstGapTicks)
+        / dram.burstLength;
+    roof.dramBytesPerCycle = double(dram.numChannels)
+                           * dram.wordsPerTick()
+                           * dram.elementsPerWord() * bytesPerElement
+                           / burst_factor;
+    return roof;
 }
 
 } // namespace neurocube

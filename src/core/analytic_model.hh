@@ -29,6 +29,36 @@ struct AnalyticEstimate
     /** Estimated fraction of operand traffic that is lateral. */
     double lateralFraction = 0.0;
 
+    /**
+     * The four candidate steady-state bounds the estimate picked its
+     * maximum from, in cycles: DRAM streaming, PE-port ejection,
+     * mesh bisection, MAC execution. Together with rooflineCeilings
+     * these attribute a measured layer to its limiting resource.
+     */
+    double dramCycles = 0.0;
+    double ejectCycles = 0.0;
+    double nocCycles = 0.0;
+    double macCycles = 0.0;
+
+    /** Name of the binding bound ("dram"/"eject"/"noc"/"mac"). */
+    const char *
+    boundLabel() const
+    {
+        double m = dramCycles;
+        const char *label = "dram";
+        if (ejectCycles > m) {
+            m = ejectCycles;
+            label = "eject";
+        }
+        if (nocCycles > m) {
+            m = nocCycles;
+            label = "noc";
+        }
+        if (macCycles > m)
+            label = "mac";
+        return label;
+    }
+
     /** Estimated throughput at the reference clock. */
     double
     gopsPerSecond(double clock_ghz = referenceClockHz / 1e9) const
@@ -39,6 +69,25 @@ struct AnalyticEstimate
              / 1e9;
     }
 };
+
+/**
+ * Machine-wide roofline ceilings in reference-clock units, derived
+ * from the same first principles as analyticLayerEstimate: the
+ * compute roof (every PE retiring one operand pair per tick) and the
+ * aggregate DRAM streaming roof (all channels bursting with their
+ * steady-state burst gaps). Measured per-layer achieved rates are
+ * plotted against these in the spatial report's roofline scatter.
+ */
+struct RooflineCeilings
+{
+    /** Peak MAC operations per reference cycle (= numPes). */
+    double macsPerCycle = 0.0;
+    /** Peak aggregate DRAM bytes per reference cycle. */
+    double dramBytesPerCycle = 0.0;
+};
+
+/** Compute the roofline ceilings for a machine configuration. */
+RooflineCeilings rooflineCeilings(const NeurocubeConfig &config);
 
 /**
  * Estimate one layer's execution.

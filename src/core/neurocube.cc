@@ -3,14 +3,39 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "core/analytic_model.hh"
 #include "trace/energy.hh"
 #include "trace/metrics.hh"
+#include "trace/spatial.hh"
 
 namespace neurocube
 {
 
 namespace
 {
+
+/**
+ * Place one measured layer on the machine roofline: achieved rates
+ * from the layer's own counters, ceilings and bound attribution from
+ * the analytic model. Pure arithmetic over already-measured values —
+ * never perturbs the simulation.
+ */
+RooflinePoint
+rooflinePoint(const LayerDesc &layer, const NeurocubeConfig &config,
+              const LayerResult &r)
+{
+    RooflinePoint p;
+    if (r.cycles == 0)
+        return p;
+    RooflineCeilings roof = rooflineCeilings(config);
+    p.valid = true;
+    p.macPerCycle = double(r.ops / 2) / double(r.cycles);
+    p.macCeiling = roof.macsPerCycle;
+    p.bytesPerCycle = double(r.dramBits / 8) / double(r.cycles);
+    p.bytesCeiling = roof.dramBytesPerCycle;
+    p.bound = analyticLayerEstimate(layer, config).boundLabel();
+    return p;
+}
 
 /** Five-number summary of a histogram for the bottleneck report. */
 HistogramSummary
@@ -151,6 +176,30 @@ Neurocube::activeEngine() const
             return SimEngine::Event;
     }
     return config_.engine;
+}
+
+SpatialTopology
+Neurocube::spatialTopology()
+{
+    SpatialRegistry *registry = spatialRegistry();
+    return registry ? registry->topology() : SpatialTopology{};
+}
+
+SpatialSnapshot
+Neurocube::spatialSnapshot()
+{
+    SpatialSnapshot snap;
+    SpatialRegistry *registry = spatialRegistry();
+    if (registry == nullptr)
+        return snap;
+    snap = registry->snapshot();
+    snap.nodeLateral.resize(config_.numPes, 0);
+    snap.nodeLocal.resize(config_.numPes, 0);
+    for (unsigned node = 0; node < config_.numPes; ++node) {
+        snap.nodeLateral[node] = fabric_->nodeLateralPackets(node);
+        snap.nodeLocal[node] = fabric_->nodeLocalPackets(node);
+    }
+    return snap;
 }
 
 PassScheduler::Slice
@@ -362,6 +411,11 @@ Neurocube::runSingleLayer(const LayerDesc &layer,
     if (metrics)
         metrics_before = metrics->snapshot();
 
+    SpatialRegistry *spatial = spatialRegistry();
+    SpatialSnapshot spatial_before;
+    if (spatial)
+        spatial_before = spatialSnapshot();
+
 #if NEUROCUBE_TRACE_ENABLED
     EnergyRegistry *energy = energyRegistry();
     EnergySnapshot energy_before;
@@ -400,6 +454,10 @@ Neurocube::runSingleLayer(const LayerDesc &layer,
         fillHistogramSummaries(result.bottleneck, nullptr);
     }
 
+    if (spatial)
+        result.spatial = spatialSnapshot().delta(spatial_before);
+    result.roofline = rooflinePoint(layer, config_, result);
+
 #if NEUROCUBE_TRACE_ENABLED
     if (energy)
         result.energy = energy->snapshot().delta(energy_before).sum();
@@ -432,6 +490,7 @@ RunResult
 Neurocube::runForward()
 {
     RunResult run;
+    run.spatialTopology = spatialTopology();
     for (size_t i = 0; i < net_.layers.size(); ++i)
         run.layers.push_back(runLayer(i));
     return run;
@@ -675,6 +734,9 @@ Neurocube::runForwardBatch(const std::vector<Tensor> &inputs)
 
     BatchRunResult result;
     result.lanes.assign(active, RunResult{});
+    const SpatialTopology spatial_topo = spatialTopology();
+    for (unsigned l = 0; l < active; ++l)
+        result.lanes[l].spatialTopology = spatial_topo;
 
     const Tick batch_start = now_;
 
@@ -723,6 +785,11 @@ Neurocube::runForwardBatch(const std::vector<Tensor> &inputs)
         MetricsSnapshot metrics_before;
         if (metrics)
             metrics_before = metrics->snapshot();
+
+        SpatialRegistry *spatial = spatialRegistry();
+        SpatialSnapshot spatial_before;
+        if (spatial)
+            spatial_before = spatialSnapshot();
 
 #if NEUROCUBE_TRACE_ENABLED
         EnergyRegistry *energy = energyRegistry();
@@ -807,6 +874,10 @@ Neurocube::runForwardBatch(const std::vector<Tensor> &inputs)
         if (metrics)
             metrics_delta = metrics->snapshot().delta(metrics_before);
 
+        SpatialSnapshot spatial_delta;
+        if (spatial)
+            spatial_delta = spatialSnapshot().delta(spatial_before);
+
 #if NEUROCUBE_TRACE_ENABLED
         EnergySnapshot energy_delta;
         if (energy)
@@ -845,6 +916,18 @@ Neurocube::runForwardBatch(const std::vector<Tensor> &inputs)
                     buildBottleneckReport(metrics_delta, &lane.nodes);
                 fillHistogramSummaries(lr[l].bottleneck, &lane.nodes);
             }
+
+            if (spatial) {
+                lr[l].spatial = filterSnapshotToNodes(
+                    spatial_topo, spatial_delta, lane.nodes);
+            }
+            // Lane roofline: this lane owns an even share of the
+            // PEs and vault channels, so its ceilings come from a
+            // proportionally shrunk machine.
+            NeurocubeConfig lane_cfg = config_;
+            lane_cfg.numPes = unsigned(lane.nodes.size());
+            lane_cfg.dram.numChannels = unsigned(lane.nodes.size());
+            lr[l].roofline = rooflinePoint(layer, lane_cfg, lr[l]);
 
 #if NEUROCUBE_TRACE_ENABLED
             // Same node-indexed identity as the metrics attribution.

@@ -147,6 +147,31 @@ class Neurocube
         return traceSession_ ? traceSession_->metrics() : nullptr;
     }
 
+    /**
+     * The spatial counters of the active trace session, or nullptr
+     * (no session / spatial disabled / tracing compiled out).
+     */
+    SpatialRegistry *
+    spatialRegistry()
+    {
+        return traceSession_ ? traceSession_->spatial() : nullptr;
+    }
+
+    /**
+     * The machine shape the spatial counters describe (mesh width,
+     * links, vault hosting), or an empty topology when no spatial
+     * registry is active.
+     */
+    SpatialTopology spatialTopology();
+
+    /**
+     * Cumulative spatial counters: the registry's link/vault/PE
+     * arrays plus the fabric's per-node injection counters (which
+     * live in the NoC stats, not the registry). Empty/invalid when
+     * no spatial registry is active.
+     */
+    SpatialSnapshot spatialSnapshot();
+
 #if NEUROCUBE_TRACE_ENABLED
     /**
      * The activity energy counters of the active trace session, or

@@ -128,4 +128,46 @@ RunResult::metricsJson() const
     return os.str();
 }
 
+namespace
+{
+
+void
+appendRoofline(std::ostringstream &os, const RooflinePoint &r)
+{
+    if (!r.valid) {
+        os << "null";
+        return;
+    }
+    os << "{\"mac_per_cycle\": " << jsonNumber(r.macPerCycle)
+       << ", \"mac_ceiling\": " << jsonNumber(r.macCeiling)
+       << ", \"bytes_per_cycle\": " << jsonNumber(r.bytesPerCycle)
+       << ", \"bytes_ceiling\": " << jsonNumber(r.bytesCeiling)
+       << ", \"intensity\": " << jsonNumber(r.intensity())
+       << ", \"bound\": " << jsonString(r.bound) << "}";
+}
+
+} // namespace
+
+std::string
+RunResult::spatialJson() const
+{
+    std::ostringstream os;
+    os << "{\n  \"aggregate\": "
+       << spatialSnapshotJson(spatialTopology, spatialSnapshot(),
+                              totalCycles())
+       << ",\n  \"layers\": [\n";
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const LayerResult &l = layers[i];
+        os << "    {\"name\": " << jsonString(l.name)
+           << ", \"cycles\": " << l.cycles << ", \"roofline\": ";
+        appendRoofline(os, l.roofline);
+        os << ", \"spatial\": "
+           << spatialSnapshotJson(spatialTopology, l.spatial,
+                                  l.cycles);
+        os << "}" << (i + 1 < layers.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
 } // namespace neurocube

@@ -21,9 +21,40 @@
 #include "dram/dram_params.hh"
 #include "trace/energy.hh"
 #include "trace/metrics.hh"
+#include "trace/spatial.hh"
 
 namespace neurocube
 {
+
+/**
+ * One layer's position on the machine roofline: achieved MAC and
+ * DRAM-byte rates per reference cycle against the analytic-model
+ * ceilings (rooflineCeilings), with the analytic bound attribution.
+ * Derived purely from already-measured quantities — observational.
+ */
+struct RooflinePoint
+{
+    /** false when the layer ran zero cycles (nothing to plot). */
+    bool valid = false;
+    /** Achieved MAC operations per cycle (ops / 2 / cycles). */
+    double macPerCycle = 0.0;
+    /** Compute ceiling, MACs per cycle. */
+    double macCeiling = 0.0;
+    /** Achieved DRAM bytes per cycle (dramBits / 8 / cycles). */
+    double bytesPerCycle = 0.0;
+    /** Aggregate DRAM streaming ceiling, bytes per cycle. */
+    double bytesCeiling = 0.0;
+    /** Analytic bound label: "dram", "eject", "noc", or "mac". */
+    std::string bound;
+
+    /** Arithmetic intensity: MACs per DRAM byte. */
+    double
+    intensity() const
+    {
+        return bytesPerCycle > 0.0 ? macPerCycle / bytesPerCycle
+                                   : 0.0;
+    }
+};
 
 /** Statistics for one executed layer. */
 struct LayerResult
@@ -58,6 +89,16 @@ struct LayerResult
      * NEUROCUBE_TRACE=ON build); price with ActivityEnergyModel.
      */
     EnergyCounts energy;
+    /**
+     * Spatial counter delta for this layer's interval (per-link,
+     * per-vault, per-PE, per-node). valid only when a spatial-enabled
+     * trace session was active (config.trace.enabled &&
+     * config.trace.spatial in a NEUROCUBE_TRACE=ON build). Strictly
+     * observational — never feeds back into timing or energy.
+     */
+    SpatialSnapshot spatial;
+    /** Roofline position (valid only when cycles were measured). */
+    RooflinePoint roofline;
 
     /** Throughput at a given logic clock (GHz). */
     double
@@ -82,6 +123,14 @@ struct LayerResult
 struct RunResult
 {
     std::vector<LayerResult> layers;
+
+    /**
+     * Static shape of the machine the run executed on (mesh width,
+     * link endpoints, vault hosting), for keying the per-layer
+     * spatial snapshots. Empty (numNodes == 0) when the run carried
+     * no spatial accounting.
+     */
+    SpatialTopology spatialTopology;
 
     /**
      * Host wall-clock time of the run in milliseconds, measured and
@@ -149,6 +198,28 @@ struct RunResult
      * (metrics disabled) carry "bottleneck": null.
      */
     std::string metricsJson() const;
+
+    /** Sum of the per-layer spatial counter deltas. */
+    SpatialSnapshot
+    spatialSnapshot() const
+    {
+        SpatialSnapshot total;
+        for (const LayerResult &l : layers)
+            total += l.spatial;
+        return total;
+    }
+
+    /**
+     * Deterministic heatmap/roofline export as a JSON document:
+     * {"aggregate": <snapshot>, "layers": [{"name", "cycles",
+     * "roofline"|null, "spatial": <snapshot>}]}. Snapshots are
+     * mesh-shaped matrices keyed by spatialTopology (see
+     * spatialSnapshotJson). Empty-topology runs still produce a
+     * well-formed document with zero-length matrices. Deliberately
+     * avoids the "total_cycles"/"served"/"wall_ms" key names the
+     * bench.sh comparison gates grep for.
+     */
+    std::string spatialJson() const;
 
     /** Sum of the per-layer activity counts. */
     EnergyCounts

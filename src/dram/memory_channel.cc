@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "trace/energy.hh"
 #include "trace/metrics.hh"
+#include "trace/spatial.hh"
 
 namespace neurocube
 {
@@ -191,6 +192,11 @@ MemoryChannel::serveWord(Tick now, std::deque<MemRequest> &queue,
     NC_ENERGY_EVENT(EnergyEventKind::VaultXact, traceId_, 1);
     NC_ENERGY_EVENT(EnergyEventKind::DramBit, traceId_,
                     uint64_t(packed) * 8 * bytesPerElement);
+    // Same expression as the DramBit publish divided by 8, so the
+    // per-vault byte heatmap sums to EnergyCounts[DramBit]/8 exactly
+    // (tests/test_spatial.cc asserts the identity).
+    NC_SPATIAL_EVENT(SpatialCounter::VaultByte, traceId_,
+                     uint64_t(packed) * bytesPerElement);
     NC_TRACE(TraceComponent::Vault, traceId_,
              TraceEventType::DramWord, is_write ? 1 : 0,
              uint64_t(packed) * 8 * bytesPerElement);
@@ -218,6 +224,13 @@ void
 MemoryChannel::tick(Tick now)
 {
     now_ = now;
+
+    // Queue-depth integral, once per executed channel cycle. The
+    // event engine only skips this channel while both queues are
+    // empty, so skipped cycles would contribute zero and the
+    // integral stays engine-invariant.
+    NC_SPATIAL_EVENT(SpatialCounter::VaultQueue, traceId_,
+                     queue_.size() + writeQueue_.size());
 
     // Promote completed activations to open rows.
     if (pendingActivations_ > 0) {

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "trace/energy.hh"
+#include "trace/spatial.hh"
 
 namespace neurocube
 {
@@ -19,10 +20,6 @@ NocFabric::NocFabric(const Config &config, StatGroup *parent)
       nodeLocal_(config.numNodes, 0),
       nodeSink_(config.numNodes, nullptr),
       statGroup_(parent, "noc"),
-      statLateral_(&statGroup_, "lateralPackets",
-                   "packets crossing between nodes"),
-      statLocal_(&statGroup_, "localPackets",
-                 "packets staying within their node"),
       statEjected_(&statGroup_, "ejected", "packets ejected at endpoints"),
       statLatencySum_(&statGroup_, "latencySum",
                       "sum of end-to-end packet latencies (ticks)"),
@@ -39,6 +36,26 @@ NocFabric::NocFabric(const Config &config, StatGroup *parent)
         buildFullyConnected();
         break;
     }
+    publishSpatialTopology();
+}
+
+void
+NocFabric::publishSpatialTopology() const
+{
+    // The Neurocube top level constructs its TraceSession before the
+    // fabric, so an active spatial registry already knows the node/
+    // vault/PE extents; the fabric contributes the link list. One-
+    // time, not a hot path — no macro needed.
+    SpatialRegistry *registry = spatial::activeRegistry();
+    if (registry == nullptr)
+        return;
+    std::vector<SpatialLink> links;
+    links.reserve(links_.size());
+    for (const Link &link : links_) {
+        links.push_back({uint16_t(link.srcRouter),
+                         uint16_t(link.dstRouter)});
+    }
+    registry->configureLinks(meshWidth_, std::move(links));
 }
 
 void
@@ -175,19 +192,13 @@ NocFabric::buildFullyConnected()
 void
 NocFabric::accountInjection(unsigned node, const Packet &packet)
 {
-    if (packet.dst == node) {
-        if (laneMode_)
-            ++scratch_[node].local;
-        else
-            statLocal_ += 1;
+    // Per-node counters are the single accounting path: they are
+    // disjoint per node, so they need no lane-mode scratch detour,
+    // and the aggregate accessors sum them on demand.
+    if (packet.dst == node)
         ++nodeLocal_[node];
-    } else {
-        if (laneMode_)
-            ++scratch_[node].lateral;
-        else
-            statLateral_ += 1;
+    else
         ++nodeLateral_[node];
-    }
     if (!laneOf_.empty() && laneOf_[node] != laneOf_[packet.dst]) {
         if (laneMode_)
             ++scratch_[node].crossLane;
@@ -243,12 +254,18 @@ NocFabric::injectFromPe(PeId p, const Packet &packet, Tick now)
 }
 
 void
-NocFabric::traverseLink(const Link &link)
+NocFabric::traverseLink(const Link &link, size_t index)
 {
     Router &src = *routers_[link.srcRouter];
     if (src.bufferedOutputs() == 0)
         return;
     auto &out = src.outputQueue(link.srcPort);
+    // Occupancy integral: source queue depth, once per executed
+    // link-cycle. Cycles the event engine skips have every router
+    // empty, so they would contribute zero — the integral is engine-
+    // invariant without any bulk accounting.
+    NC_SPATIAL_EVENT(SpatialCounter::LinkOccupancy, index,
+                     out.size());
     unsigned budget = link.width;
     while (budget > 0 && !out.empty()
            && routers_[link.dstRouter]->inputSpace(link.dstPort)
@@ -271,11 +288,18 @@ NocFabric::traverseLink(const Link &link)
             ++scratch_[link.srcRouter].linkFlits;
         else
             statLinkFlits_ += 1;
+        NC_SPATIAL_EVENT(SpatialCounter::LinkFlit, index, 1);
         NC_ENERGY_EVENT(EnergyEventKind::NocLink, link.srcRouter,
                         link.distance);
         NC_TRACE(TraceComponent::Router, link.srcRouter,
                  TraceEventType::LinkFlit, link.dstRouter);
     }
+    // Credit starvation: a packet wanted this link but the
+    // downstream FIFO was out of space. At most one stall per link
+    // per executed cycle (a classification, not a flit count).
+    if (budget > 0 && !out.empty()
+        && routers_[link.dstRouter]->inputSpace(link.dstPort) == 0)
+        NC_SPATIAL_EVENT(SpatialCounter::LinkStall, index, 1);
 }
 
 void
@@ -329,8 +353,8 @@ NocFabric::tick(Tick now)
     // Links never share a source or destination FIFO, so the three
     // phase loops (and any restriction of them, see tickLane) are
     // order-independent within a cycle.
-    for (const Link &link : links_)
-        traverseLink(link);
+    for (size_t i = 0; i < links_.size(); ++i)
+        traverseLink(links_[i], i);
 
     // Phase 3: ejection into endpoint delivery queues.
     for (unsigned node = 0; node < config_.numNodes; ++node)
@@ -343,7 +367,7 @@ NocFabric::tickLane(const LaneView &view, Tick now)
     for (unsigned node : view.nodes)
         routers_[node]->tick();
     for (size_t index : view.links)
-        traverseLink(links_[index]);
+        traverseLink(links_[index], index);
     for (unsigned node : view.nodes)
         ejectNode(node, now);
 }
@@ -406,8 +430,6 @@ void
 NocFabric::foldLaneStats()
 {
     for (NodeScratch &s : scratch_) {
-        statLateral_ += s.lateral;
-        statLocal_ += s.local;
         statEjected_ += s.ejected;
         statLatencySum_ += s.latencySum;
         statLinkFlits_ += s.linkFlits;

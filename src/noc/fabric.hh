@@ -198,10 +198,28 @@ class NocFabric
     /** Structural parameters. */
     const Config &config() const { return config_; }
 
-    /** Packets whose source and destination node differ. */
-    uint64_t lateralPackets() const { return statLateral_.count(); }
+    /**
+     * Packets whose source and destination node differ. Derived by
+     * summing the per-node injection counters — the single
+     * accounting path (the old aggregate Stat duplicated them).
+     */
+    uint64_t
+    lateralPackets() const
+    {
+        uint64_t total = 0;
+        for (uint64_t n : nodeLateral_)
+            total += n;
+        return total;
+    }
     /** Packets delivered to a same-node destination. */
-    uint64_t localPackets() const { return statLocal_.count(); }
+    uint64_t
+    localPackets() const
+    {
+        uint64_t total = 0;
+        for (uint64_t n : nodeLocal_)
+            total += n;
+        return total;
+    }
     /** Total packets ejected at endpoints. */
     uint64_t
     ejectedPackets() const
@@ -232,13 +250,16 @@ class NocFabric
         return nodeLocal_[node];
     }
 
+    /** Total packet transfers over router-to-router links. */
+    uint64_t linkFlits() const { return statLinkFlits_.count(); }
+
     /** Fraction of traffic that crossed between nodes. */
     double
     lateralFraction() const
     {
-        uint64_t total = statLateral_.count() + statLocal_.count();
-        return total ? double(statLateral_.count()) / double(total)
-                     : 0.0;
+        uint64_t lateral = lateralPackets();
+        uint64_t total = lateral + localPackets();
+        return total ? double(lateral) / double(total) : 0.0;
     }
 
     /** Direct access to a router (tests and layout tools). */
@@ -266,16 +287,20 @@ class NocFabric
     void buildMesh();
     void buildFullyConnected();
     void accountInjection(unsigned node, const Packet &packet);
-    /** Move packets across one link (phase 2 body). */
-    void traverseLink(const Link &link);
+    /** Publish link endpoints to an active SpatialRegistry. */
+    void publishSpatialTopology() const;
+    /** Move packets across one link (phase 2 body). @p index is the
+     *  link's ordinal in links_ (spatial counter instance). */
+    void traverseLink(const Link &link, size_t index);
     /** Eject into one node's delivery queues (phase 3 body). */
     void ejectNode(unsigned node, Tick now);
 
-    /** Per-node stat accumulation while laneMode_ is set. */
+    /** Per-node stat accumulation while laneMode_ is set. The
+     *  lateral/local injection counts are not here: nodeLateral_/
+     *  nodeLocal_ are already per-node disjoint, so they are the
+     *  single accounting path in every mode. */
     struct NodeScratch
     {
-        uint64_t lateral = 0;
-        uint64_t local = 0;
         uint64_t ejected = 0;
         uint64_t latencySum = 0;
         uint64_t linkFlits = 0;
@@ -308,8 +333,6 @@ class NocFabric
     std::vector<NodeScratch> scratch_;
 
     StatGroup statGroup_;
-    Stat statLateral_;
-    Stat statLocal_;
     Stat statEjected_;
     Stat statLatencySum_;
     Stat statLinkFlits_;

@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "trace/energy.hh"
 #include "trace/metrics.hh"
+#include "trace/spatial.hh"
 
 namespace neurocube
 {
@@ -165,6 +166,7 @@ Pe::flush(Tick now)
     }
     statMacOps_ += active;
     statFlushes_ += 1;
+    NC_SPATIAL_EVENT(SpatialCounter::PeMac, id_, active);
     NC_ENERGY_EVENT(EnergyEventKind::MacOp, id_, active);
     NC_TRACE(TraceComponent::Pe, id_, TraceEventType::MacBusy,
              active, params_.numMacs);

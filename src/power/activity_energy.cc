@@ -61,6 +61,18 @@ constexpr double routerHopFraction = 0.7;
 /** Bits in a vault command/address word (the 32-bit HMC word). */
 constexpr double vaultXactBits = 32.0;
 
+/**
+ * Leakage as a fraction of the synthesized dynamic compute power.
+ * Table II reports dynamic power only; these fractions model the
+ * technology gap — planar 28 nm HKMG leaks roughly a tenth of its
+ * dynamic power, while the 15 nm FinFET node cuts that in half.
+ */
+double
+leakageFraction(TechNode node)
+{
+    return node == TechNode::Nm28 ? 0.10 : 0.05;
+}
+
 } // namespace
 
 ActivityEnergyModel::ActivityEnergyModel(const PowerModel &model)
@@ -86,6 +98,13 @@ ActivityEnergyModel::ActivityEnergyModel(const PowerModel &model)
     prices_.vaultLogicPjPerBit = model.logicDiePjPerBit();
     prices_.vaultXactPj = prices_.vaultLogicPjPerBit * vaultXactBits;
     prices_.dramPjPerBit = PowerModel::dramPjPerBit();
+    staticPowerW_ = leakageFraction(node_) * model.computePowerW();
+}
+
+double
+ActivityEnergyModel::staticEnergyJ(Tick cycles) const
+{
+    return staticPowerW_ * double(cycles) / referenceClockHz;
 }
 
 EnergyBreakdown
@@ -201,6 +220,13 @@ RunResult::energyJson() const
     os << ",\"gops_per_watt\":"
        << jsonNumber(totalJ > 0.0 ? double(totalOps()) / 1e9 / totalJ
                                   : 0.0);
+    // Leakage is reported beside the dynamic totals, never folded
+    // into total_j (the activity/analytic ratio tests pin total_j to
+    // the dynamic accounting).
+    os << ",\"dynamic_j\":" << jsonNumber(totalJ);
+    os << ",\"static_j\":"
+       << jsonNumber(model.staticEnergyJ(totalCycles()));
+    os << ",\"static_power_w\":" << jsonNumber(model.staticPowerW());
     os << ",\"components\":";
     appendComponents(os, total);
     os << ",\"layers\":[";
@@ -310,6 +336,11 @@ runManifestJson(const RunManifest &manifest, const RunResult &run)
         os << ",\"energy\":{\"total_j\":" << jsonNumber(totalJ);
         os << ",\"avg_power_w\":"
            << jsonNumber(seconds > 0.0 ? totalJ / seconds : 0.0);
+        os << ",\"dynamic_j\":" << jsonNumber(totalJ);
+        os << ",\"static_j\":"
+           << jsonNumber(model.staticEnergyJ(run.totalCycles()));
+        os << ",\"static_power_w\":"
+           << jsonNumber(model.staticPowerW());
         os << ",\"components\":";
         appendComponents(os, total);
         os << "}";

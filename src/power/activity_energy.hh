@@ -94,9 +94,24 @@ class ActivityEnergyModel
     /** Per-layer sum of a run's counted activity, priced. */
     EnergyBreakdown price(const RunResult &run) const;
 
+    /**
+     * Static (leakage) power of the compute layer, watts: a
+     * node-dependent leakage fraction applied to the synthesized
+     * compute power (Table II reports dynamic power only; the
+     * fraction models the planar-28 nm vs FinFET-15 nm leakage gap).
+     * Reported alongside the activity totals — never folded into
+     * price()/totalJ(), so existing dynamic-energy accounting and
+     * its tests are unchanged.
+     */
+    double staticPowerW() const { return staticPowerW_; }
+
+    /** Leakage energy held over @p cycles reference cycles, joules. */
+    double staticEnergyJ(Tick cycles) const;
+
   private:
     TechNode node_;
     EnergyPrices prices_;
+    double staticPowerW_ = 0.0;
 };
 
 /** Activity-based vs analytic energy for the same run. */

@@ -35,6 +35,11 @@ ServingSimulator::run(const ArrivalSchedule &arrivals,
     if (metrics)
         metrics_before = metrics->snapshot();
 
+    SpatialRegistry *spatial = cube_.spatialRegistry();
+    SpatialSnapshot spatial_before;
+    if (spatial)
+        spatial_before = cube_.spatialSnapshot();
+
     // Admit every arrival up to (and including) tick `upto`, in
     // arrival order. Arrivals that land while the cube is busy with
     // a batch are ingested right after it: the queue only drains at
@@ -136,6 +141,10 @@ ServingSimulator::run(const ArrivalSchedule &arrivals,
     if (metrics) {
         res.bottleneck = buildBottleneckReport(
             metrics->snapshot().delta(metrics_before));
+    }
+    if (spatial) {
+        res.spatial = cube_.spatialSnapshot().delta(spatial_before);
+        res.spatialTopology = cube_.spatialTopology();
     }
     if (!config_.spansJsonlPath.empty())
         writeRequestSpansJsonl(config_.spansJsonlPath, res);

@@ -144,6 +144,14 @@ struct ServingResult
      * what the machine is bound by past the saturation knee.
      */
     BottleneckReport bottleneck;
+
+    /**
+     * Spatial counter delta over the whole run (heatmap export) and
+     * the machine shape keying it. valid()/populated only when the
+     * cube ran with spatial accounting enabled.
+     */
+    SpatialSnapshot spatial;
+    SpatialTopology spatialTopology;
 };
 
 /** Open-loop serving frontend for one Neurocube. */

@@ -1,6 +1,7 @@
 #include "trace/phase_detector.hh"
 
 #include <cstdlib>
+#include <iomanip>
 #include <istream>
 #include <sstream>
 
@@ -187,6 +188,82 @@ phaseReport(const std::vector<PhaseSegment> &segments)
            << phaseKindName(s.kind) << " (" << s.windows
            << (s.windows == 1 ? " window)" : " windows)") << "\n";
     }
+    return os.str();
+}
+
+std::vector<PhaseEnergy>
+joinPhaseEnergy(const std::vector<PhaseSegment> &segments,
+                std::istream &csv,
+                const PhaseDetectorConfig &config)
+{
+    std::vector<PhaseEnergy> phases;
+    phases.reserve(segments.size());
+    for (const PhaseSegment &s : segments)
+        phases.push_back({s, 0.0, 0.0});
+    if (phases.empty())
+        return phases;
+
+    std::string line;
+    if (std::getline(csv, line)) {
+        const auto header = splitCsv(line);
+        const int colStart = columnOf(header, "window_start");
+        const int colPower = columnOf(header, "avg_power_w");
+        const Tick window =
+            config.windowTicks > 0 ? config.windowTicks : 1;
+        const double window_s = double(window) / referenceClockHz;
+        size_t seg = 0;
+        while (colStart >= 0 && colPower >= 0
+               && std::getline(csv, line)) {
+            if (line.empty())
+                continue;
+            const auto cells = splitCsv(line);
+            const Tick start = Tick(cellAt(cells, colStart));
+            // Segments and CSV rows are both time-ordered, so one
+            // forward cursor joins them.
+            while (seg < phases.size()
+                   && phases[seg].segment.endTick <= start)
+                ++seg;
+            if (seg >= phases.size())
+                break;
+            if (start >= phases[seg].segment.startTick)
+                phases[seg].joules +=
+                    cellAt(cells, colPower) * window_s;
+        }
+    }
+    for (PhaseEnergy &p : phases) {
+        const Tick ticks = p.segment.endTick - p.segment.startTick;
+        p.avgPowerW = ticks > 0
+            ? p.joules / (double(ticks) / referenceClockHz)
+            : 0.0;
+    }
+    return phases;
+}
+
+std::string
+phaseEnergyJson(const std::vector<PhaseEnergy> &phases,
+                Tick windowTicks)
+{
+    auto num = [](double value) {
+        std::ostringstream ns;
+        if (!(value == value) || value > 1e300 || value < -1e300)
+            value = 0.0;
+        ns << std::setprecision(12) << value;
+        return ns.str();
+    };
+    std::ostringstream os;
+    os << "{\"window_ticks\": " << windowTicks << ", \"segments\": [";
+    for (size_t i = 0; i < phases.size(); ++i) {
+        const PhaseEnergy &p = phases[i];
+        os << (i ? ", " : "") << "{\"kind\": \""
+           << phaseKindName(p.segment.kind)
+           << "\", \"start\": " << p.segment.startTick
+           << ", \"end\": " << p.segment.endTick << ", \"ticks\": "
+           << (p.segment.endTick - p.segment.startTick)
+           << ", \"windows\": " << p.segment.windows
+           << ", \"joules\": " << num(p.joules)
+           << ", \"avg_power_w\": " << num(p.avgPowerW) << "}";
+    }
+    os << "]}";
     return os.str();
 }
 

@@ -99,6 +99,42 @@ detectPhases(std::istream &csv, const PhaseDetectorConfig &config);
 /** Render segments as one human-readable line each. */
 std::string phaseReport(const std::vector<PhaseSegment> &segments);
 
+/** One detected phase joined with the power track. */
+struct PhaseEnergy
+{
+    PhaseSegment segment;
+    /** Energy spent inside the segment, joules. */
+    double joules = 0.0;
+    /** Mean power over the segment, watts. */
+    double avgPowerW = 0.0;
+};
+
+/**
+ * Join detected phases with the CSV's avg_power_w column: each CSV
+ * window's energy (avg_power_w x window seconds at the reference
+ * clock) is charged to the segment containing it; windows the
+ * exporter skipped contribute nothing (they are quiescent).
+ *
+ * @param segments detectPhases output (time-ordered)
+ * @param csv the same CSV, rewound (header row first)
+ * @param config the knobs detectPhases ran with
+ * @return one entry per segment, in segment order; joules all 0 when
+ *         the CSV has no avg_power_w column (energy accounting off)
+ */
+std::vector<PhaseEnergy>
+joinPhaseEnergy(const std::vector<PhaseSegment> &segments,
+                std::istream &csv,
+                const PhaseDetectorConfig &config);
+
+/**
+ * Serialize a phase-energy rollup as a JSON document:
+ * {"window_ticks": N, "segments": [{"kind", "start", "end",
+ * "ticks", "windows", "joules", "avg_power_w"}, ...]}.
+ * Deterministic (fixed field order, setprecision(12) numbers).
+ */
+std::string phaseEnergyJson(const std::vector<PhaseEnergy> &phases,
+                            Tick windowTicks);
+
 } // namespace neurocube
 
 #endif // NEUROCUBE_TRACE_PHASE_DETECTOR_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Self-contained HTML run reports.
+ *
+ * Renders the machine-readable documents the rest of the stack
+ * already produces — run manifests, per-layer bottleneck metrics,
+ * activity-energy breakdowns, spatial heatmap exports, per-phase
+ * energy rollups — into one dependency-free HTML file: the data is
+ * embedded as JSON and a small inline vanilla-JS renderer draws mesh
+ * heatmaps (CSS grid), a link-traffic map and a roofline scatter
+ * (inline SVG), stacked stall/energy bars, and the manifest table.
+ * No external scripts, stylesheets, fonts, or network access — the
+ * file opens anywhere, forever.
+ *
+ * The inputs are pre-serialized JSON strings, so this layer needs no
+ * knowledge of (and no link dependency on) the core result types: it
+ * lives in nc_trace, below nc_core and nc_power. Output is byte-
+ * deterministic: a fixed template plus the caller's JSON, nothing
+ * time- or host-dependent (scripts/check.sh smoke-tests this).
+ */
+
+#ifndef NEUROCUBE_TRACE_REPORT_HH
+#define NEUROCUBE_TRACE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace neurocube
+{
+
+/**
+ * One run's documents, all optional (empty string = section
+ * omitted). Each non-empty field must hold a complete JSON value.
+ */
+struct ReportRun
+{
+    /** Run name (section heading). */
+    std::string name;
+    /** runManifestJson / servingManifestJson document. */
+    std::string manifestJson;
+    /** RunResult::metricsJson document (per-layer bottlenecks). */
+    std::string metricsJson;
+    /** RunResult::energyJson document. */
+    std::string energyJson;
+    /** RunResult::spatialJson / spatialSnapshotJson document. */
+    std::string spatialJson;
+    /** phaseEnergyJson document (per-phase energy rollup). */
+    std::string phasesJson;
+};
+
+/**
+ * Render one self-contained HTML report (the complete file
+ * contents, ready to write out).
+ *
+ * @param title report title (bench name)
+ * @param runs one section per run, in the given order
+ */
+std::string renderRunReport(const std::string &title,
+                            const std::vector<ReportRun> &runs);
+
+} // namespace neurocube
+
+#endif // NEUROCUBE_TRACE_REPORT_HH

@@ -9,6 +9,7 @@
 #include "trace/energy.hh"
 #include "trace/metrics.hh"
 #include "trace/phase_detector.hh"
+#include "trace/spatial.hh"
 #include "trace/stream_exporter.hh"
 #include "trace/timeseries_exporter.hh"
 
@@ -328,6 +329,18 @@ TraceSession::TraceSession(const TraceConfig &config,
         metrics::setActiveRegistry(metrics_.get());
     }
 
+    if (config.spatial) {
+        spatial_ = std::make_unique<SpatialRegistry>();
+        // Node/vault/PE extents come from the topology; the NoC
+        // fabric (built after the session) publishes its link list
+        // through SpatialRegistry::configureLinks.
+        spatial_->configure(topology.numRouters, topology.numVaults,
+                            topology.numPes, topology.vaultNode);
+        if (spatial::activeRegistry() != nullptr)
+            nc_warn("a spatial registry is already active; replacing");
+        spatial::setActiveRegistry(spatial_.get());
+    }
+
 #if NEUROCUBE_TRACE_ENABLED
     if (config.energy) {
         energy_ = std::make_unique<EnergyRegistry>();
@@ -385,6 +398,8 @@ TraceSession::~TraceSession()
         trace::setActiveRecorder(nullptr);
     if (metrics_ && metrics::activeRegistry() == metrics_.get())
         metrics::setActiveRegistry(nullptr);
+    if (spatial_ && spatial::activeRegistry() == spatial_.get())
+        spatial::setActiveRegistry(nullptr);
 #if NEUROCUBE_TRACE_ENABLED
     if (energy_ && energy::activeRegistry() == energy_.get())
         energy::setActiveRegistry(nullptr);

@@ -47,6 +47,7 @@ namespace neurocube
 class ChromeTraceExporter;
 class EnergyRegistry;
 class MetricsRegistry;
+class SpatialRegistry;
 class TimeSeriesCsvExporter;
 
 /** Consumer of recorded event batches (exporters derive from this). */
@@ -334,6 +335,9 @@ class TraceSession
     /** The session's metrics registry, or nullptr (metrics off). */
     MetricsRegistry *metrics() { return metrics_.get(); }
 
+    /** The session's spatial registry, or nullptr (spatial off). */
+    SpatialRegistry *spatial() { return spatial_.get(); }
+
 #if NEUROCUBE_TRACE_ENABLED
     /** The session's energy registry, or nullptr (energy off). The
      *  accessor only exists in NEUROCUBE_TRACE=ON builds — callers
@@ -345,6 +349,7 @@ class TraceSession
   private:
     TraceRecorder recorder_;
     std::unique_ptr<MetricsRegistry> metrics_;
+    std::unique_ptr<SpatialRegistry> spatial_;
 #if NEUROCUBE_TRACE_ENABLED
     std::unique_ptr<EnergyRegistry> energy_;
 #endif

@@ -58,6 +58,16 @@ struct TraceConfig
     bool energy = true;
 
     /**
+     * Spatial observability counters (trace/spatial.hh): per-link
+     * flits/credit-stalls/occupancy, per-vault bytes/queue depth,
+     * per-PE MAC occupancy. On by default — one array increment per
+     * event, and heatmap/roofline exports need them. Only honoured
+     * while `enabled` is true, and compiled out entirely with
+     * -DNEUROCUBE_TRACE=OFF.
+     */
+    bool spatial = true;
+
+    /**
      * Per-event prices used by the *exporters* to turn windowed
      * activity into the CSV avg_power_w column and the Chrome
      * power.W counter track. Defaults to the 15 nm Table II

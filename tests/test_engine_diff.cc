@@ -146,6 +146,7 @@ struct RunSnapshot
     std::vector<Tick> layerCycles;
     std::vector<Tensor> outputs;
     std::string metricsJson;
+    std::string spatialJson;
     EnergyCounts energy;
 };
 
@@ -168,6 +169,7 @@ snapshotForward(const NeurocubeConfig &base, SimEngine engine,
     for (size_t i = 0; i < net.layers.size(); ++i)
         snap.outputs.push_back(cube.layerOutput(i));
     snap.metricsJson = run.metricsJson();
+    snap.spatialJson = run.spatialJson();
     snap.energy = run.energyCounts();
     return snap;
 }
@@ -215,6 +217,10 @@ snapshotsEqual(const RunSnapshot &ref, const RunSnapshot &got)
         return ::testing::AssertionFailure()
             << "stall-attribution metrics JSON differs";
     }
+    if (ref.spatialJson != got.spatialJson) {
+        return ::testing::AssertionFailure()
+            << "spatial heatmap/roofline JSON differs";
+    }
     if (ref.energy.valid != got.energy.valid)
         return ::testing::AssertionFailure() << "energy validity";
     for (size_t k = 0; k < numEnergyEventKinds; ++k) {
@@ -259,6 +265,7 @@ struct BatchSnapshot
     std::vector<Tick> laneCycles;
     std::vector<Tensor> outputs; // lane-major, all layers
     std::vector<EnergyCounts> laneEnergy;
+    std::vector<std::string> laneSpatial;
 };
 
 BatchSnapshot
@@ -279,6 +286,7 @@ snapshotBatch(const NeurocubeConfig &base, SimEngine engine,
     for (const RunResult &lane : run.lanes) {
         snap.laneCycles.push_back(lane.totalCycles());
         snap.laneEnergy.push_back(lane.energyCounts());
+        snap.laneSpatial.push_back(lane.spatialJson());
     }
     for (unsigned l = 0; l < inputs.size(); ++l) {
         for (size_t i = 0; i < net.layers.size(); ++i)
@@ -311,6 +319,12 @@ batchSnapshotsEqual(const BatchSnapshot &ref, const BatchSnapshot &got)
                 return ::testing::AssertionFailure()
                     << "lane " << l << " energy count " << k;
             }
+        }
+    }
+    for (size_t l = 0; l < ref.laneSpatial.size(); ++l) {
+        if (ref.laneSpatial[l] != got.laneSpatial[l]) {
+            return ::testing::AssertionFailure()
+                << "lane " << l << " spatial JSON differs";
         }
     }
     return ::testing::AssertionSuccess();
